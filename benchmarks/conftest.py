@@ -1,0 +1,47 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one table or figure of the paper; the
+``--benchmark-only`` run therefore doubles as the reproduction harness.
+Results are printed through pytest-benchmark's timing table *and* as the
+paper-style data table (via the ``repro_report`` fixture), so the bench
+output is directly comparable with the publication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_everything(benchmark):
+    """Pull the ``benchmark`` fixture into every test's closure.
+
+    The shape-assertion tests in this suite validate the regenerated
+    figures rather than time a function; without this, ``--benchmark-only``
+    would skip them and the bench run would lose its pass/fail meaning.
+    """
+    yield
+
+
+@pytest.fixture(scope="session")
+def cgi_result():
+    """One shared Fig. 12/13 regeneration (both figures come from the
+    same runs; test_fig12 and test_fig13 must not pay for it twice)."""
+    from repro.experiments import fig12_cgi
+
+    return fig12_cgi.run(fast=True, points=[0, 2, 4])
+
+
+@pytest.fixture(scope="session")
+def repro_report():
+    """Collects rendered result tables and prints them at session end."""
+    tables: list[str] = []
+    yield tables.append
+    if tables:
+        print("\n")
+        print("=" * 72)
+        print("REPRODUCED TABLES AND FIGURES")
+        print("=" * 72)
+        for table in tables:
+            print()
+            print(table)

@@ -1,0 +1,98 @@
+"""Benchmarks: design-choice ablations (DESIGN.md section 4).
+
+Not figures from the paper, but quantitative support for the design
+decisions the paper argues from: LRP's overload stability, the event
+API's scalability, scheduler-binding pruning, and proportional-share
+policy choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def curve(figure, label_fragment):
+    series = next(s for s in figure.series if label_fragment in s.label)
+    return dict(series.points)
+
+
+@pytest.fixture(scope="module")
+def livelock():
+    return ablations.run_livelock(fast=True)
+
+
+def test_livelock_report(livelock, repro_report):
+    repro_report(livelock.render())
+
+
+def test_softirq_livelocks_lrp_survives(livelock):
+    softirq = curve(livelock, "softirq")
+    lrp = curve(livelock, "LRP")
+    # At 20k overload pkts/s the softirq kernel is dead...
+    assert softirq[20.0] < 0.02 * softirq[0.0]
+    # ...while LRP still delivers sustained useful service.  (The
+    # absolute level scales inversely with the per-socket queue depth --
+    # deeper queues admit more bogus SYNs to full protocol processing --
+    # so the assertion is about survival, not a specific fraction.)
+    assert lrp[20.0] > 400.0
+    assert lrp[15.0] > 400.0
+
+
+@pytest.fixture(scope="module")
+def event_api():
+    return ablations.run_event_api(fast=True, conn_counts=[10, 250, 500])
+
+
+def test_event_api_report(event_api, repro_report):
+    repro_report(event_api.render())
+
+
+def test_select_collapses_event_api_flat(event_api):
+    select = curve(event_api, "select")
+    scalable = curve(event_api, "event API")
+    assert select[500] < 0.5 * select[10]
+    assert scalable[500] > 0.9 * scalable[10]
+
+
+def test_pruning_bounds_binding_sets(repro_report):
+    result = ablations.run_pruning(fast=True)
+    repro_report(result.render())
+    assert result.max_with_pruning <= 3
+    assert result.max_without_pruning >= 30
+
+
+def test_scheduler_policies_hit_target(repro_report):
+    results = ablations.run_scheduler_policies(fast=True)
+    lines = ["Ablation: proportional-share policies (3:1 target)"]
+    for item in results:
+        lines.append(item.render())
+        assert item.observed_major == pytest.approx(0.75, abs=0.05), item.policy
+    repro_report("\n".join(lines))
+
+
+def test_cgi_mechanisms_report(repro_report):
+    result = ablations.run_cgi_mechanisms(fast=True)
+    repro_report(result.render())
+    data = dict(result.series[0].points)
+    fork, fastcgi, in_process = data[0], data[1], data[2]
+    # Process-based mechanisms preserve static service...
+    assert fork > 1_000 and fastcgi > 1_000
+    # ...while the in-process module stalls the event loop.
+    assert in_process < 0.2 * fork
+
+
+def test_smp_scaling_report(repro_report):
+    result = ablations.run_smp_scaling(fast=True, cpu_counts=[1, 2])
+    repro_report(result.render())
+    data = dict(result.series[0].points)
+    assert data[2] > 1.5 * data[1]
+
+
+def test_bench_livelock_point(benchmark):
+    benchmark.pedantic(
+        lambda: ablations.run_livelock(fast=True, rates=[10_000]),
+        iterations=1,
+        rounds=1,
+    )

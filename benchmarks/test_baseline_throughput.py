@@ -1,0 +1,58 @@
+"""Benchmark: section 5.3 baseline throughput + 5.4 overhead check.
+
+Shape criteria: connection-per-request and persistent throughput within
+~15% of the paper's 2954 / 9487 requests/sec (the simulated costs equal
+the paper's, so the residual gap is event-loop overheads the paper's
+totals folded in), and per-request container use costing < 10%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import baseline
+from repro.experiments.baseline import PAPER_CONN_PER_REQUEST, PAPER_PERSISTENT
+
+
+@pytest.fixture(scope="module")
+def result():
+    return baseline.run(fast=True)
+
+
+def test_fig_baseline_report(result, repro_report):
+    repro_report(result.render())
+
+
+def test_conn_per_request_near_paper(result):
+    assert result.conn_per_request == pytest.approx(
+        PAPER_CONN_PER_REQUEST, rel=0.15
+    )
+
+
+def test_persistent_near_paper(result):
+    assert result.persistent == pytest.approx(PAPER_PERSISTENT, rel=0.15)
+
+
+def test_persistent_speedup_factor(result):
+    """Persistent connections gave the paper a 3.2x speedup."""
+    speedup = result.persistent / result.conn_per_request
+    assert speedup == pytest.approx(9487.0 / 2954.0, rel=0.15)
+
+
+def test_container_overhead_negligible(result):
+    """Section 5.4: throughput 'effectively unchanged' with containers."""
+    overhead = 1.0 - result.with_containers / result.conn_per_request
+    assert overhead < 0.10
+
+
+def test_bench_baseline_point(benchmark):
+    """Wall-clock cost of one baseline measurement (simulator speed)."""
+
+    def run_short():
+        return baseline._throughput(
+            persistent=False, use_containers=False,
+            warmup_s=0.1, measure_s=0.3, clients=10,
+        )
+
+    rate = benchmark.pedantic(run_short, iterations=1, rounds=3)
+    assert rate is None or rate > 0

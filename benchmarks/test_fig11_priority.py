@@ -1,0 +1,68 @@
+"""Benchmark: Figure 11 -- prioritised handling of clients.
+
+Shape criteria (the paper's qualitative result):
+
+* without containers, Thigh grows by an order of magnitude as
+  low-priority clients saturate the server;
+* with containers + select(), the rise is bounded and roughly linear
+  (the select() scan);
+* with containers + the scalable event API, Thigh stays nearly flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig11_priority
+
+POINTS = [0, 10, 25, 35]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig11_priority.run(fast=True, points=POINTS)
+
+
+def curve(result, label_fragment):
+    series = next(s for s in result.series if label_fragment in s.label)
+    return dict(series.points)
+
+
+def test_fig11_report(result, repro_report):
+    repro_report(result.render())
+
+
+def test_unmodified_degrades_heavily(result):
+    data = curve(result, "Without containers")
+    assert data[35] / data[0] > 5.0
+
+
+def test_containers_select_bounded(result):
+    data = curve(result, "select()")
+    assert data[35] / data[0] < 3.0
+    # ...and far below the unmodified system at full load.
+    unmodified = curve(result, "Without containers")
+    assert data[35] < unmodified[35] / 3.0
+
+
+def test_event_api_nearly_flat(result):
+    data = curve(result, "event API")
+    assert data[35] / data[0] < 1.5
+
+
+def test_ordering_between_curves(result):
+    """At saturation: unmodified > select > event API (paper's order)."""
+    unmodified = curve(result, "Without containers")
+    select = curve(result, "select()")
+    event_api = curve(result, "event API")
+    for load in (25, 35):
+        assert unmodified[load] > select[load] >= event_api[load] * 0.95
+
+
+def test_bench_fig11_point(benchmark):
+    """Wall-clock cost of one Fig. 11 measurement point."""
+    benchmark.pedantic(
+        lambda: fig11_priority._run_point("eventapi", 10, 0.2, 0.5),
+        iterations=1,
+        rounds=3,
+    )

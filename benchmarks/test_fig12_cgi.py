@@ -1,0 +1,69 @@
+"""Benchmark: Figure 12 -- static throughput with competing CGI load.
+
+Shape criteria:
+
+* unmodified throughput drops steeply with CGI count (to roughly half
+  or less by n=4; the paper measured 44% of max);
+* LRP drops *further* (fixing the misaccounting removes the server's
+  hidden advantage);
+* both RC sandboxes keep throughput nearly flat, with the 10% cap
+  leaving more room than the 30% cap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig12_cgi
+
+POINTS = [0, 2, 4]
+
+
+@pytest.fixture
+def result(cgi_result):
+    return cgi_result
+
+
+def series_map(figure, label_fragment):
+    series = next(s for s in figure.series if label_fragment in s.label)
+    return dict(series.points)
+
+
+def test_fig12_report(result, repro_report):
+    repro_report(result.fig12.render())
+
+
+def test_unmodified_throughput_halves(result):
+    data = series_map(result.fig12, "Unmodified")
+    assert data[4] < 0.55 * data[0]
+
+
+def test_lrp_below_unmodified(result):
+    unmodified = series_map(result.fig12, "Unmodified")
+    lrp = series_map(result.fig12, "LRP")
+    for n in (2, 4):
+        assert lrp[n] < unmodified[n]
+
+
+def test_rc_sandboxes_stay_flat(result):
+    for label in ("RC System 1", "RC System 2"):
+        data = series_map(result.fig12, label)
+        assert data[4] > 0.9 * data[2]
+
+
+def test_rc10_above_rc30(result):
+    rc30 = series_map(result.fig12, "RC System 1")
+    rc10 = series_map(result.fig12, "RC System 2")
+    for n in (2, 4):
+        assert rc10[n] > rc30[n]
+
+
+def test_bench_fig12_point(benchmark):
+    """Wall-clock cost of one Fig. 12 measurement point."""
+    from repro import SystemMode
+
+    benchmark.pedantic(
+        lambda: fig12_cgi._run_point(SystemMode.RC, 0.3, 1, 1.0, 2.0),
+        iterations=1,
+        rounds=2,
+    )

@@ -1,0 +1,63 @@
+"""Benchmark: Figure 13 -- CPU share of CGI processing.
+
+Shape criteria:
+
+* the RC sandboxes pin the CGI share almost exactly at their caps
+  (the paper: "the CPU limits are enforced almost exactly");
+* LRP gives CGI processes their full fair share, n/(n+1);
+* the unmodified system gives CGI *less* than n/(n+1) -- the server
+  keeps extra real CPU because its kernel network processing is
+  unaccounted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig12_cgi
+
+POINTS = [2, 4]
+
+
+@pytest.fixture
+def result(cgi_result):
+    return cgi_result
+
+
+def shares(figure, label_fragment):
+    series = next(s for s in figure.series if label_fragment in s.label)
+    return dict(series.points)
+
+
+def test_fig13_report(result, repro_report):
+    repro_report(result.fig13.render())
+
+
+def test_rc_caps_enforced_almost_exactly(result):
+    rc30 = shares(result.fig13, "RC System 1")
+    rc10 = shares(result.fig13, "RC System 2")
+    for n in POINTS:
+        assert rc30[n] == pytest.approx(30.0, abs=1.5)
+        assert rc10[n] == pytest.approx(10.0, abs=1.0)
+
+
+def test_lrp_gives_fair_share(result):
+    lrp = shares(result.fig13, "LRP")
+    for n in POINTS:
+        fair = 100.0 * n / (n + 1)
+        assert lrp[n] == pytest.approx(fair, abs=12.0)
+
+
+def test_unmodified_cgi_below_fair_share(result):
+    """The misaccounting advantage: CGI gets less than n/(n+1)."""
+    unmodified = shares(result.fig13, "Unmodified")
+    for n in POINTS:
+        fair = 100.0 * n / (n + 1)
+        assert unmodified[n] < fair - 5.0
+
+
+def test_lrp_share_exceeds_unmodified(result):
+    lrp = shares(result.fig13, "LRP")
+    unmodified = shares(result.fig13, "Unmodified")
+    for n in POINTS:
+        assert lrp[n] > unmodified[n]

@@ -1,0 +1,71 @@
+"""Benchmark: Figure 14 -- SYN-flood resilience.
+
+Shape criteria:
+
+* the unmodified system's useful throughput is effectively zero by
+  roughly 10,000-30,000 SYNs/sec;
+* the defended (resource containers + filter) system retains a large
+  fraction of its throughput at 70,000 SYNs/sec -- the paper reports
+  ~73%; we accept 60-85% (the residual cost is per-SYN interrupt plus
+  packet filter, 3.9 us).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig14_synflood
+
+RATES = [0, 10_000, 30_000, 70_000]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig14_synflood.run(fast=True, rates=RATES)
+
+
+def curve(result, label_fragment):
+    series = next(s for s in result.series if label_fragment in s.label)
+    return dict(series.points)
+
+
+def test_fig14_report(result, repro_report):
+    repro_report(result.render())
+
+
+def test_unmodified_collapses(result):
+    data = curve(result, "Unmodified")
+    assert data[10.0] < 0.35 * data[0.0]
+    assert data[30.0] < 0.02 * data[0.0]
+    assert data[70.0] < 0.02 * data[0.0]
+
+
+def test_defended_retains_most_throughput(result):
+    data = curve(result, "Resource Containers")
+    retained = data[70.0] / data[0.0]
+    assert 0.60 <= retained <= 0.90
+
+
+def test_defended_beats_unmodified_at_every_rate(result):
+    defended = curve(result, "Resource Containers")
+    unmodified = curve(result, "Unmodified")
+    for rate in (10.0, 30.0, 70.0):
+        assert defended[rate] > unmodified[rate]
+
+
+def test_defended_decline_tracks_demux_cost(result):
+    """The defended slope should match the 3.9 us/SYN interrupt+filter
+    theft: relative loss ~= rate * 3.9us."""
+    data = curve(result, "Resource Containers")
+    retained_at_70k = data[70.0] / data[0.0]
+    predicted = 1.0 - 70_000 * 3.9e-6
+    assert retained_at_70k == pytest.approx(predicted, abs=0.12)
+
+
+def test_bench_fig14_point(benchmark):
+    """Wall-clock cost of one Fig. 14 measurement point."""
+    benchmark.pedantic(
+        lambda: fig14_synflood._run_point(True, 20_000.0, 0.5, 1.0),
+        iterations=1,
+        rounds=2,
+    )

@@ -1,0 +1,96 @@
+"""Benchmark: Table 1 -- cost of resource container primitives.
+
+Two measurements per primitive:
+
+* the **simulated** cost through the syscall layer (must land on the
+  paper's measured microseconds -- they are the calibration source);
+* the **wall-clock** cost of this library's Python implementation of
+  the primitive, measured with pytest-benchmark exactly the way the
+  paper measured its syscalls (many warm-cache iterations, mean).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import timeshare_attrs
+from repro.core.operations import ContainerManager
+from repro.experiments import table1_primitives
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1_primitives.run()
+
+
+def test_fig_table1_report(table1_result, repro_report):
+    """Render the paper-vs-measured table."""
+    repro_report(table1_result.render())
+    for row, paper_value in table1_result.paper_us.items():
+        measured = table1_result.simulated_us[row]
+        assert measured == pytest.approx(paper_value, abs=0.02), row
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock microbenchmarks of the implementation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def manager():
+    return ContainerManager()
+
+
+def test_bench_create_destroy(benchmark, manager):
+    benchmark(lambda: manager.release(manager.create("bench")))
+
+
+def test_bench_rebind_thread(benchmark, manager):
+    from repro.core.binding import BindingManager
+    from tests.core.test_binding import _FakeThread
+
+    bindings = BindingManager(lambda c: None)
+    thread = _FakeThread()
+    a = manager.create("a")
+    b = manager.create("b")
+    state = {"flip": False}
+
+    def rebind():
+        state["flip"] = not state["flip"]
+        bindings.bind_thread(thread, a if state["flip"] else b, 0.0)
+
+    benchmark(rebind)
+
+
+def test_bench_get_usage(benchmark, manager):
+    container = manager.create("u")
+    benchmark(lambda: manager.get_usage(container, recursive=False))
+
+
+def test_bench_get_usage_recursive_subtree(benchmark, manager):
+    from repro.core.attributes import fixed_share_attrs
+
+    parent = manager.create("p", attrs=fixed_share_attrs(0.5))
+    for index in range(20):
+        manager.create(f"leaf{index}", parent=parent)
+    benchmark(lambda: manager.get_usage(parent))
+
+
+def test_bench_set_attributes(benchmark, manager):
+    container = manager.create("attrs")
+    attrs = timeshare_attrs(priority=7)
+    benchmark(lambda: manager.set_attributes(container, attrs))
+
+
+def test_bench_lookup_handle(benchmark, manager):
+    container = manager.create("h")
+    benchmark(lambda: manager.lookup(container.cid))
+
+
+def test_bench_charge_cpu_leaf_depth3(benchmark, manager):
+    from repro.core.attributes import fixed_share_attrs
+
+    top = manager.create("top", attrs=fixed_share_attrs(0.5))
+    mid = manager.create("mid", attrs=fixed_share_attrs(0.5), parent=top)
+    leaf = manager.create("leaf", parent=mid)
+    benchmark(lambda: leaf.charge_cpu(1.0))

@@ -1,0 +1,49 @@
+"""Benchmark: section 5.8 -- virtual-server isolation.
+
+Shape criteria: "the total CPU time consumed by each guest server
+exactly matched its allocation" -- each observed share within a couple
+of percentage points of its guarantee, and the nested sandbox (the
+recursive re-division the paper highlights) pinned at its sub-limit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import virtual_servers
+
+
+@pytest.fixture(scope="module")
+def result():
+    return virtual_servers.run(fast=True)
+
+
+def test_virtual_servers_report(result, repro_report):
+    repro_report(result.render())
+
+
+def test_each_guest_matches_allocation(result):
+    for guest in result.guests:
+        assert guest.observed == pytest.approx(guest.allocated, abs=0.03), (
+            guest.name
+        )
+
+
+def test_shares_are_ordered(result):
+    observed = [g.observed for g in result.guests]
+    assert observed == sorted(observed, reverse=True)
+
+
+def test_nested_cgi_sandbox_enforced(result):
+    assert result.nested_cgi_share == pytest.approx(
+        result.nested_cgi_limit, abs=0.015
+    )
+
+
+def test_bench_virtual_servers(benchmark):
+    """Wall-clock cost of a short three-guest run."""
+    benchmark.pedantic(
+        lambda: virtual_servers.run(fast=True),
+        iterations=1,
+        rounds=1,
+    )

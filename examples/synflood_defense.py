@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Surviving a SYN flood with filters + priority-zero containers
+(paper section 5.7).
+
+A malicious subnet floods port 80 with bogus SYNs.  The kernel notifies
+the server of SYN drops; the server identifies the attacking subnet and
+binds a filtered listen socket for it to a container with numeric
+priority zero (and a hard CPU cap) -- after which each bogus SYN costs
+only interrupt-plus-packet-filter time (~3.9 us) instead of full
+protocol processing (~80 us).
+
+The example prints a timeline: throughput before the attack, during the
+unprotected onset, and after the defence engages.
+
+Run:  python examples/synflood_defense.py
+"""
+
+from __future__ import annotations
+
+from repro import Host, SystemMode, format_ip, ip_addr
+from repro.apps.httpserver import EventDrivenServer, ListenSpec, SynFloodDefense
+from repro.apps.synflood import SynFlooder
+from repro.apps.webclient import HttpClient
+
+
+def main() -> None:
+    host = Host(mode=SystemMode.RC, seed=14)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    defense = SynFloodDefense(threshold=5)
+    server = EventDrivenServer(
+        host.kernel,
+        specs=[ListenSpec("default", notify_syn_drop=True)],
+        use_containers=True,
+        event_api="eventapi",
+        defense=defense,
+    )
+    server.install()
+    clients = [
+        HttpClient(
+            host.kernel, ip_addr(10, 0, 0, i + 1), f"client-{i}",
+            timeout_us=400_000.0,
+        )
+        for i in range(25)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=2_000.0 + 100.0 * index)
+    flooder = SynFlooder(
+        host.kernel,
+        rate_per_sec=50_000.0,
+        batch=10,
+        rng=host.sim.rng.fork("flood"),
+    )
+
+    def window_throughput(seconds: float) -> float:
+        before = sum(c.stats_completed for c in clients)
+        host.run(until_us=host.now + seconds * 1e6)
+        return (sum(c.stats_completed for c in clients) - before) / seconds
+
+    print("SYN-flood timeline (50,000 bogus SYNs/sec from 66.6.6.0/24)\n")
+    print(f"t=0-2s   no attack        : {window_throughput(2.0):7.0f} req/s")
+    flooder.start(at_us=host.now)
+    print(f"t=2-3s   attack onset     : {window_throughput(1.0):7.0f} req/s")
+    print(f"t=3-6s   defence engaged  : {window_throughput(3.0):7.0f} req/s")
+    flooder.stop()
+    print(f"t=6-8s   attack over      : {window_throughput(2.0):7.0f} req/s")
+    print()
+    for subnet in defense.isolated_subnets:
+        print(f"isolated subnet: {format_ip(subnet)}/24 "
+              f"(priority-0 container, {defense.blackhole_cpu_limit:.0%} CPU cap)")
+    blackhole = [
+        c
+        for c in host.kernel.containers.all_containers()
+        if c.name.startswith("blackhole")
+    ]
+    if blackhole:
+        dropped = blackhole[0].usage.packets_dropped
+        cpu_ms = blackhole[0].usage.cpu_us / 1000.0
+        print(f"bogus SYNs shed at the filter: {dropped:,} "
+              f"(total CPU spent on them: {cpu_ms:.0f} ms)")
+    print(f"total bogus SYNs sent: {flooder.stats_sent:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package to build an editable
+wheel (PEP 660); on fully offline machines without it, this shim lets
+``python setup.py develop --user`` (or the documented .pth fallback)
+install the package instead.  Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

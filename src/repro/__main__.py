@@ -1,0 +1,134 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table1               # one experiment
+    python -m repro fig12 --full         # slower, larger windows
+    python -m repro all                  # everything (fast windows)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _run_table1(fast: bool):
+    from repro.experiments import table1_primitives
+
+    return table1_primitives.run()
+
+
+def _run_baseline(fast: bool):
+    from repro.experiments import baseline
+
+    return baseline.run(fast=fast)
+
+
+def _run_fig11(fast: bool):
+    from repro.experiments import fig11_priority
+
+    return fig11_priority.run(fast=fast)
+
+
+def _run_fig12(fast: bool):
+    from repro.experiments import fig12_cgi
+
+    return fig12_cgi.run(fast=fast)
+
+
+def _run_fig14(fast: bool):
+    from repro.experiments import fig14_synflood
+
+    return fig14_synflood.run(fast=fast)
+
+
+def _run_virtual(fast: bool):
+    from repro.experiments import virtual_servers
+
+    return virtual_servers.run(fast=fast)
+
+
+def _run_ablations(fast: bool):
+    from repro.experiments import ablations
+
+    return ablations.run(fast=fast)
+
+
+def _render_any(result) -> str:
+    """Text rendering for any experiment result shape."""
+    if hasattr(result, "render"):
+        return result.render()
+    if isinstance(result, dict):
+        return "\n\n".join(
+            _render_any(value) for value in result.values()
+        )
+    if isinstance(result, (list, tuple)):
+        return "\n".join(_render_any(item) for item in result)
+    return str(result)
+
+
+EXPERIMENTS = {
+    "table1": ("Table 1: container primitive costs", _run_table1),
+    "baseline": ("Section 5.3/5.4: baseline throughput", _run_baseline),
+    "fig11": ("Figure 11: prioritised clients", _run_fig11),
+    "fig12": ("Figures 12+13: CGI sandboxing", _run_fig12),
+    "fig14": ("Figure 14: SYN-flood resilience", _run_fig14),
+    "virtual": ("Section 5.8: virtual servers", _run_virtual),
+    "ablations": ("Design-choice ablations", _run_ablations),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the OSDI'99 resource-containers evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the larger (slower) measurement windows",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, (description, _fn) in EXPERIMENTS.items():
+            print(f"{key:10s} {description}")
+        return 0
+
+    selected = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for key in selected:
+        description, runner = EXPERIMENTS[key]
+        if not args.json:
+            print(f"== {description} ==")
+        started = time.time()
+        result = runner(fast=not args.full)
+        if args.json:
+            from repro.experiments.export import result_to_json
+
+            print(result_to_json({key: result}))
+        else:
+            print(_render_any(result))
+            print(f"[{key}: {time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro all | head`
+        sys.exit(0)

@@ -1,0 +1,20 @@
+"""Applications: HTTP servers, client load generators, and attackers.
+
+Servers run *inside* the simulated host as processes over the syscall
+API.  Clients and attackers model the testbed's client machines: they
+live outside the host, inject packets, and consume no server CPU except
+through the packets they send -- mirroring the paper's setup of a server
+workstation driven by separate client PCs over switched Ethernet.
+"""
+
+from repro.apps.mailserver import MailClient, MailServer
+from repro.apps.synflood import SynFlooder
+from repro.apps.webclient import HttpClient, HttpRequest
+
+__all__ = [
+    "HttpClient",
+    "HttpRequest",
+    "MailClient",
+    "MailServer",
+    "SynFlooder",
+]

@@ -1,0 +1,35 @@
+"""HTTP server applications over the simulated syscall API.
+
+The three architectures of the paper's section 2:
+
+- :class:`~repro.apps.httpserver.event_driven.EventDrivenServer` --
+  single process, single thread, select() or the scalable event API
+  (thttpd/Squid/Zeus style; the server used in all the paper's
+  experiments).
+- :class:`~repro.apps.httpserver.multithreaded.MultiThreadedServer` --
+  single process, one kernel thread per connection (AltaVista front-end
+  style, Figs. 3 and 9).
+- :class:`~repro.apps.httpserver.multiprocess.MultiProcessServer` --
+  pre-forked worker processes sharing a listen socket (NCSA httpd
+  style, Fig. 1).
+
+CGI back-end handling (section 2's dynamic resources; the subject of
+Figs. 12/13) lives in :mod:`repro.apps.httpserver.cgi`.
+"""
+
+from repro.apps.httpserver.cgi import CgiPolicy
+from repro.apps.httpserver.common import ListenSpec, RequestStats
+from repro.apps.httpserver.defense import SynFloodDefense
+from repro.apps.httpserver.event_driven import EventDrivenServer
+from repro.apps.httpserver.multiprocess import MultiProcessServer
+from repro.apps.httpserver.multithreaded import MultiThreadedServer
+
+__all__ = [
+    "CgiPolicy",
+    "EventDrivenServer",
+    "ListenSpec",
+    "MultiProcessServer",
+    "MultiThreadedServer",
+    "RequestStats",
+    "SynFloodDefense",
+]

@@ -1,0 +1,59 @@
+"""Shared server building blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.attributes import DEFAULT_PRIORITY
+from repro.net.filters import AddrFilter
+
+
+@dataclass
+class ListenSpec:
+    """One listening socket's configuration.
+
+    The paper's filtered ``sockaddr`` namespace lets a server bind
+    several sockets to one port with different client-address filters
+    and attach a differently-prioritised container to each (section
+    4.8); a spec captures one such binding.
+    """
+
+    name: str
+    addr_filter: Optional[AddrFilter] = None
+    priority: int = DEFAULT_PRIORITY
+    backlog: int = 1024
+    notify_syn_drop: bool = False
+
+
+@dataclass
+class RequestStats:
+    """Counters a server exposes to the experiment harness."""
+
+    static_served: int = 0
+    cgi_forked: int = 0
+    cgi_completed: int = 0
+    connections_accepted: int = 0
+    connections_closed: int = 0
+    read_eofs: int = 0
+    #: Completions inside the measurement window (set by the harness).
+    meter: object = None
+
+    def count_static(self, now: float) -> None:
+        """Record one completed static response."""
+        self.static_served += 1
+        if self.meter is not None:
+            self.meter.record(now)
+
+
+@dataclass
+class ConnInfo:
+    """Per-connection bookkeeping inside a server."""
+
+    fd: int
+    spec: ListenSpec
+    container_fd: Optional[int] = None
+    requests_served: int = 0
+    #: Application-assigned priority (from a peer-address classifier on
+    #: servers that cannot use the filtered sockaddr namespace).
+    app_priority: Optional[int] = None

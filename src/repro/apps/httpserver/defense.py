@@ -1,0 +1,79 @@
+"""Application-level SYN-flood defence (paper section 5.7).
+
+The kernel modification: it notifies the application (via the scalable
+event API) whenever it drops a SYN due to queue overflow.  The
+application policy implemented here mirrors the paper's: when drops from
+one source subnet cross a threshold, the server *isolates the
+misbehaving clients to a low-priority listen socket* -- it binds a new
+socket for the same port with a filter matching the attacker's subnet,
+attaches a resource container with numeric priority zero, and never
+accepts from it.  From then on the attacker's SYNs are demultiplexed to
+a container the kernel only services when idle, and its bounded packet
+queue drops them at interrupt-handler cost (~3.9 us) instead of full
+protocol-processing cost (~80 us).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.attributes import timeshare_attrs
+from repro.net.filters import AddrFilter
+from repro.syscall import api
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.httpserver.event_driven import EventDrivenServer
+
+
+class SynFloodDefense:
+    """Detects attacking subnets from syn_dropped events and isolates them."""
+
+    def __init__(self, threshold: int = 5, prefix_len: int = 24,
+                 blackhole_backlog: int = 16,
+                 blackhole_cpu_limit: float = 0.02) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.prefix_len = prefix_len
+        self.blackhole_backlog = blackhole_backlog
+        #: Hard cap on CPU the isolated class may consume.  Priority
+        #: zero alone starves the attacker under load, but during idle
+        #: gaps a work-conserving scheduler would still burn full
+        #: protocol processing on bogus SYNs; the cap (section 4.8's
+        #: "restrict the total CPU consumption of certain classes")
+        #: bounds that structurally.
+        self.blackhole_cpu_limit = blackhole_cpu_limit
+        self._drop_counts: dict[int, int] = {}
+        self.isolated_subnets: list[int] = []
+        self.stats_notifications = 0
+
+    def _subnet_of(self, addr: int) -> int:
+        shift = 32 - self.prefix_len
+        return (addr >> shift) << shift
+
+    def on_syn_drop(self, server: "EventDrivenServer", event) -> object:
+        """Generator: runs inside the server's main loop."""
+        self.stats_notifications += 1
+        subnet = self._subnet_of(event.data)
+        count = self._drop_counts.get(subnet, 0) + 1
+        self._drop_counts[subnet] = count
+        if count < self.threshold or subnet in self.isolated_subnets:
+            return
+        self.isolated_subnets.append(subnet)
+        # Isolate: a filtered listen socket bound to a priority-zero
+        # container.  The server never declares interest in events on
+        # it and never accepts from it.
+        fd = yield api.Socket()
+        yield api.Bind(
+            fd, server.port,
+            AddrFilter(template=subnet, prefix_len=self.prefix_len),
+        )
+        yield api.Listen(fd, backlog=self.blackhole_backlog)
+        if server.use_containers:
+            cfd = yield api.ContainerCreate(
+                f"blackhole:{subnet:#010x}",
+                attrs=timeshare_attrs(
+                    priority=0, cpu_limit=self.blackhole_cpu_limit
+                ),
+            )
+            yield api.ContainerBindSocket(fd, cfd)

@@ -1,0 +1,247 @@
+"""Single-process event-driven HTTP server (thttpd-derived, section 5.2).
+
+This is the server used in every experiment of the paper.  It supports:
+
+* one or more listening sockets with address filters and per-class
+  resource containers (``ListenSpec``);
+* two event mechanisms: classic ``select()`` (with its inherent
+  linear-scan cost) and the scalable event API of [5];
+* optional resource-container use: one container per client class,
+  thread rebinding around each connection's processing, exactly as
+  section 4.8 describes for an event-driven server;
+* pluggable CGI handling (:mod:`repro.apps.httpserver.cgi`) and the
+  SYN-flood defence (:mod:`repro.apps.httpserver.defense`).
+
+The application code is a generator over the syscall API; nothing here
+touches kernel internals.  The only out-of-band access is reading the
+simulated clock for *measurement* timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.apps.httpserver.common import ConnInfo, ListenSpec, RequestStats
+from repro.apps.webclient import HttpRequest
+from repro.core.attributes import timeshare_attrs
+from repro.kernel.errors import KernelError, WouldBlockError
+from repro.syscall import api
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.httpserver.cgi import CgiPolicy
+    from repro.apps.httpserver.defense import SynFloodDefense
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class EventDrivenServer:
+    """The paper's event-driven server, parameterised by experiment."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        port: int = 80,
+        specs: Optional[list[ListenSpec]] = None,
+        use_containers: bool = False,
+        event_api: str = "select",
+        cgi: Optional["CgiPolicy"] = None,
+        defense: Optional["SynFloodDefense"] = None,
+        classifier=None,
+        container_parent_cid: Optional[int] = None,
+        name: str = "httpd",
+    ) -> None:
+        if event_api not in ("select", "eventapi"):
+            raise ValueError(f"unknown event_api: {event_api}")
+        self.kernel = kernel
+        self.port = port
+        self.specs = specs if specs is not None else [ListenSpec("default")]
+        self.use_containers = use_containers
+        self.event_api = event_api
+        self.cgi = cgi
+        self.defense = defense
+        #: Optional callable(addr) -> int priority; how a server on an
+        #: unmodified kernel classifies clients (after accept, the only
+        #: point it can -- the paper's Fig. 11 baseline did exactly
+        #: this, preferring the high-priority client's socket events).
+        self.classifier = classifier
+        #: Parent (cid) for every container this server creates; lets a
+        #: guest server nest its whole hierarchy under its own root
+        #: (the Rent-A-Server scenario, section 5.8).
+        self.container_parent_cid = container_parent_cid
+        self.name = name
+        self.stats = RequestStats()
+        self.process: Optional["Process"] = None
+        # Runtime state shared between the main loop and sub-generators.
+        self._listen: dict[int, ListenSpec] = {}
+        self._listen_cfd: dict[int, Optional[int]] = {}
+        self._conns: dict[int, ConnInfo] = {}
+        self._default_cfd: Optional[int] = None
+        self._parent_cfd: Optional[int] = None
+        self._evq_fd: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def install(self) -> "Process":
+        """Create the server process and start its main loop."""
+        self.process = self.kernel.spawn_process(self.name, self.main)
+        return self.process
+
+    # ------------------------------------------------------------------
+    # Application code (generators over the syscall API)
+    # ------------------------------------------------------------------
+
+    def main(self):
+        """Set up listeners, then loop on select() or the event API."""
+        if self.use_containers:
+            self._default_cfd = yield api.ContainerGetBinding()
+            if self.container_parent_cid is not None:
+                self._parent_cfd = yield api.ContainerGetHandle(
+                    self.container_parent_cid
+                )
+        if self.event_api == "eventapi" or self.defense is not None:
+            self._evq_fd = yield api.EventQueueCreate()
+        for spec in self.specs:
+            yield from self._open_listener(spec)
+        if self.cgi is not None:
+            yield from self.cgi.setup(self)
+        if self.event_api == "select":
+            yield from self._select_loop()
+        else:
+            yield from self._event_loop()
+
+    def _open_listener(self, spec: ListenSpec):
+        fd = yield api.Socket()
+        yield api.Bind(fd, self.port, spec.addr_filter)
+        yield api.Listen(
+            fd, backlog=spec.backlog, notify_syn_drop=spec.notify_syn_drop
+        )
+        cfd: Optional[int] = None
+        if self.use_containers:
+            cfd = yield api.ContainerCreate(
+                f"{self.name}:class:{spec.name}",
+                attrs=timeshare_attrs(priority=spec.priority),
+                parent_fd=self._parent_cfd,
+            )
+            yield api.ContainerBindSocket(fd, cfd)
+        if self._evq_fd is not None:
+            yield api.EventDeclare(self._evq_fd, fd)
+        self._listen[fd] = spec
+        self._listen_cfd[fd] = cfd
+        return fd
+
+    # -- select() variant --------------------------------------------------
+
+    def _select_loop(self):
+        while True:
+            fds = list(self._listen) + list(self._conns)
+            ready = yield api.Select(fds)
+            # The application prefers higher-priority sockets first
+            # (the paper's server did this even without containers).
+            ready.sort(key=self._fd_priority, reverse=True)
+            for fd in ready:
+                if fd in self._listen:
+                    yield from self._accept_all(fd)
+                elif fd in self._conns:
+                    yield from self._handle_conn(fd)
+
+    def _fd_priority(self, fd: int) -> int:
+        spec = self._listen.get(fd)
+        if spec is not None:
+            return spec.priority
+        info = self._conns.get(fd)
+        if info is None:
+            return 0
+        if info.app_priority is not None:
+            return info.app_priority
+        return info.spec.priority
+
+    # -- scalable event API variant -----------------------------------------
+
+    def _event_loop(self):
+        while True:
+            event = yield api.EventGet(self._evq_fd)
+            if event is None:
+                continue
+            if event.kind == "acceptable" and event.fd in self._listen:
+                yield from self._accept_all(event.fd)
+            elif event.kind == "readable" and event.fd in self._conns:
+                yield from self._handle_conn(event.fd)
+            elif event.kind == "syn_dropped" and self.defense is not None:
+                yield from self.defense.on_syn_drop(self, event)
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_all(self, listen_fd: int):
+        spec = self._listen[listen_fd]
+        while True:
+            try:
+                fd = yield api.Accept(listen_fd, blocking=False)
+            except WouldBlockError:
+                return
+            info = ConnInfo(
+                fd=fd, spec=spec, container_fd=self._listen_cfd[listen_fd]
+            )
+            if self.classifier is not None:
+                peer = yield api.GetPeerName(fd)
+                info.app_priority = self.classifier(peer)
+            self._conns[fd] = info
+            self.stats.connections_accepted += 1
+            if self._evq_fd is not None:
+                yield api.EventDeclare(self._evq_fd, fd)
+
+    def _handle_conn(self, fd: int):
+        info = self._conns[fd]
+        if self.use_containers and info.container_fd is not None:
+            # Rebind around this connection's processing so kernel work
+            # is charged to the right class (section 4.2).
+            yield api.ContainerBindThread(info.container_fd)
+        yield from self._serve_ready(fd, info)
+        if self.use_containers and self._default_cfd is not None:
+            yield api.ContainerBindThread(self._default_cfd)
+
+    def _serve_ready(self, fd: int, info: ConnInfo):
+        try:
+            message = yield api.Read(fd, blocking=False)
+        except WouldBlockError:
+            return
+        if message is None:  # EOF: peer closed
+            yield from self._close_conn(fd)
+            self.stats.read_eofs += 1
+            return
+        if not isinstance(message, HttpRequest):
+            yield from self._close_conn(fd)
+            return
+        yield api.Compute(self.kernel.costs.app_request_parse)
+        if self.cgi is not None and self.cgi.matches(message.path):
+            yield from self.cgi.handle(self, fd, info, message)
+            return
+        yield from self._serve_static(fd, info, message)
+
+    def _serve_static(self, fd: int, info: ConnInfo, message: HttpRequest):
+        try:
+            size = yield api.ReadFile(message.path)
+        except KernelError:
+            yield from self._close_conn(fd)
+            return
+        yield api.Write(fd, payload=message, size_bytes=size)
+        yield api.Compute(self.kernel.costs.app_loop_overhead)
+        info.requests_served += 1
+        self.stats.count_static(self.kernel.sim.now)
+        if not message.persistent:
+            yield from self._close_conn(fd)
+
+    def _close_conn(self, fd: int):
+        if fd in self._conns:
+            del self._conns[fd]
+            self.stats.connections_closed += 1
+            yield api.Close(fd)
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+
+    def open_connections(self) -> int:
+        """Connections the server is currently tracking."""
+        return len(self._conns)

@@ -1,0 +1,91 @@
+"""Pre-forked multi-process HTTP server (paper Fig. 1, NCSA style).
+
+A master process creates the listen socket and forks worker processes
+that inherit it; each worker runs a blocking accept-serve loop.  This is
+the architecture whose context-switch and IPC overheads (section 2)
+motivated single-process servers -- and, per section 3.1 / Fig. 6, the
+case where "the desired unit of protection (the process) is different
+from the desired unit of resource management (all the processes of the
+application)".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.apps.httpserver.common import ListenSpec, RequestStats
+from repro.apps.webclient import HttpRequest
+from repro.kernel.errors import KernelError
+from repro.syscall import api
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class MultiProcessServer:
+    """Master/pre-forked-worker server sharing one listen socket."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        port: int = 80,
+        n_workers: int = 8,
+        spec: Optional[ListenSpec] = None,
+        name: str = "mp-httpd",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self.kernel = kernel
+        self.port = port
+        self.n_workers = n_workers
+        self.spec = spec if spec is not None else ListenSpec("default")
+        self.name = name
+        self.stats = RequestStats()
+        self.process: Optional["Process"] = None
+        self.worker_pids: list[int] = []
+
+    def install(self) -> "Process":
+        """Start the master process (which forks the workers and exits)."""
+        self.process = self.kernel.spawn_process(self.name, self.master)
+        return self.process
+
+    def master(self):
+        """Create the shared listen socket and pre-fork the workers."""
+        lfd = yield api.Socket()
+        yield api.Bind(lfd, self.port, self.spec.addr_filter)
+        yield api.Listen(lfd, backlog=self.spec.backlog)
+        for index in range(self.n_workers):
+            pid = yield api.Fork(
+                lambda lfd=lfd: self.worker(lfd),
+                name=f"{self.name}-w{index}",
+                pass_fds=[lfd],
+            )
+            self.worker_pids.append(pid)
+        # The master's job is done; its listen-socket copy is released
+        # at exit, and the workers' copies keep the socket alive.
+
+    def worker(self, lfd: int):
+        """Blocking accept-serve loop in one worker process."""
+        while True:
+            fd = yield api.Accept(lfd)
+            self.stats.connections_accepted += 1
+            yield from self._serve_connection(fd)
+
+    def _serve_connection(self, fd: int):
+        while True:
+            message = yield api.Read(fd)
+            if message is None or not isinstance(message, HttpRequest):
+                break
+            yield api.Compute(self.kernel.costs.app_request_parse)
+            try:
+                size = yield api.ReadFile(message.path)
+            except KernelError:
+                break
+            yield api.Write(fd, payload=message, size_bytes=size)
+            yield api.Compute(self.kernel.costs.app_loop_overhead)
+            self.stats.count_static(self.kernel.sim.now)
+            if not message.persistent:
+                break
+        yield api.Close(fd)
+        self.stats.connections_closed += 1

@@ -1,0 +1,103 @@
+"""Single-process multi-threaded HTTP server (paper Figs. 3 and 9).
+
+A pool of kernel threads shares one listen socket; an idle thread
+accepts a connection and serves it to completion.  With containers
+enabled, the thread creates a per-connection resource container, binds
+the connection and itself to it, and serves -- the usage pattern of
+section 4.8: "The server creates a new resource container for each new
+connection, and assigns one of a pool of free threads to service the
+connection ... If a particular connection consumes a lot of system
+resources, this consumption is charged to the resource container",
+letting the scheduler's feedback de-prioritise heavy connections.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.apps.httpserver.common import ListenSpec, RequestStats
+from repro.apps.webclient import HttpRequest
+from repro.core.attributes import timeshare_attrs
+from repro.kernel.errors import KernelError
+from repro.syscall import api
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class MultiThreadedServer:
+    """Thread-per-connection server with an acceptor pool."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        port: int = 80,
+        n_threads: int = 16,
+        use_containers: bool = False,
+        spec: Optional[ListenSpec] = None,
+        name: str = "mt-httpd",
+    ) -> None:
+        if n_threads < 1:
+            raise ValueError(f"need at least one thread, got {n_threads}")
+        self.kernel = kernel
+        self.port = port
+        self.n_threads = n_threads
+        self.use_containers = use_containers
+        self.spec = spec if spec is not None else ListenSpec("default")
+        self.name = name
+        self.stats = RequestStats()
+        self.process: Optional["Process"] = None
+
+    def install(self) -> "Process":
+        """Create the server process; the main thread becomes worker 0."""
+        self.process = self.kernel.spawn_process(self.name, self.main)
+        return self.process
+
+    def main(self):
+        """Set up the listen socket, spawn the pool, become a worker."""
+        lfd = yield api.Socket()
+        yield api.Bind(lfd, self.port, self.spec.addr_filter)
+        yield api.Listen(lfd, backlog=self.spec.backlog)
+        for index in range(1, self.n_threads):
+            yield api.SpawnThread(
+                lambda lfd=lfd: self.worker(lfd), name=f"worker-{index}"
+            )
+        yield from self.worker(lfd)
+
+    def worker(self, lfd: int):
+        """Accept-serve loop for one pool thread."""
+        default_cfd = None
+        if self.use_containers:
+            default_cfd = yield api.ContainerGetBinding()
+        while True:
+            fd = yield api.Accept(lfd)  # blocking
+            self.stats.connections_accepted += 1
+            cfd = None
+            if self.use_containers:
+                cfd = yield api.ContainerCreate("conn", attrs=timeshare_attrs())
+                yield api.ContainerBindSocket(fd, cfd)
+                yield api.ContainerBindThread(cfd)
+            yield from self._serve_connection(fd)
+            if self.use_containers:
+                yield api.ContainerBindThread(default_cfd)
+                yield api.Close(cfd)
+
+    def _serve_connection(self, fd: int):
+        """Serve requests on one connection until it closes."""
+        while True:
+            message = yield api.Read(fd)  # blocking
+            if message is None or not isinstance(message, HttpRequest):
+                break
+            yield api.Compute(self.kernel.costs.app_request_parse)
+            try:
+                size = yield api.ReadFile(message.path)
+            except KernelError:
+                break
+            yield api.Write(fd, payload=message, size_bytes=size)
+            yield api.Compute(self.kernel.costs.app_loop_overhead)
+            self.stats.count_static(self.kernel.sim.now)
+            if not message.persistent:
+                break
+        yield api.Close(fd)
+        self.stats.connections_closed += 1

@@ -1,0 +1,45 @@
+"""Resource containers: the paper's primary contribution.
+
+A *resource container* (paper section 4) is an explicit operating-system
+resource principal, decoupled from the process/protection domain.  It
+logically contains all the system resources used to carry out one
+independent activity -- CPU time, kernel memory, sockets, protocol
+buffers -- and carries the scheduling parameters, resource limits, and
+network QoS attributes that govern that activity.
+
+This package implements:
+
+- :class:`~repro.core.container.ResourceContainer` and its attributes,
+- the container hierarchy and its invariants
+  (:mod:`repro.core.hierarchy`),
+- dynamic thread-to-container *resource bindings* and kernel-maintained
+  *scheduler bindings* (:mod:`repro.core.binding`),
+- the full section-4.6 operation set
+  (:class:`~repro.core.operations.ContainerManager`).
+"""
+
+from repro.core.attributes import ContainerAttributes, SchedClass
+from repro.core.binding import SchedulerBinding
+from repro.core.container import ContainerState, ResourceContainer
+from repro.core.hierarchy import (
+    ancestors_and_self,
+    iter_subtree,
+    root_of,
+    subtree_usage,
+    validate_hierarchy,
+)
+from repro.core.operations import ContainerManager
+
+__all__ = [
+    "ContainerAttributes",
+    "ContainerManager",
+    "ContainerState",
+    "ResourceContainer",
+    "SchedClass",
+    "SchedulerBinding",
+    "ancestors_and_self",
+    "iter_subtree",
+    "root_of",
+    "subtree_usage",
+    "validate_hierarchy",
+]

@@ -1,0 +1,122 @@
+"""Container attributes.
+
+Paper section 4.1: "Containers have attributes; these are used to provide
+scheduling parameters, resource limits, and network QoS values."
+
+Section 5.1 describes the prototype's scheduling classes: a container can
+obtain a *fixed-share guarantee* from the scheduler (within the CPU usage
+restrictions of its parent), or can *time-share* the CPU granted to its
+parent with its sibling containers.  Fixed-share containers may have
+children; time-share containers may not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+
+class SchedClass(enum.Enum):
+    """Scheduling class of a container (paper section 5.1)."""
+
+    #: Guaranteed a fixed fraction of the parent's CPU; may have children.
+    FIXED_SHARE = "fixed_share"
+    #: Time-shares the parent's residual CPU with sibling time-share
+    #: containers, weighted by numeric priority; leaf-only.
+    TIMESHARE = "timeshare"
+
+
+#: Numeric priority assigned to freshly created containers.  The paper
+#: uses "numeric priority" loosely (section 4.1, footnote 2); we adopt
+#: larger-is-more-important with a small default.
+DEFAULT_PRIORITY = 4
+
+#: A priority of zero is the paper's denial-of-service defence value
+#: (section 4.8): work for such a container is serviced only when nothing
+#: else is runnable, and its queued packets may be dropped under pressure.
+PRIORITY_DROPPABLE = 0
+
+
+@dataclass(frozen=True)
+class ContainerAttributes:
+    """Immutable attribute record; updates replace the whole record.
+
+    Attributes:
+        numeric_priority: scheduling precedence; 0 means "service only
+            when idle, drop under pressure" (the SYN-flood defence).
+        sched_class: fixed-share or time-share (section 5.1).
+        fixed_share: guaranteed fraction of the parent's CPU, in (0, 1];
+            required iff ``sched_class`` is FIXED_SHARE.
+        cpu_limit: hard cap on the fraction of total CPU this container's
+            subtree may consume (the Fig. 12/13 "resource sand-box");
+            None means uncapped.
+        memory_limit_bytes: cap on kernel memory charged to the subtree.
+        network_qos: opaque tag carried to the network layer.
+        timeshare_weight: relative weight among time-share siblings.
+    """
+
+    numeric_priority: int = DEFAULT_PRIORITY
+    sched_class: SchedClass = SchedClass.TIMESHARE
+    fixed_share: Optional[float] = None
+    cpu_limit: Optional[float] = None
+    memory_limit_bytes: Optional[int] = None
+    network_qos: Optional[Any] = None
+    timeshare_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.numeric_priority < 0:
+            raise ValueError(
+                f"numeric_priority must be >= 0, got {self.numeric_priority}"
+            )
+        if self.sched_class is SchedClass.FIXED_SHARE:
+            if self.fixed_share is None:
+                raise ValueError("FIXED_SHARE containers require fixed_share")
+            if not 0.0 < self.fixed_share <= 1.0:
+                raise ValueError(
+                    f"fixed_share must be in (0, 1], got {self.fixed_share}"
+                )
+        elif self.fixed_share is not None:
+            raise ValueError("fixed_share is only valid for FIXED_SHARE class")
+        if self.cpu_limit is not None and not 0.0 < self.cpu_limit <= 1.0:
+            raise ValueError(f"cpu_limit must be in (0, 1], got {self.cpu_limit}")
+        if self.memory_limit_bytes is not None and self.memory_limit_bytes < 0:
+            raise ValueError("memory_limit_bytes must be >= 0")
+        if self.timeshare_weight <= 0:
+            raise ValueError(
+                f"timeshare_weight must be > 0, got {self.timeshare_weight}"
+            )
+
+    def updated(self, **changes: Any) -> "ContainerAttributes":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+
+def fixed_share_attrs(
+    share: float,
+    *,
+    cpu_limit: Optional[float] = None,
+    numeric_priority: int = DEFAULT_PRIORITY,
+) -> ContainerAttributes:
+    """Convenience constructor for a fixed-share container's attributes."""
+    return ContainerAttributes(
+        numeric_priority=numeric_priority,
+        sched_class=SchedClass.FIXED_SHARE,
+        fixed_share=share,
+        cpu_limit=cpu_limit,
+    )
+
+
+def timeshare_attrs(
+    priority: int = DEFAULT_PRIORITY,
+    *,
+    weight: float = 1.0,
+    cpu_limit: Optional[float] = None,
+) -> ContainerAttributes:
+    """Convenience constructor for a time-share container's attributes."""
+    return ContainerAttributes(
+        numeric_priority=priority,
+        sched_class=SchedClass.TIMESHARE,
+        timeshare_weight=weight,
+        cpu_limit=cpu_limit,
+    )

@@ -1,0 +1,231 @@
+"""The ResourceContainer object.
+
+Lifecycle (paper section 4.6): a container is kept alive by descriptor
+references (it is visible to applications as a file descriptor, inherited
+across ``fork()``) and by thread resource bindings.  When the last of
+either kind of reference disappears, the container is destroyed.  If a
+parent container is destroyed, its children's parent is set to
+"no parent" -- children do not keep parents alive.
+
+We additionally count socket/file descriptor bindings as references: a
+socket bound to a container charges kernel consumption to it, so letting
+the container vanish underneath the socket would orphan those charges.
+This is a (documented) strengthening of the paper's stated rules.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.attributes import ContainerAttributes, SchedClass
+from repro.kernel.accounting import ResourceUsage
+from repro.kernel.errors import ContainerPolicyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.state import SchedulerNodeState
+
+_container_ids = itertools.count(1)
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle state of a container."""
+
+    ACTIVE = "active"
+    DESTROYED = "destroyed"
+
+
+class ResourceContainer:
+    """An explicit resource principal (paper section 4.1).
+
+    Do not construct directly in application code; go through
+    :class:`repro.core.operations.ContainerManager` (or the syscall
+    layer), which maintains the hierarchy and reference counts.
+    """
+
+    __slots__ = (
+        "cid",
+        "name",
+        "attrs",
+        "parent",
+        "children",
+        "usage",
+        "state",
+        "descriptor_refs",
+        "thread_binding_refs",
+        "object_binding_refs",
+        "sched_state",
+        "window_usage_us",
+        "is_root",
+        "acl",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[ContainerAttributes] = None,
+        parent: Optional["ResourceContainer"] = None,
+        *,
+        is_root: bool = False,
+    ) -> None:
+        self.cid: int = next(_container_ids)
+        self.name = name
+        self.attrs = attrs if attrs is not None else ContainerAttributes()
+        self.parent: Optional[ResourceContainer] = None
+        self.children: list[ResourceContainer] = []
+        self.usage = ResourceUsage()
+        self.state = ContainerState.ACTIVE
+        #: Number of per-process descriptor-table entries referring here.
+        self.descriptor_refs = 0
+        #: Number of threads whose resource binding is this container.
+        self.thread_binding_refs = 0
+        #: Number of sockets/files bound here for charging.
+        self.object_binding_refs = 0
+        #: Opaque per-scheduler bookkeeping (pass values, etc.).
+        self.sched_state: Optional["SchedulerNodeState"] = None
+        #: CPU charged to this subtree in the current accounting window;
+        #: maintained eagerly up the ancestor chain for cheap cap checks.
+        self.window_usage_us = 0.0
+        self.is_root = is_root
+        #: Lazily created access-control list (see repro.core.security).
+        self.acl = None
+        if parent is not None:
+            self.set_parent(parent)
+
+    # ------------------------------------------------------------------
+    # Hierarchy
+    # ------------------------------------------------------------------
+
+    def set_parent(self, parent: Optional["ResourceContainer"]) -> None:
+        """Attach this container under ``parent`` (or detach if None).
+
+        Enforces the prototype's structural rules (section 5.1): only
+        fixed-share containers may have children, and the parent must be
+        alive.  Cycles are rejected.
+        """
+        if self.is_root:
+            raise ContainerPolicyError("the root container's parent is fixed")
+        if parent is self.parent:
+            return
+        if parent is not None:
+            if parent.state is ContainerState.DESTROYED:
+                raise ContainerPolicyError(
+                    f"cannot parent under destroyed container {parent.name!r}"
+                )
+            if (
+                not parent.is_root
+                and parent.attrs.sched_class is not SchedClass.FIXED_SHARE
+            ):
+                raise ContainerPolicyError(
+                    "time-share containers cannot have children "
+                    f"(parent {parent.name!r})"
+                )
+            node: Optional[ResourceContainer] = parent
+            while node is not None:
+                if node is self:
+                    raise ContainerPolicyError(
+                        f"setting parent of {self.name!r} to {parent.name!r} "
+                        "would create a cycle"
+                    )
+                node = node.parent
+        if self.parent is not None:
+            self.parent.children.remove(self)
+        self.parent = parent
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the container has no children."""
+        return not self.children
+
+    @property
+    def alive(self) -> bool:
+        """True until the container is destroyed."""
+        return self.state is ContainerState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # Reference counting
+    # ------------------------------------------------------------------
+
+    @property
+    def total_refs(self) -> int:
+        """All live references of any kind."""
+        return (
+            self.descriptor_refs
+            + self.thread_binding_refs
+            + self.object_binding_refs
+        )
+
+    def ref_descriptor(self) -> None:
+        """A descriptor-table entry now refers to this container."""
+        self._check_alive()
+        self.descriptor_refs += 1
+
+    def ref_thread_binding(self) -> None:
+        """A thread's resource binding now points here."""
+        self._check_alive()
+        self.thread_binding_refs += 1
+
+    def ref_object_binding(self) -> None:
+        """A socket/file is now bound here for charging."""
+        self._check_alive()
+        self.object_binding_refs += 1
+
+    def unref_descriptor(self) -> bool:
+        """Drop a descriptor reference; returns True if now unreferenced."""
+        return self._unref("descriptor_refs")
+
+    def unref_thread_binding(self) -> bool:
+        """Drop a thread-binding reference; True if now unreferenced."""
+        return self._unref("thread_binding_refs")
+
+    def unref_object_binding(self) -> bool:
+        """Drop an object-binding reference; True if now unreferenced."""
+        return self._unref("object_binding_refs")
+
+    def _unref(self, field: str) -> bool:
+        count = getattr(self, field)
+        if count <= 0:
+            raise ContainerPolicyError(
+                f"unbalanced unref of {field} on container {self.name!r}"
+            )
+        setattr(self, field, count - 1)
+        return self.total_refs == 0
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+
+    def charge_cpu(
+        self, amount_us: float, *, network: bool = False, syscall: bool = False
+    ) -> None:
+        """Charge CPU time here and add it to every ancestor's window.
+
+        Cumulative usage stays *direct* (per container); window usage is
+        propagated up eagerly so that cap checks (``cpu_limit`` applies to
+        the whole subtree) are O(depth) reads.
+        """
+        self.usage.charge_cpu(amount_us, network=network, syscall=syscall)
+        node: Optional[ResourceContainer] = self
+        while node is not None:
+            node.window_usage_us += amount_us
+            node = node.parent
+
+    def reset_window(self) -> None:
+        """Zero this container's window accumulator (scheduler epoch roll)."""
+        self.window_usage_us = 0.0
+
+    def _check_alive(self) -> None:
+        if self.state is ContainerState.DESTROYED:
+            raise ContainerPolicyError(
+                f"operation on destroyed container {self.name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parent = self.parent.name if self.parent else None
+        return (
+            f"ResourceContainer(cid={self.cid}, name={self.name!r}, "
+            f"parent={parent!r}, refs={self.total_refs}, {self.state.value})"
+        )

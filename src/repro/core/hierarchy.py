@@ -1,0 +1,128 @@
+"""Container hierarchy helpers and invariants.
+
+Paper section 4.5: containers form a hierarchy; a child's resource usage
+is constrained by the scheduling parameters of its parent, which lets an
+administrator bound an entire subsystem (for example, all of a Web
+server's per-request containers under one parent) without understanding
+its internal structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core.attributes import SchedClass
+from repro.core.container import ContainerState, ResourceContainer
+from repro.kernel.accounting import ResourceUsage
+from repro.kernel.errors import ContainerPolicyError
+
+
+def ancestors_and_self(container: ResourceContainer) -> Iterator[ResourceContainer]:
+    """Yield the container, then each ancestor up to the root."""
+    node: Optional[ResourceContainer] = container
+    while node is not None:
+        yield node
+        node = node.parent
+
+
+def root_of(container: ResourceContainer) -> ResourceContainer:
+    """The topmost ancestor of ``container`` (itself if orphaned)."""
+    node = container
+    while node.parent is not None:
+        node = node.parent
+    return node
+
+
+def top_level_of(container: ResourceContainer) -> ResourceContainer:
+    """The ancestor directly below the root (or the container itself if
+    it is parentless or a direct child of the root)."""
+    node = container
+    while node.parent is not None and not node.parent.is_root:
+        node = node.parent
+    return node
+
+
+def iter_subtree(container: ResourceContainer) -> Iterator[ResourceContainer]:
+    """Depth-first iteration over a container and all its descendants."""
+    stack = [container]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def subtree_usage(container: ResourceContainer) -> ResourceUsage:
+    """Aggregate cumulative usage over the container's whole subtree.
+
+    This is what ``obtain container resource usage`` reports for a parent
+    container: the parent's direct charges plus everything charged to its
+    descendants (e.g. a guest server's root container reports the CPU of
+    every per-request child).
+    """
+    total = ResourceUsage()
+    for node in iter_subtree(container):
+        total = total + node.usage
+    return total
+
+
+def depth_of(container: ResourceContainer) -> int:
+    """Number of ancestors above ``container``."""
+    return sum(1 for _ in ancestors_and_self(container)) - 1
+
+
+def effective_cpu_limit(container: ResourceContainer) -> Optional[float]:
+    """The tightest ``cpu_limit`` along the ancestor chain, if any."""
+    tightest: Optional[float] = None
+    for node in ancestors_and_self(container):
+        limit = node.attrs.cpu_limit
+        if limit is not None and (tightest is None or limit < tightest):
+            tightest = limit
+    return tightest
+
+
+def validate_hierarchy(root: ResourceContainer) -> None:
+    """Check structural invariants over a hierarchy; raises on violation.
+
+    Invariants:
+      * parent/child links are mutually consistent;
+      * no destroyed container appears in the tree;
+      * non-root interior nodes are fixed-share (section 5.1);
+      * children's fixed shares do not oversubscribe the parent;
+      * window accumulators of parents are at least those of children
+        (monotone aggregation).
+    """
+    seen: set[int] = set()
+    for node in iter_subtree(root):
+        if node.cid in seen:
+            raise ContainerPolicyError(f"cycle through container {node.name!r}")
+        seen.add(node.cid)
+        if node.state is ContainerState.DESTROYED:
+            raise ContainerPolicyError(
+                f"destroyed container {node.name!r} still linked in tree"
+            )
+        for child in node.children:
+            if child.parent is not node:
+                raise ContainerPolicyError(
+                    f"parent link of {child.name!r} does not point at "
+                    f"{node.name!r}"
+                )
+        if node.children and not node.is_root:
+            if node.attrs.sched_class is not SchedClass.FIXED_SHARE:
+                raise ContainerPolicyError(
+                    f"time-share container {node.name!r} has children"
+                )
+        share_sum = sum(
+            child.attrs.fixed_share or 0.0
+            for child in node.children
+            if child.attrs.sched_class is SchedClass.FIXED_SHARE
+        )
+        if share_sum > 1.0 + 1e-9:
+            raise ContainerPolicyError(
+                f"children of {node.name!r} oversubscribe its CPU: "
+                f"sum of fixed shares = {share_sum:.3f}"
+            )
+        child_window = sum(child.window_usage_us for child in node.children)
+        if child_window > node.window_usage_us + 1e-6:
+            raise ContainerPolicyError(
+                f"window accounting of {node.name!r} lost child charges"
+            )

@@ -1,0 +1,163 @@
+"""The section-4.6 operation set, as a kernel-side manager.
+
+:class:`ContainerManager` owns the container namespace of one simulated
+host: the root container, creation and destruction, parent changes,
+descriptor-style reference management, attribute access, and usage
+queries.  The syscall layer charges the Table 1 CPU costs and then calls
+in here for the semantics; unit tests call the manager directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.attributes import ContainerAttributes, SchedClass
+from repro.core.binding import BindingManager
+from repro.core.container import ContainerState, ResourceContainer
+from repro.core.hierarchy import iter_subtree, subtree_usage
+from repro.kernel.accounting import ResourceUsage
+from repro.kernel.errors import ContainerPolicyError
+
+
+class ContainerManager:
+    """Creates, tracks, and destroys the containers of one host."""
+
+    def __init__(self) -> None:
+        self.root = ResourceContainer("<root>", is_root=True)
+        # The root is permanently referenced; it can never be destroyed.
+        self.root.ref_descriptor()
+        self._by_id: dict[int, ResourceContainer] = {self.root.cid: self.root}
+        self.bindings = BindingManager(self._maybe_destroy)
+        #: Hooks called with a container right after it is destroyed
+        #: (the scheduler subscribes to drop its bookkeeping).
+        self.on_destroy: list[Callable[[ResourceContainer], None]] = []
+        #: Hooks called with a container right after creation.
+        self.on_create: list[Callable[[ResourceContainer], None]] = []
+
+    # ------------------------------------------------------------------
+    # Creation / destruction
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        attrs: Optional[ContainerAttributes] = None,
+        parent: Optional[ResourceContainer] = None,
+    ) -> ResourceContainer:
+        """Create a new container.
+
+        The new container starts with one (descriptor) reference held by
+        the creator; parent defaults to the root container so that every
+        container is subject to system-wide policy unless explicitly
+        orphaned.
+        """
+        if parent is None:
+            parent = self.root
+        container = ResourceContainer(name, attrs=attrs, parent=parent)
+        container.ref_descriptor()
+        self._by_id[container.cid] = container
+        for hook in self.on_create:
+            hook(container)
+        return container
+
+    def lookup(self, cid: int) -> ResourceContainer:
+        """Find a live container by id."""
+        container = self._by_id.get(cid)
+        if container is None or not container.alive:
+            raise ContainerPolicyError(f"no live container with cid={cid}")
+        return container
+
+    def all_containers(self) -> list[ResourceContainer]:
+        """Every live container, root included."""
+        return [c for c in self._by_id.values() if c.alive]
+
+    def release(self, container: ResourceContainer) -> None:
+        """Drop one descriptor reference (close() semantics)."""
+        if container.unref_descriptor():
+            self._maybe_destroy(container)
+
+    def add_descriptor_ref(self, container: ResourceContainer) -> None:
+        """Take one more descriptor reference (dup/fork/transfer)."""
+        container.ref_descriptor()
+
+    def drop_object_binding(self, container: ResourceContainer) -> None:
+        """Release a socket/file binding reference (socket teardown)."""
+        if container.unref_object_binding():
+            self._maybe_destroy(container)
+
+    def _maybe_destroy(self, container: ResourceContainer) -> None:
+        """Destroy a container once its references reach zero.
+
+        Paper: "once there are no such descriptors, and no threads with
+        resource bindings, to the container, it is destroyed.  If the
+        parent P of a container C is destroyed, C's parent is set to
+        'no parent'."
+        """
+        if container.is_root or container.total_refs > 0:
+            return
+        if container.state is ContainerState.DESTROYED:
+            return
+        container.state = ContainerState.DESTROYED
+        for child in list(container.children):
+            child.set_parent(None)
+        if container.parent is not None:
+            # Detach without the set_parent() liveness checks.
+            container.parent.children.remove(container)
+            container.parent = None
+        del self._by_id[container.cid]
+        for hook in self.on_destroy:
+            hook(container)
+
+    # ------------------------------------------------------------------
+    # Attributes, parenting, usage
+    # ------------------------------------------------------------------
+
+    def set_parent(
+        self, container: ResourceContainer, parent: Optional[ResourceContainer]
+    ) -> None:
+        """Re-parent a container (section 4.6 "Set a container's parent")."""
+        container.set_parent(parent)
+
+    def set_attributes(
+        self, container: ResourceContainer, attrs: ContainerAttributes
+    ) -> None:
+        """Replace a container's attribute record.
+
+        Switching a container with children to the time-share class is
+        rejected (it would violate the section 5.1 structure rule).
+        """
+        if (
+            container.children
+            and not container.is_root
+            and attrs.sched_class is not SchedClass.FIXED_SHARE
+        ):
+            raise ContainerPolicyError(
+                f"container {container.name!r} has children and must stay "
+                "fixed-share"
+            )
+        container._check_alive()
+        container.attrs = attrs
+
+    def get_attributes(self, container: ResourceContainer) -> ContainerAttributes:
+        """Read a container's attribute record."""
+        container._check_alive()
+        return container.attrs
+
+    def get_usage(
+        self, container: ResourceContainer, *, recursive: bool = True
+    ) -> ResourceUsage:
+        """Usage charged to a container (subtree-aggregated by default).
+
+        The application uses this to drive its own policies -- e.g. an
+        event-driven server deciding which connection to serve next, or
+        adjusting a container's numeric priority (section 4.8).
+        """
+        container._check_alive()
+        if recursive:
+            return subtree_usage(container)
+        return container.usage.snapshot()
+
+    def destroy_subtree_accounting(self) -> None:
+        """Reset window accumulators across the hierarchy (epoch roll)."""
+        for container in iter_subtree(self.root):
+            container.reset_window()

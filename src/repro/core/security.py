@@ -1,0 +1,123 @@
+"""Access control for containers (the extension paper §4.1 defers).
+
+"A practical implementation would require an access control model for
+containers and their attributes; space does not permit a discussion of
+this issue."  This module supplies that model:
+
+* every container has an **owner process**;
+* an ACL maps other pids to granted :class:`Right` sets;
+* the owner implicitly holds every right;
+* passing a container to another process (``ContainerSendTo``) grants
+  the recipient a configurable default set (it received the handle on
+  purpose, so it can at least bind to and observe the activity).
+
+Enforcement lives in the syscall layer and is switched by
+``KernelConfig.container_acl`` (off by default: the paper's experiments
+predate the model).  Everything here is pure bookkeeping so it can be
+unit-tested without a kernel.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.kernel.errors import KernelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.container import ResourceContainer
+
+
+class AccessDeniedError(KernelError):
+    """The calling process lacks the required right (EACCES)."""
+
+
+class Right(enum.Flag):
+    """Grantable rights over a container."""
+
+    #: Read usage and attributes.
+    OBSERVE = enum.auto()
+    #: Bind threads/sockets to the container (charge work to it).
+    BIND = enum.auto()
+    #: Change attributes and parentage.
+    ADMIN = enum.auto()
+    #: Pass the container on to further processes.
+    TRANSFER = enum.auto()
+
+    @classmethod
+    def all(cls) -> "Right":
+        """Every right."""
+        return cls.OBSERVE | cls.BIND | cls.ADMIN | cls.TRANSFER
+
+
+#: What a recipient of ContainerSendTo gets by default.
+DEFAULT_TRANSFER_RIGHTS = Right.OBSERVE | Right.BIND
+
+
+class ContainerAcl:
+    """Owner plus per-pid right grants for one container."""
+
+    __slots__ = ("owner_pid", "_grants")
+
+    def __init__(self, owner_pid: Optional[int] = None) -> None:
+        self.owner_pid = owner_pid
+        self._grants: dict[int, Right] = {}
+
+    def grant(self, pid: int, rights: Right) -> None:
+        """Add rights for ``pid`` (cumulative)."""
+        current = self._grants.get(pid, Right(0))
+        self._grants[pid] = current | rights
+
+    def revoke(self, pid: int) -> None:
+        """Remove every grant for ``pid`` (the owner is unaffected)."""
+        self._grants.pop(pid, None)
+
+    def rights_of(self, pid: Optional[int]) -> Right:
+        """Effective rights for ``pid``."""
+        if pid is None:
+            return Right(0)
+        if self.owner_pid is None or pid == self.owner_pid:
+            return Right.all()
+        return self._grants.get(pid, Right(0))
+
+    def allows(self, pid: Optional[int], needed: Right) -> bool:
+        """True if ``pid`` holds every right in ``needed``."""
+        return (self.rights_of(pid) & needed) == needed
+
+    def grants(self) -> dict[int, Right]:
+        """A copy of the explicit grant table."""
+        return dict(self._grants)
+
+
+def acl_of(container: "ResourceContainer") -> ContainerAcl:
+    """The container's ACL, created lazily (unowned => permissive)."""
+    acl = getattr(container, "acl", None)
+    if acl is None:
+        acl = ContainerAcl()
+        container.acl = acl
+    return acl
+
+
+def check_access(
+    container: "ResourceContainer",
+    pid: Optional[int],
+    needed: Right,
+    *,
+    enforce: bool,
+    operation: str = "operation",
+) -> None:
+    """Raise :class:`AccessDeniedError` unless ``pid`` may proceed.
+
+    No-op when ``enforce`` is False (the paper-faithful configuration)
+    or when the container has never been assigned an owner.
+    """
+    if not enforce:
+        return
+    acl = acl_of(container)
+    if acl.owner_pid is None:
+        return
+    if not acl.allows(pid, needed):
+        raise AccessDeniedError(
+            f"pid {pid} lacks {needed!r} for {operation} on "
+            f"container {container.name!r}"
+        )

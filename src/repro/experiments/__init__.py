@@ -1,0 +1,49 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result and a
+``main()`` that prints the paper-style table.  ``run_all()`` regenerates
+everything (used by ``examples`` and the EXPERIMENTS.md refresh).
+
+| Module                  | Paper result                                |
+|-------------------------|---------------------------------------------|
+| table1_primitives       | Table 1: container primitive costs          |
+| baseline                | Section 5.3/5.4: baseline throughput        |
+| fig11_priority          | Fig. 11: prioritised client response time   |
+| fig12_cgi               | Figs. 12+13: CGI throughput and CPU share   |
+| fig14_synflood          | Fig. 14: SYN-flood resilience               |
+| virtual_servers         | Section 5.8: guest-server isolation         |
+| ablations               | DESIGN.md's design-choice ablations         |
+"""
+
+from repro.experiments import (
+    ablations,
+    baseline,
+    fig11_priority,
+    fig12_cgi,
+    fig14_synflood,
+    table1_primitives,
+    virtual_servers,
+)
+
+__all__ = [
+    "ablations",
+    "baseline",
+    "fig11_priority",
+    "fig12_cgi",
+    "fig14_synflood",
+    "run_all",
+    "table1_primitives",
+    "virtual_servers",
+]
+
+
+def run_all(fast: bool = True) -> dict:
+    """Run every experiment; ``fast`` shrinks windows for CI use."""
+    return {
+        "table1": table1_primitives.run(),
+        "baseline": baseline.run(fast=fast),
+        "fig11": fig11_priority.run(fast=fast),
+        "fig12_13": fig12_cgi.run(fast=fast),
+        "fig14": fig14_synflood.run(fast=fast),
+        "virtual_servers": virtual_servers.run(fast=fast),
+    }

@@ -1,0 +1,83 @@
+"""Section 5.3 baseline throughput and section 5.4 overhead check.
+
+Paper: "When handling requests for small files (1 KByte) that were in
+the filesystem cache, our server achieved a rate of 2954 requests/sec.
+using connection-per-request HTTP, and 9487 requests/sec. using
+persistent-connection HTTP.  These rates saturated the CPU."
+
+Section 5.4 then verifies that turning on per-request container use
+leaves throughput "effectively unchanged".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import SystemMode
+from repro.apps.httpserver import EventDrivenServer
+from repro.experiments.common import make_host, measure_window, static_clients
+
+#: Paper-reported baselines (requests/second).
+PAPER_CONN_PER_REQUEST = 2954.0
+PAPER_PERSISTENT = 9487.0
+
+
+@dataclass
+class BaselineResult:
+    """Measured throughput against the paper's numbers."""
+
+    conn_per_request: float
+    persistent: float
+    with_containers: float
+
+    def render(self) -> str:
+        rows = [
+            ("connection/request", self.conn_per_request, PAPER_CONN_PER_REQUEST),
+            ("persistent", self.persistent, PAPER_PERSISTENT),
+            ("conn/request + containers", self.with_containers,
+             PAPER_CONN_PER_REQUEST),
+        ]
+        lines = [
+            "Baseline throughput (cached 1 KB static document)",
+            f"{'Configuration':30s}{'Measured (req/s)':>18s}{'Paper (req/s)':>15s}",
+        ]
+        for label, measured, paper in rows:
+            lines.append(f"{label:30s}{measured:>18.0f}{paper:>15.0f}")
+        return "\n".join(lines)
+
+
+def _throughput(persistent: bool, use_containers: bool,
+                warmup_s: float, measure_s: float, clients: int) -> float:
+    mode = SystemMode.RC if use_containers else SystemMode.UNMODIFIED
+    host = make_host(mode, seed=3)
+    server = EventDrivenServer(
+        host.kernel, use_containers=use_containers, event_api="select"
+    )
+    server.install()
+    from repro.metrics.stats import ThroughputMeter
+
+    meter = ThroughputMeter()
+    server.stats.meter = meter
+    static_clients(host, clients, persistent=persistent)
+    return measure_window(host, meter, warmup_s, measure_s)
+
+
+def run(fast: bool = True) -> BaselineResult:
+    """Measure the three baseline configurations."""
+    warmup_s = 0.3 if fast else 1.0
+    measure_s = 1.0 if fast else 4.0
+    clients = 24
+    return BaselineResult(
+        conn_per_request=_throughput(False, False, warmup_s, measure_s, clients),
+        persistent=_throughput(True, False, warmup_s, measure_s, clients),
+        with_containers=_throughput(False, True, warmup_s, measure_s, clients),
+    )
+
+
+def main() -> None:
+    """Print the section 5.3/5.4 comparison."""
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":
+    main()

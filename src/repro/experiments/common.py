@@ -1,0 +1,184 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro import Host, SystemMode
+from repro.apps.webclient import HttpClient
+from repro.core.container import ResourceContainer
+from repro.core.operations import ContainerManager
+from repro.kernel.kernel import KernelConfig
+from repro.metrics.stats import Series, ThroughputMeter
+from repro.net.packet import ip_addr
+
+#: Document used by every static workload (cached 1 KB file, as in the
+#: paper's experiments).
+STATIC_PATH = "/index.html"
+STATIC_SIZE = 1024
+
+#: CGI resource prefix.
+CGI_PATH = "/cgi/search"
+
+
+def make_host(mode: SystemMode, seed: int = 1,
+              config: Optional[KernelConfig] = None) -> Host:
+    """A host with the standard document tree, cache pre-warmed."""
+    host = Host(mode=mode, seed=seed, config=config)
+    host.kernel.fs.add_file(STATIC_PATH, STATIC_SIZE)
+    host.kernel.fs.warm(STATIC_PATH)
+    return host
+
+
+def static_clients(
+    host: Host,
+    count: int,
+    base_addr: int = ip_addr(10, 0, 0, 1),
+    think_time_us: float = 0.0,
+    persistent: bool = False,
+    start_grace_us: float = 2_000.0,
+    start_spread_us: float = 100.0,
+    timeout_us: float = 1_000_000.0,
+    name_prefix: str = "static",
+) -> list[HttpClient]:
+    """A fleet of closed-loop static-document clients.
+
+    Starts are staggered and delayed by a short grace period so the
+    server finishes listen() first -- SYNs that arrive before the
+    listening socket exists are (realistically) dropped, and the retry
+    timeout would dominate short warm-ups.
+    """
+    clients = []
+    for index in range(count):
+        client = HttpClient(
+            host.kernel,
+            src_addr=base_addr + index,
+            name=f"{name_prefix}-{index}",
+            path=STATIC_PATH,
+            persistent=persistent,
+            think_time_us=think_time_us,
+            timeout_us=timeout_us,
+            rng=host.sim.rng.fork(f"{name_prefix}-{index}") if think_time_us else None,
+        )
+        client.start(
+            at_us=host.sim.now + start_grace_us + index * start_spread_us
+        )
+        clients.append(client)
+    return clients
+
+
+def cgi_clients(
+    host: Host,
+    count: int,
+    base_addr: int = ip_addr(10, 0, 1, 1),
+    name_prefix: str = "cgi",
+) -> list[HttpClient]:
+    """Closed-loop CGI clients (long timeout: CGI takes seconds of CPU)."""
+    clients = []
+    for index in range(count):
+        client = HttpClient(
+            host.kernel,
+            src_addr=base_addr + index,
+            name=f"{name_prefix}-{index}",
+            path=CGI_PATH,
+            persistent=False,
+            timeout_us=300_000_000.0,
+        )
+        client.start(at_us=host.sim.now + 2_000.0 + index * 1_000.0)
+        clients.append(client)
+    return clients
+
+
+def measure_window(host: Host, meter: ThroughputMeter,
+                   warmup_s: float, measure_s: float) -> float:
+    """Run warm-up, open the meter for the window, and return the rate."""
+    host.run(until_us=host.sim.now + warmup_s * 1e6)
+    meter.start(host.sim.now)
+    host.run(until_us=host.sim.now + measure_s * 1e6)
+    meter.stop(host.sim.now)
+    return meter.rate_per_second()
+
+
+class CpuShareTracker:
+    """Tracks cumulative CPU charged to containers matching a predicate,
+    surviving container destruction (CGI containers are short-lived)."""
+
+    def __init__(self, manager: ContainerManager,
+                 predicate: Callable[[ResourceContainer], bool]) -> None:
+        self.manager = manager
+        self.predicate = predicate
+        self._destroyed_cpu = 0.0
+        self._window_base: Optional[float] = None
+        self._window_start_time: Optional[float] = None
+        manager.on_destroy.append(self._on_destroy)
+
+    def _on_destroy(self, container: ResourceContainer) -> None:
+        if self.predicate(container):
+            self._destroyed_cpu += container.usage.cpu_us
+
+    def total_cpu_us(self) -> float:
+        """Cumulative CPU of all matching containers, living or dead."""
+        live = sum(
+            c.usage.cpu_us
+            for c in self.manager.all_containers()
+            if self.predicate(c)
+        )
+        return self._destroyed_cpu + live
+
+    def start_window(self, now: float) -> None:
+        """Begin a measurement window."""
+        self._window_base = self.total_cpu_us()
+        self._window_start_time = now
+
+    def window_share(self, now: float) -> float:
+        """Fraction of the window's wall-CPU charged to matchers."""
+        if self._window_base is None or self._window_start_time is None:
+            return 0.0
+        elapsed = now - self._window_start_time
+        if elapsed <= 0:
+            return 0.0
+        return (self.total_cpu_us() - self._window_base) / elapsed
+
+
+def cgi_container_predicate(container: ResourceContainer) -> bool:
+    """Matches every container that accounts CGI processing: per-request
+    CGI containers (RC mode) and CGI/FastCGI process default containers
+    (unmodified and LRP modes)."""
+    name = container.name
+    return (
+        ":cgi-req-" in name
+        or name.startswith("proc:cgi")
+        or name.startswith("proc:fastcgi")
+    )
+
+
+@dataclass
+class FigureResult:
+    """A set of labelled series, printable as an aligned text table."""
+
+    title: str
+    x_label: str
+    series: list
+
+    def render(self) -> str:
+        """Paper-style text table: one row per x, one column per series."""
+        xs = sorted({x for s in self.series for x in s.xs()})
+        header = [self.x_label] + [s.label for s in self.series]
+        widths = [max(12, len(h) + 2) for h in header]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+        by_series = [dict(s.points) for s in self.series]
+        for x in xs:
+            row = [f"{x:g}".ljust(widths[0])]
+            for mapping, width in zip(by_series, widths[1:]):
+                value = mapping.get(x)
+                cell = f"{value:.2f}" if value is not None else "-"
+                row.append(cell.ljust(width))
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def new_series(label: str) -> Series:
+    """Convenience Series constructor (keeps imports local to harnesses)."""
+    return Series(label=label)

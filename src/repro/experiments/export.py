@@ -1,0 +1,80 @@
+"""Result export: figures and tables as JSON or CSV.
+
+The experiment harnesses return structured results; this module
+serialises them so plots can be regenerated outside the simulator
+(matplotlib, gnuplot, a spreadsheet) without re-running anything.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+from repro.experiments.common import FigureResult
+from repro.metrics.stats import Series
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    """Plain-dict form of a figure (JSON-ready)."""
+    return {
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "series": [
+            {"label": series.label, "points": [list(p) for p in series.points]}
+            for series in figure.series
+        ],
+    }
+
+
+def figure_to_json(figure: FigureResult, indent: int = 2) -> str:
+    """JSON rendering of a figure."""
+    return json.dumps(figure_to_dict(figure), indent=indent)
+
+
+def figure_to_csv(figure: FigureResult) -> str:
+    """CSV rendering: one row per x value, one column per series."""
+    xs = sorted({x for series in figure.series for x in series.xs()})
+    by_series = [dict(series.points) for series in figure.series]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([figure.x_label] + [s.label for s in figure.series])
+    for x in xs:
+        row: list[Any] = [x]
+        for mapping in by_series:
+            value = mapping.get(x)
+            row.append("" if value is None else value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def result_to_json(result: Any, indent: int = 2) -> str:
+    """Best-effort JSON for any experiment result object.
+
+    FigureResults nest properly; dataclasses are converted with
+    ``asdict``; objects exposing ``render()`` fall back to their text
+    table under a ``"rendered"`` key.
+    """
+    return json.dumps(_to_jsonable(result), indent=indent)
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, FigureResult):
+        return figure_to_dict(value)
+    if isinstance(value, Series):
+        return {"label": value.label, "points": [list(p) for p in value.points]}
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            key: _to_jsonable(item) for key, item in asdict(value).items()
+        }
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "render"):
+        return {"rendered": value.render()}
+    return repr(value)

@@ -1,0 +1,121 @@
+"""Figures 12 and 13: controlling the resource usage of CGI processing.
+
+The server serves cached 1 KB static documents at saturation while an
+increasing number of concurrent CGI requests (each consuming ~2 seconds
+of CPU in a separate process) compete for the machine.  Four systems:
+
+* **Unmodified** -- per-process time-sharing; static throughput falls
+  steeply, but the server keeps slightly *more* than its fair share
+  because its in-kernel network processing is never charged to it.
+* **LRP** -- the misaccounting is fixed, so the server gets exactly its
+  1/(n+1) time-share: static throughput falls even further.
+* **RC System 1 / 2** -- a "CGI-parent" container capped at 30% / 10%
+  of the CPU sandboxes all CGI work; static throughput stays nearly
+  constant and Fig. 13 shows the cap enforced almost exactly.
+
+One run per (system, n) point produces both figures: Fig. 12 is the
+static throughput, Fig. 13 the CPU share of all CGI processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import SystemMode
+from repro.apps.httpserver import CgiPolicy, EventDrivenServer
+from repro.experiments.common import (
+    CpuShareTracker,
+    FigureResult,
+    cgi_clients,
+    cgi_container_predicate,
+    make_host,
+    new_series,
+    static_clients,
+)
+from repro.metrics.stats import ThroughputMeter
+
+SYSTEMS = [
+    ("unmodified", "Unmodified System", SystemMode.UNMODIFIED, None),
+    ("lrp", "LRP System", SystemMode.LRP, None),
+    ("rc30", "RC System 1 (30% cap)", SystemMode.RC, 0.30),
+    ("rc10", "RC System 2 (10% cap)", SystemMode.RC, 0.10),
+]
+
+
+@dataclass
+class CgiExperimentResult:
+    """Both figures from the shared runs."""
+
+    fig12: FigureResult
+    fig13: FigureResult
+
+    def render(self) -> str:
+        return self.fig12.render() + "\n\n" + self.fig13.render()
+
+
+def _run_point(mode: SystemMode, cgi_limit, n_cgi: int,
+               warmup_s: float, measure_s: float, seed: int = 12):
+    """(static req/s, CGI CPU share) for one point."""
+    host = make_host(mode, seed=seed)
+    use_containers = mode is SystemMode.RC
+    cgi = CgiPolicy(cpu_limit=cgi_limit if use_containers else None)
+    server = EventDrivenServer(
+        host.kernel,
+        use_containers=use_containers,
+        event_api="select",
+        cgi=cgi,
+    )
+    server.install()
+    meter = ThroughputMeter()
+    server.stats.meter = meter
+    tracker = CpuShareTracker(host.kernel.containers, cgi_container_predicate)
+    static_clients(host, 30)
+    cgi_clients(host, n_cgi)
+    host.run(until_us=host.sim.now + warmup_s * 1e6)
+    meter.start(host.sim.now)
+    tracker.start_window(host.sim.now)
+    host.run(until_us=host.sim.now + measure_s * 1e6)
+    meter.stop(host.sim.now)
+    return meter.rate_per_second(), tracker.window_share(host.sim.now)
+
+
+def run(fast: bool = True, points=None) -> CgiExperimentResult:
+    """Regenerate Figures 12 and 13."""
+    if points is None:
+        points = [0, 1, 2, 3, 4, 5]
+    warmup_s = 4.0 if fast else 6.0
+    measure_s = 8.0 if fast else 20.0
+    throughput_series = []
+    share_series = []
+    for _key, label, mode, limit in SYSTEMS:
+        tp_curve = new_series(label)
+        sh_curve = new_series(label)
+        for n_cgi in points:
+            throughput, share = _run_point(
+                mode, limit, n_cgi, warmup_s, measure_s
+            )
+            tp_curve.add(n_cgi, throughput)
+            sh_curve.add(n_cgi, share * 100.0)
+        throughput_series.append(tp_curve)
+        share_series.append(sh_curve)
+    return CgiExperimentResult(
+        fig12=FigureResult(
+            title="Fig. 12: static throughput with competing CGI (req/s)",
+            x_label="CGI requests",
+            series=throughput_series,
+        ),
+        fig13=FigureResult(
+            title="Fig. 13: CPU share of CGI processing (%)",
+            x_label="CGI requests",
+            series=share_series,
+        ),
+    )
+
+
+def main() -> None:
+    """Print the Fig. 12/13 tables."""
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":
+    main()

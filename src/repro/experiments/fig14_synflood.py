@@ -1,0 +1,100 @@
+"""Figure 14: server behaviour under a SYN-flood attack.
+
+Malicious clients flood the HTTP port with bogus SYNs while
+well-behaved clients request a cached 1 KB document.
+
+* **Unmodified system** -- every bogus SYN gets full protocol processing
+  at software-interrupt priority (~80 us); useful throughput collapses
+  and is effectively zero by roughly 10,000 SYNs/sec.
+* **With resource containers** -- the kernel notifies the server of SYN
+  drops; the server isolates the attacking subnet onto a filtered
+  listen socket bound to a priority-zero container.  Each subsequent
+  bogus SYN then costs only interrupt + packet filter (~3.9 us), so at
+  70,000 SYNs/sec the server still delivers ~73% of its maximum
+  throughput.
+"""
+
+from __future__ import annotations
+
+from repro import SystemMode
+from repro.apps.httpserver import EventDrivenServer, ListenSpec, SynFloodDefense
+from repro.apps.synflood import SynFlooder
+from repro.experiments.common import (
+    FigureResult,
+    make_host,
+    new_series,
+    static_clients,
+)
+from repro.metrics.stats import ThroughputMeter
+
+
+def _run_point(defended: bool, syn_rate: float,
+               warmup_s: float, measure_s: float, seed: int = 14) -> float:
+    """Useful static throughput (req/s) under one flood rate."""
+    mode = SystemMode.RC if defended else SystemMode.UNMODIFIED
+    host = make_host(mode, seed=seed)
+    if defended:
+        server = EventDrivenServer(
+            host.kernel,
+            specs=[ListenSpec("default", notify_syn_drop=True)],
+            use_containers=True,
+            event_api="eventapi",
+            defense=SynFloodDefense(threshold=5),
+        )
+    else:
+        server = EventDrivenServer(
+            host.kernel, use_containers=False, event_api="select"
+        )
+    server.install()
+    meter = ThroughputMeter()
+    server.stats.meter = meter
+    # Short client retry timeouts: the flood's onset disrupts in-flight
+    # handshakes (realistically), and the steady state we measure should
+    # not be dominated by clients parked in long TCP backoffs.
+    static_clients(host, 25, timeout_us=400_000.0)
+    if syn_rate > 0:
+        flooder = SynFlooder(
+            host.kernel,
+            rate_per_sec=syn_rate,
+            batch=10 if syn_rate >= 10_000 else 1,
+            rng=host.sim.rng.fork("flood"),
+        )
+        flooder.start(at_us=50_000.0)
+    host.run(until_us=host.sim.now + warmup_s * 1e6)
+    meter.start(host.sim.now)
+    host.run(until_us=host.sim.now + measure_s * 1e6)
+    meter.stop(host.sim.now)
+    return meter.rate_per_second()
+
+
+def run(fast: bool = True, rates=None) -> FigureResult:
+    """Regenerate Figure 14."""
+    if rates is None:
+        rates = [0, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000]
+        if not fast:
+            rates = sorted(set(rates + [2_000, 5_000, 15_000]))
+    warmup_s = 2.0
+    measure_s = 3.0 if fast else 6.0
+    defended_curve = new_series("With Resource Containers")
+    unmodified_curve = new_series("Unmodified System")
+    for rate in rates:
+        defended_curve.add(
+            rate / 1000.0, _run_point(True, rate, warmup_s, measure_s)
+        )
+        unmodified_curve.add(
+            rate / 1000.0, _run_point(False, rate, warmup_s, measure_s)
+        )
+    return FigureResult(
+        title="Fig. 14: throughput under SYN flood (req/s)",
+        x_label="kSYN/s",
+        series=[defended_curve, unmodified_curve],
+    )
+
+
+def main() -> None:
+    """Print the Figure 14 table."""
+    print(run(fast=False).render())
+
+
+if __name__ == "__main__":
+    main()

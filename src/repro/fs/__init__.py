@@ -1,0 +1,11 @@
+"""Tiny simulated filesystem with a buffer cache.
+
+All of the paper's experiments serve documents that fit in the buffer
+cache (section 5.3 explicitly measures "requests for small files that
+were in the filesystem cache"), so the cache exists mostly to make the
+hit path's cost explicit and to let tests exercise miss behaviour.
+"""
+
+from repro.fs.filesystem import BufferCache, FileSystem
+
+__all__ = ["BufferCache", "FileSystem"]

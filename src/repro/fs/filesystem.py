@@ -1,0 +1,99 @@
+"""Files and the buffer cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.kernel.costs import CostModel
+from repro.kernel.errors import KernelError
+
+
+class FileNotFoundError_(KernelError):
+    """Open/read of a nonexistent path (ENOENT)."""
+
+
+class BufferCache:
+    """LRU cache of file contents, tracked by byte size."""
+
+    def __init__(self, capacity_bytes: int = 32 * 1024 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, path: str, size_bytes: int) -> bool:
+        """Touch ``path``; returns True on a cache hit.
+
+        On a miss the file is brought in, evicting least-recently-used
+        entries as needed.  Files larger than the whole cache are never
+        cached (they stream through).
+        """
+        if path in self._resident:
+            self._resident.move_to_end(path)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if size_bytes > self.capacity_bytes:
+            return False
+        while self.used_bytes + size_bytes > self.capacity_bytes:
+            _evicted, evicted_size = self._resident.popitem(last=False)
+            self.used_bytes -= evicted_size
+        self._resident[path] = size_bytes
+        self.used_bytes += size_bytes
+        return False
+
+    def resident(self, path: str) -> bool:
+        """True if the path is currently cached (no LRU touch)."""
+        return path in self._resident
+
+
+class FileSystem:
+    """Named files with sizes; reads go through the buffer cache."""
+
+    def __init__(
+        self,
+        costs: CostModel,
+        cache: Optional[BufferCache] = None,
+    ) -> None:
+        self.costs = costs
+        self.cache = cache if cache is not None else BufferCache()
+        self._files: dict[str, int] = {}
+
+    def add_file(self, path: str, size_bytes: int) -> None:
+        """Create a file of the given size."""
+        if size_bytes < 0:
+            raise ValueError(f"negative file size: {size_bytes}")
+        self._files[path] = size_bytes
+
+    def size_of(self, path: str) -> int:
+        """Size of a file, or raise ENOENT."""
+        size = self._files.get(path)
+        if size is None:
+            raise FileNotFoundError_(f"no such file: {path}")
+        return size
+
+    def exists(self, path: str) -> bool:
+        """True if the path was created."""
+        return path in self._files
+
+    def warm(self, path: str) -> None:
+        """Pull a file into the cache without charging read costs."""
+        self.cache.access(path, self.size_of(path))
+
+    def read_cost(self, path: str) -> tuple[float, int, bool]:
+        """CPU cost of reading a whole file now.
+
+        Returns (cost_us, size_bytes, was_hit) and performs the cache
+        access (so repeated reads of a hot file are hits).
+        """
+        size = self.size_of(path)
+        hit = self.cache.access(path, size)
+        cost = self.costs.fs_cached_read
+        cost += self.costs.fs_copy_per_kb * (size / 1024.0)
+        if not hit:
+            cost += self.costs.fs_miss_penalty
+        return cost, size, hit

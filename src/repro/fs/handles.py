@@ -1,0 +1,37 @@
+"""Open-file handles: descriptor objects for filesystem files.
+
+The paper's operation set includes "Binding a socket or file to a
+container: ... subsequent kernel resource consumption on behalf of this
+descriptor is charged to the container", but its prototype "currently
+supports binding only sockets, not disk files".  This module supplies
+the file half: an :class:`OpenFileHandle` lives in a descriptor table,
+may be bound to a container, and the kernel charges reads through it to
+that container by switching the reading thread's resource binding for
+the duration of the I/O -- the same discipline the prototype's network
+thread uses per packet.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.container import ResourceContainer
+
+
+class OpenFileHandle:
+    """One open file, possibly bound to a resource container."""
+
+    __slots__ = ("path", "container", "fd_refs", "reads")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: Container charged for I/O through this handle (None: the
+        #: reading thread's own resource binding pays, classic UNIX).
+        self.container: Optional["ResourceContainer"] = None
+        self.fd_refs = 0
+        self.reads = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = self.container.name if self.container else None
+        return f"OpenFileHandle({self.path!r}, bound={bound!r})"

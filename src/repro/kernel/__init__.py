@@ -1,0 +1,64 @@
+"""Simulated monolithic kernel.
+
+This package models the host operating system of the paper's testbed
+(Digital UNIX 4.0D on a 500 MHz Alpha 21164) as a deterministic
+discrete-event system: a single CPU, kernel threads and processes,
+per-process descriptor tables, a syscall layer, and resource accounting.
+
+The resource-container mechanism itself lives in :mod:`repro.core`; the
+kernel consumes it through the :class:`~repro.kernel.kernel.Kernel`
+facade, exactly as the paper's prototype wires containers into the
+scheduler and network subsystem.
+
+Note: heavyweight members (``Kernel`` et al.) are re-exported lazily via
+PEP 562 because :mod:`repro.core` depends on the light accounting
+modules here, and an eager import would be circular.
+"""
+
+from repro.kernel.accounting import ResourceUsage
+from repro.kernel.costs import CostModel
+from repro.kernel.errors import (
+    BadDescriptorError,
+    ContainerPolicyError,
+    KernelError,
+    ResourceLimitError,
+    WouldBlockError,
+)
+
+__all__ = [
+    "BadDescriptorError",
+    "ContainerPolicyError",
+    "CostModel",
+    "Kernel",
+    "KernelConfig",
+    "KernelError",
+    "Process",
+    "ResourceLimitError",
+    "ResourceUsage",
+    "SystemMode",
+    "Thread",
+    "ThreadState",
+    "WouldBlockError",
+]
+
+_LAZY = {
+    "Kernel": ("repro.kernel.kernel", "Kernel"),
+    "KernelConfig": ("repro.kernel.kernel", "KernelConfig"),
+    "SystemMode": ("repro.kernel.kernel", "SystemMode"),
+    "Process": ("repro.kernel.process", "Process"),
+    "Thread": ("repro.kernel.process", "Thread"),
+    "ThreadState": ("repro.kernel.process", "ThreadState"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the members that would create an import cycle."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

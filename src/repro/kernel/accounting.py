@@ -1,0 +1,109 @@
+"""Resource usage accounting records.
+
+A :class:`ResourceUsage` is the ledger attached to every resource
+principal (in this system: every resource container).  The kernel charges
+CPU time, memory, packet counts, and syscall counts here; the paper's
+section 4.1 requires that an application be able to read this information
+back (the ``obtain container resource usage`` primitive in Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResourceUsage:
+    """Cumulative resource consumption charged to one principal.
+
+    All values are cumulative since creation; callers that need rates
+    snapshot the record and difference it (see
+    :class:`repro.metrics.stats.UsageSampler`).
+    """
+
+    cpu_us: float = 0.0
+    #: CPU consumed in kernel network-processing context (a subset of
+    #: ``cpu_us``).  Separated so experiments can show where time went.
+    cpu_network_us: float = 0.0
+    #: CPU consumed executing syscall-context kernel work (subset).
+    cpu_syscall_us: float = 0.0
+    memory_bytes: int = 0
+    memory_peak_bytes: int = 0
+    packets_received: int = 0
+    packets_dropped: int = 0
+    syscalls: int = 0
+    connections_accepted: int = 0
+
+    def charge_cpu(self, amount_us: float, *, network: bool = False,
+                   syscall: bool = False) -> None:
+        """Add CPU time; negative charges indicate a simulator bug."""
+        if amount_us < 0:
+            raise ValueError(f"negative CPU charge: {amount_us}")
+        self.cpu_us += amount_us
+        if network:
+            self.cpu_network_us += amount_us
+        if syscall:
+            self.cpu_syscall_us += amount_us
+
+    def charge_memory(self, delta_bytes: int) -> None:
+        """Adjust memory consumption (may be negative on free)."""
+        self.memory_bytes += delta_bytes
+        if self.memory_bytes < 0:
+            raise ValueError(
+                f"memory accounting went negative: {self.memory_bytes}"
+            )
+        if self.memory_bytes > self.memory_peak_bytes:
+            self.memory_peak_bytes = self.memory_bytes
+
+    def snapshot(self) -> "ResourceUsage":
+        """An independent copy of the current ledger."""
+        return ResourceUsage(
+            cpu_us=self.cpu_us,
+            cpu_network_us=self.cpu_network_us,
+            cpu_syscall_us=self.cpu_syscall_us,
+            memory_bytes=self.memory_bytes,
+            memory_peak_bytes=self.memory_peak_bytes,
+            packets_received=self.packets_received,
+            packets_dropped=self.packets_dropped,
+            syscalls=self.syscalls,
+            connections_accepted=self.connections_accepted,
+        )
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        """Element-wise sum (used to aggregate container subtrees)."""
+        return ResourceUsage(
+            cpu_us=self.cpu_us + other.cpu_us,
+            cpu_network_us=self.cpu_network_us + other.cpu_network_us,
+            cpu_syscall_us=self.cpu_syscall_us + other.cpu_syscall_us,
+            memory_bytes=self.memory_bytes + other.memory_bytes,
+            memory_peak_bytes=self.memory_peak_bytes + other.memory_peak_bytes,
+            packets_received=self.packets_received + other.packets_received,
+            packets_dropped=self.packets_dropped + other.packets_dropped,
+            syscalls=self.syscalls + other.syscalls,
+            connections_accepted=self.connections_accepted
+            + other.connections_accepted,
+        )
+
+
+@dataclass
+class SystemAccounting:
+    """Whole-host ledger kept by the kernel.
+
+    ``unaccounted_cpu_us`` is the heart of the paper's critique: CPU burnt
+    in software-interrupt context that an unmodified kernel charges to no
+    resource principal at all.  The LRP and resource-container modes drive
+    this to (nearly) zero, leaving only raw hardware-interrupt overhead.
+    """
+
+    total_cpu_us: float = 0.0
+    idle_cpu_us: float = 0.0
+    unaccounted_cpu_us: float = 0.0
+    interrupt_cpu_us: float = 0.0
+    context_switches: int = 0
+    softirq_packets: int = 0
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of elapsed time the CPU was busy."""
+        if elapsed_us <= 0:
+            return 0.0
+        return min(1.0, self.total_cpu_us / elapsed_us)

@@ -1,0 +1,229 @@
+"""The CPU cost model.
+
+Every microsecond constant in the simulation lives here, in one frozen
+dataclass, so that calibration is auditable and experiments cannot drift
+apart.  The values are derived from the paper's own measurements on its
+testbed (500 MHz Alpha 21164, Digital UNIX 4.0D):
+
+* Section 5.3: serving a cached 1 KB static document costs **338 us** of
+  CPU per request with one connection per request (2954 requests/sec at
+  saturation) and **105 us** per request over a persistent connection
+  (9487 requests/sec).
+* Table 1: resource-container primitives cost 1.04--3.15 us each.
+* Section 5.7: an unmodified kernel is driven to zero throughput by
+  roughly 10,000 SYNs/sec (so full SYN handling costs on the order of
+  100 us), while the container system retains ~73% of its throughput at
+  70,000 SYNs/sec (so the retained per-SYN cost -- interrupt plus packet
+  filter -- is about (1 - 0.73) * 1e6 / 70000 = 3.9 us).
+
+The decomposition of the 338/105 us request costs into protocol,
+syscall, filesystem, and user-mode components is ours; the paper reports
+only the totals.  The split is chosen so that (a) the persistent and
+per-connection totals match the paper exactly, (b) the interrupt-context
+(software-interrupt) share reproduces the misaccounting effects of
+Figures 12 and 13, and (c) the SYN-flood costs reproduce Figure 14's
+endpoints.  EXPERIMENTS.md records the resulting paper-vs-measured
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ContainerOpCosts:
+    """Costs of the resource-container primitives (paper Table 1), in us."""
+
+    create: float = 2.36
+    destroy: float = 2.10
+    rebind_thread: float = 1.04
+    get_usage: float = 2.04
+    set_attributes: float = 2.10
+    get_attributes: float = 2.10
+    move_between_processes: float = 3.15
+    get_handle: float = 1.90
+    set_parent: float = 2.10
+    bind_descriptor: float = 1.04
+    reset_scheduler_binding: float = 1.04
+
+    def as_table(self) -> Dict[str, float]:
+        """Rows in the order of the paper's Table 1."""
+        return {
+            "create resource container": self.create,
+            "destroy resource container": self.destroy,
+            "change thread's resource binding": self.rebind_thread,
+            "obtain container resource usage": self.get_usage,
+            "set/get container attributes": self.set_attributes,
+            "move container between processes": self.move_between_processes,
+            "obtain handle for existing container": self.get_handle,
+        }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All simulated CPU costs, in microseconds.
+
+    The model distinguishes *where* work executes, because that is the
+    crux of the paper: protocol processing that an unmodified kernel does
+    in software-interrupt context is not charged to any resource
+    principal, whereas an LRP or resource-container kernel charges it to
+    the receiving process or container and schedules it accordingly.
+    """
+
+    # -- interrupt-level work (always runs at interrupt priority) --------
+    #: Per-packet hardware interrupt overhead.  Unavoidable in every
+    #: system mode; this is the residual cost that makes Fig. 11's
+    #: "new event API" curve rise very slightly, and Fig. 14's defended
+    #: server lose ~27% at 70k SYN/s.
+    interrupt_per_packet: float = 2.0
+    #: Early demultiplexing / packet-filter evaluation (LRP and RC modes
+    #: run this in the interrupt handler to find the destination
+    #: process/container).  2.0 + 1.9 = 3.9 us per packet, matching the
+    #: Fig. 14 retained-throughput arithmetic.
+    early_demux: float = 1.9
+
+    # -- protocol processing (softirq in unmodified; scheduled in LRP/RC)
+    #: TCP SYN processing: PCB lookup, SYN-cache entry, SYN|ACK emission.
+    proto_syn: float = 78.0
+    #: Handshake-completing ACK: socket creation, moving the connection
+    #: to the accept queue.
+    proto_established: float = 38.0
+    #: Receive-side processing of one data segment (the HTTP request).
+    proto_rx_segment: float = 28.0
+    #: Transmit-side processing of one response segment (up to 1 KB).
+    proto_tx_segment: float = 25.0
+    #: Connection teardown (FIN/ACK exchanges, PCB release).
+    proto_fin: float = 58.0
+    #: Processing a packet that matches no socket (reset generation).
+    proto_stray: float = 15.0
+
+    # -- syscall-context kernel work --------------------------------------
+    syscall_accept: float = 15.0
+    syscall_socket_alloc: float = 38.0
+    syscall_read: float = 10.0
+    syscall_write_base: float = 10.0
+    syscall_close: float = 5.0
+    syscall_listen: float = 5.0
+    syscall_bind: float = 5.0
+    syscall_fork: float = 300.0
+    syscall_thread_create: float = 50.0
+    #: select(): fixed entry cost plus a per-descriptor scan cost.  The
+    #: linear term is what the paper blames for the residual rise of the
+    #: "containers + select()" curve in Fig. 11 (citing [5, 6]).
+    syscall_select_base: float = 8.0
+    syscall_select_per_fd: float = 6.0
+    #: The scalable event API of [5]: constant-time event retrieval.
+    syscall_event_get: float = 4.0
+    syscall_event_declare: float = 2.0
+
+    # -- filesystem --------------------------------------------------------
+    #: Buffer-cache hit for a small document.
+    fs_cached_read: float = 5.0
+    #: Per-KB cost of copying file data out of the cache.
+    fs_copy_per_kb: float = 5.0
+    #: Cache miss penalty (simulated disk, used by cache tests only; all
+    #: paper experiments run fully cached).
+    fs_miss_penalty: float = 4000.0
+
+    # -- application (user-mode) work ---------------------------------------
+    #: Parse an HTTP request and prepare the response headers.
+    app_request_parse: float = 15.0
+    #: Per-request bookkeeping in the server's main loop.
+    app_loop_overhead: float = 5.0
+
+    # -- container primitives (paper Table 1) -------------------------------
+    container_ops: ContainerOpCosts = field(default_factory=ContainerOpCosts)
+
+    # -- scheduling ----------------------------------------------------------
+    #: Switching between protection domains (full context switch).
+    context_switch: float = 5.0
+    #: Switching to/from a kernel network thread or between threads of
+    #: one process: no address-space change, far cheaper.
+    context_switch_kernel: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Derived totals (documented invariants, asserted by tests)
+    # ------------------------------------------------------------------
+
+    def request_cost_persistent(self) -> float:
+        """Total per-request CPU cost over a persistent connection.
+
+        Paper section 5.3 measures 105 us (9487 requests/sec saturated).
+        Includes the hardware interrupt for the one inbound segment.
+        """
+        return (
+            self.interrupt_per_packet
+            + self.proto_rx_segment
+            + self.proto_tx_segment
+            + self.syscall_read
+            + self.syscall_write_base
+            + self.fs_cached_read
+            + self.fs_copy_per_kb
+            + self.app_request_parse
+            + self.app_loop_overhead
+        )
+
+    def connection_setup_teardown_cost(self) -> float:
+        """Extra CPU for a connection used by exactly one request.
+
+        The difference between the paper's 338 us (connection per
+        request) and 105 us (persistent) figures: 233 us of handshake,
+        accept, socket allocation, and teardown work.  Includes the
+        hardware interrupts for the three extra inbound packets
+        (SYN, handshake ACK, FIN).
+        """
+        return (
+            3.0 * self.interrupt_per_packet
+            + self.proto_syn
+            + self.proto_established
+            + self.proto_fin
+            + self.syscall_accept
+            + self.syscall_socket_alloc
+        )
+
+    def request_cost_per_connection(self) -> float:
+        """Total per-request CPU cost with one connection per request.
+
+        Paper section 5.3 measures 338 us (2954 requests/sec saturated).
+        """
+        return self.request_cost_persistent() + self.connection_setup_teardown_cost()
+
+    def softirq_share_per_connection_request(self) -> float:
+        """CPU that an *unmodified* kernel spends in interrupt context
+        per connection-per-request transaction.
+
+        This work is invisible to the scheduler's accounting, which is
+        what lets the main server process in Fig. 12/13 claim more real
+        CPU than its nominal time-share.
+        """
+        return (
+            self.proto_syn
+            + self.proto_established
+            + self.proto_rx_segment
+            + self.proto_fin
+        )
+
+    def syn_flood_cost_unmodified(self) -> float:
+        """Per-bogus-SYN CPU in the unmodified kernel (Fig. 14).
+
+        Interrupt plus full SYN protocol processing: the flood saturates
+        the CPU near 1e6 / (2 + 80) ~= 12,000 SYNs/sec, reproducing the
+        paper's collapse "effectively zero at about 10,000 SYNs/sec".
+        """
+        return self.interrupt_per_packet + self.proto_syn
+
+    def syn_flood_cost_filtered(self) -> float:
+        """Per-bogus-SYN CPU when the RC kernel drops it after the
+        packet filter (Fig. 14's defended curve): 3.9 us."""
+        return self.interrupt_per_packet + self.early_demux
+
+    def with_overrides(self, **overrides: float) -> "CostModel":
+        """Return a copy with selected constants replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+#: Module-level default instance; experiments share it unless they
+#: explicitly override constants for an ablation.
+DEFAULT_COSTS = CostModel()

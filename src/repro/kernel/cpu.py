@@ -1,0 +1,346 @@
+"""The CPU dispatcher (uniprocessor by default, SMP-capable).
+
+Each core runs, in strict precedence order:
+
+1. **Hardware-interrupt jobs** -- per-packet interrupt handling (and, in
+   the LRP/RC modes, early demultiplexing).  Never preempted.  All
+   interrupts are delivered to core 0, as on the paper's testbed-era
+   hardware.
+2. **Software-interrupt jobs** -- full protocol processing in the
+   unmodified (SOFTIRQ) kernel.  Core 0 only; preempted only by hardware
+   interrupts; always beats threads, which is exactly the
+   receive-livelock hazard the paper discusses (section 3.2).
+3. **Schedulable entities** -- user threads and kernel network threads,
+   chosen by the pluggable scheduler.  Entity slices are preempted by
+   interrupt arrivals (core 0) and (optionally) by wakeups of strictly
+   higher-priority entities.
+
+All CPU consumption flows through :meth:`_finish_slice`, which charges
+the container captured at slice start, updates the scheduler, and
+advances the entity's work state.  This single choke point is what makes
+the accounting invariants testable: charged time + unaccounted interrupt
+time + idle time == elapsed time * cores.
+
+The paper's experiments all run on one CPU; ``n_cpus > 1`` implements
+the multiprocessor variant its section 2 mentions ("Event-driven servers
+designed for multiprocessors use one thread per processor").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.container import ResourceContainer
+from repro.kernel.accounting import SystemAccounting
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.sim.events import Event
+
+#: Tolerance for floating-point work accounting.
+EPSILON = 1e-9
+
+#: Bound on the software-interrupt (IP input) queue, as in BSD's
+#: ipintrq.  Overflow drops happen after hardware-interrupt cost only.
+DEFAULT_SOFTIRQ_QUEUE_LIMIT = 512
+
+
+@dataclass
+class InterruptJob:
+    """A unit of interrupt-context work."""
+
+    cost_us: float
+    #: Semantic action run (for free) when the work completes.
+    action: Callable[[], None]
+    #: Container charged, or None for unaccounted system work.
+    charge: Optional[ResourceContainer] = None
+    note: str = ""
+
+
+@dataclass
+class _RunSlice:
+    """The unit of CPU occupancy currently in flight on one core."""
+
+    kind: str  # "hard", "soft", or "entity"
+    start: float
+    planned_us: float
+    #: Portion of planned_us that advances entity work (the rest is
+    #: context-switch overhead).
+    work_us: float
+    event: "Event"
+    job: Optional[InterruptJob] = None
+    entity: object = None
+    charge: Optional[ResourceContainer] = None
+    charge_network: bool = False
+
+
+class _Core:
+    """One processor's dispatch state."""
+
+    __slots__ = ("index", "current", "last_entity")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.current: Optional[_RunSlice] = None
+        self.last_entity: object = None
+
+
+class CPU:
+    """One or more simulated cores with interrupt precedence/preemption."""
+
+    def __init__(self, kernel: "Kernel", n_cpus: int = 1) -> None:
+        if n_cpus < 1:
+            raise ValueError(f"need at least one CPU, got {n_cpus}")
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.n_cpus = n_cpus
+        self.cores = [_Core(i) for i in range(n_cpus)]
+        self.accounting = SystemAccounting()
+        self.hard_queue: deque[InterruptJob] = deque()
+        self.soft_queue: deque[InterruptJob] = deque()
+        self.soft_queue_limit = DEFAULT_SOFTIRQ_QUEUE_LIMIT
+        self.soft_drops = 0
+        #: Entities currently occupying a core (excluded from pick()).
+        self._running_ids: set[int] = set()
+        self._dispatch_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Work submission
+    # ------------------------------------------------------------------
+
+    def post_hard_interrupt(self, job: InterruptJob) -> None:
+        """Queue hardware-interrupt work; preempts core 0's entity slice."""
+        self.hard_queue.append(job)
+        self._interrupt_pressure()
+
+    def post_soft_interrupt(self, job: InterruptJob) -> bool:
+        """Queue software-interrupt work; False if the bounded queue is
+        full (the packet is dropped having cost only the hard interrupt)."""
+        if len(self.soft_queue) >= self.soft_queue_limit:
+            self.soft_drops += 1
+            return False
+        self.soft_queue.append(job)
+        self._interrupt_pressure()
+        return True
+
+    def notify_ready(self, entity: object = None) -> None:
+        """An entity became runnable (wakeup, new packet, new thread)."""
+        if any(core.current is None for core in self.cores):
+            self._schedule_dispatch()
+            return
+        if not self.kernel.config.preemptive or entity is None:
+            return
+        if id(entity) in self._running_ids:
+            return
+        priority = self._priority_of(entity)
+        victim: Optional[_Core] = None
+        victim_priority = priority
+        for core in self.cores:
+            run = core.current
+            if run is None or run.kind != "entity":
+                continue
+            running_priority = self._priority_of(run.entity)
+            if running_priority < victim_priority:
+                victim_priority = running_priority
+                victim = core
+        if victim is not None:
+            self._preempt_entity(victim)
+            self._schedule_dispatch()
+
+    def _interrupt_pressure(self) -> None:
+        """Interrupt work always lands on core 0."""
+        core0 = self.cores[0]
+        if core0.current is None:
+            self._schedule_dispatch()
+        elif core0.current.kind == "entity":
+            self._preempt_entity(core0)
+            self._schedule_dispatch()
+        # hard/soft slices run to completion; dispatch follows them.
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _schedule_dispatch(self) -> None:
+        """Run the dispatcher as an immediate event.
+
+        Deferring by zero time (rather than recursing) keeps the call
+        graph flat when actions post more work, and gives every wakeup
+        in the same instant a chance to land before selection.
+        """
+        if self._dispatch_scheduled:
+            return
+        if all(core.current is not None for core in self.cores):
+            return
+        self._dispatch_scheduled = True
+        self.sim.after(0.0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        now = self.sim.now
+        # Core 0 services interrupts first.
+        core0 = self.cores[0]
+        while core0.current is None and (self.hard_queue or self.soft_queue):
+            if self.hard_queue:
+                self._start_interrupt(core0, "hard", self.hard_queue.popleft())
+            else:
+                self._start_interrupt(core0, "soft", self.soft_queue.popleft())
+        # Fill every idle core from the scheduler.
+        for core in self.cores:
+            if core.current is not None:
+                continue
+            entity = self.kernel.scheduler.pick(now, exclude=self._running_ids)
+            if entity is None:
+                continue
+            work = entity.work_remaining_us()
+            if work <= EPSILON:
+                # Entity with an immediate action point (zero-cost phase).
+                self.kernel.entity_action(entity)
+                self._schedule_dispatch()
+                continue
+            quantum = self.kernel.scheduler.quantum_us
+            bound = self.kernel.scheduler.slice_bound_us(entity)
+            slice_work = min(work, quantum, max(bound, 1.0))
+            switch_cost = 0.0
+            if (
+                entity is not core.last_entity
+                and self.kernel.config.context_switch_cost
+            ):
+                switch_cost = self._switch_cost(core.last_entity, entity)
+                self.accounting.context_switches += 1
+            planned = slice_work + switch_cost
+            charge = entity.charge_container()
+            event = self.sim.after(planned, self._finish_slice, core)
+            core.current = _RunSlice(
+                kind="entity",
+                start=now,
+                planned_us=planned,
+                work_us=slice_work,
+                event=event,
+                entity=entity,
+                charge=charge,
+                charge_network=self.kernel.is_net_thread(entity),
+            )
+            core.last_entity = entity
+            self._running_ids.add(id(entity))
+
+    def _start_interrupt(self, core: _Core, kind: str, job: InterruptJob) -> None:
+        event = self.sim.after(job.cost_us, self._finish_slice, core)
+        core.current = _RunSlice(
+            kind=kind,
+            start=self.sim.now,
+            planned_us=job.cost_us,
+            work_us=job.cost_us,
+            event=event,
+            job=job,
+            charge=job.charge,
+        )
+
+    # ------------------------------------------------------------------
+    # Completion / preemption
+    # ------------------------------------------------------------------
+
+    def _finish_slice(self, core: _Core) -> None:
+        run = core.current
+        if run is None:  # pragma: no cover - defensive
+            return
+        core.current = None
+        now = self.sim.now
+        self._account(run, run.planned_us, interrupt=run.kind != "entity")
+        if run.kind == "entity":
+            entity = run.entity
+            self._running_ids.discard(id(entity))
+            self.kernel.scheduler.charge(entity, run.charge, run.planned_us, now)
+            if entity.advance(run.work_us):
+                self.kernel.entity_action(entity)
+        else:
+            job = run.job
+            assert job is not None
+            job.action()
+        self._schedule_dispatch()
+
+    def _preempt_entity(self, core: _Core) -> None:
+        """Stop the in-flight entity slice, charging only elapsed time."""
+        run = core.current
+        if run is None or run.kind != "entity":
+            return
+        core.current = None
+        now = self.sim.now
+        self.sim.cancel(run.event)
+        self._running_ids.discard(id(run.entity))
+        elapsed = now - run.start
+        if elapsed > EPSILON:
+            self._account(run, elapsed, interrupt=False)
+            self.kernel.scheduler.charge(run.entity, run.charge, elapsed, now)
+            # Context-switch overhead is paid first; only time beyond it
+            # advances the entity's work.
+            switch_cost = run.planned_us - run.work_us
+            progress = max(0.0, elapsed - switch_cost)
+            if progress > EPSILON and run.entity.advance(progress):
+                self.kernel.entity_action(run.entity)
+
+    def _account(self, run: _RunSlice, amount_us: float, *, interrupt: bool) -> None:
+        self.accounting.total_cpu_us += amount_us
+        if interrupt:
+            self.accounting.interrupt_cpu_us += amount_us
+        if self.sim.trace.active:
+            self.sim.trace.publish(
+                self.sim.now,
+                "cpu.slice",
+                kind=run.kind,
+                amount_us=amount_us,
+                charge=run.charge.name if run.charge is not None else None,
+                network=run.charge_network or interrupt,
+                entity=getattr(run.entity, "name", run.job.note if run.job else ""),
+            )
+        if run.charge is not None:
+            run.charge.charge_cpu(
+                amount_us,
+                network=run.charge_network or interrupt,
+                syscall=not (run.charge_network or interrupt),
+            )
+        else:
+            self.accounting.unaccounted_cpu_us += amount_us
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _switch_cost(self, previous: object, entity: object) -> float:
+        """Process switches pay the full cost; kernel-thread and
+        intra-process switches are cheap (no address-space change)."""
+        costs = self.kernel.costs
+        if previous is None:
+            return costs.context_switch_kernel
+        prev_proc = getattr(previous, "process", None)
+        new_proc = getattr(entity, "process", None)
+        if self.kernel.is_net_thread(previous) or self.kernel.is_net_thread(entity):
+            return costs.context_switch_kernel
+        if prev_proc is not None and prev_proc is new_proc:
+            return costs.context_switch_kernel
+        return costs.context_switch
+
+    def _priority_of(self, entity: object) -> int:
+        members = entity.scheduler_containers()
+        if members:
+            return max(c.attrs.numeric_priority for c in members)
+        container = entity.charge_container()
+        return container.attrs.numeric_priority if container is not None else 0
+
+    # -- compatibility / introspection ------------------------------------
+
+    @property
+    def current(self) -> Optional[_RunSlice]:
+        """Core 0's in-flight slice (uniprocessor-era accessor)."""
+        return self.cores[0].current
+
+    @property
+    def busy(self) -> bool:
+        """True while any core is occupied."""
+        return any(core.current is not None for core in self.cores)
+
+    def idle_time(self, elapsed_us: float) -> float:
+        """Aggregate idle core-time given elapsed simulation time."""
+        return max(0.0, elapsed_us * self.n_cpus - self.accounting.total_cpu_us)

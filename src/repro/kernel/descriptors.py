@@ -1,0 +1,103 @@
+"""Per-process descriptor tables.
+
+Resource containers are "visible to the application as file descriptors
+(and so are inherited by a new process after a fork())" -- paper section
+4.6.  The same table also holds sockets and files, so descriptor numbers
+form one namespace per process, as in UNIX.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.kernel.errors import BadDescriptorError
+
+
+class DescriptorKind(enum.Enum):
+    """What a descriptor-table entry refers to."""
+
+    SOCKET = "socket"
+    LISTEN_SOCKET = "listen_socket"
+    CONTAINER = "container"
+    FILE = "file"
+    EVENT_QUEUE = "event_queue"
+    PIPE = "pipe"
+
+
+@dataclass
+class Descriptor:
+    """One descriptor-table entry."""
+
+    fd: int
+    kind: DescriptorKind
+    obj: Any
+
+
+class DescriptorTable:
+    """Lowest-free-integer descriptor allocation, as in UNIX.
+
+    The paper's companion work [6] studies the cost of this very
+    allocation rule in busy servers; here we keep the rule (it matters
+    for select() semantics) but not its cost model.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, Descriptor] = {}
+        self._next_probe = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._entries
+
+    def allocate(self, kind: DescriptorKind, obj: Any) -> Descriptor:
+        """Insert ``obj`` at the lowest free descriptor number."""
+        fd = 0
+        while fd in self._entries:
+            fd += 1
+        entry = Descriptor(fd=fd, kind=kind, obj=obj)
+        self._entries[fd] = entry
+        return entry
+
+    def lookup(self, fd: int) -> Descriptor:
+        """Return the entry for ``fd`` or raise EBADF."""
+        entry = self._entries.get(fd)
+        if entry is None:
+            raise BadDescriptorError(f"bad file descriptor: {fd}")
+        return entry
+
+    def lookup_kind(self, fd: int, *kinds: DescriptorKind) -> Descriptor:
+        """Lookup and verify the entry is one of the expected kinds."""
+        entry = self.lookup(fd)
+        if entry.kind not in kinds:
+            expected = "/".join(k.value for k in kinds)
+            raise BadDescriptorError(
+                f"descriptor {fd} is a {entry.kind.value}, expected {expected}"
+            )
+        return entry
+
+    def remove(self, fd: int) -> Descriptor:
+        """Delete and return the entry for ``fd`` (close path)."""
+        entry = self._entries.pop(fd, None)
+        if entry is None:
+            raise BadDescriptorError(f"bad file descriptor: {fd}")
+        return entry
+
+    def entries(self) -> Iterator[Descriptor]:
+        """All entries in ascending descriptor order."""
+        for fd in sorted(self._entries):
+            yield self._entries[fd]
+
+    def install_copy_of(self, entry: Descriptor) -> Descriptor:
+        """Install a copy of another table's entry (fork inheritance),
+        preserving the descriptor *number* as UNIX fork does."""
+        if entry.fd in self._entries:
+            raise BadDescriptorError(
+                f"descriptor {entry.fd} already present in child table"
+            )
+        copy = Descriptor(fd=entry.fd, kind=entry.kind, obj=entry.obj)
+        self._entries[entry.fd] = copy
+        return copy

@@ -1,0 +1,55 @@
+"""In-kernel message pipes (IPC between simulated processes).
+
+Persistent-CGI ("FastCGI"-style) servers need a channel to hand requests
+to long-lived worker processes, and the master/worker pre-fork server
+uses one to coordinate.  A pipe is a bounded FIFO of Python objects with
+blocking read semantics; like any descriptor, it is shared across
+``fork()`` by reference counting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.kernel.waitq import WaitQueue
+
+
+class Pipe:
+    """A bounded FIFO of messages with blocking readers."""
+
+    def __init__(self, name: str = "pipe", capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("pipe capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._messages: deque[Any] = deque()
+        self.read_waiters = WaitQueue(f"pipe-read:{name}")
+        self.fd_refs = 0
+        self.closed = False
+        self.stats_written = 0
+        self.stats_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    @property
+    def readable(self) -> bool:
+        """True when a read would not block."""
+        return bool(self._messages) or self.closed
+
+    def try_write(self, message: Any) -> bool:
+        """Append a message; False when the pipe is full or closed."""
+        if self.closed or len(self._messages) >= self.capacity:
+            self.stats_dropped += 1
+            return False
+        self._messages.append(message)
+        self.stats_written += 1
+        return True
+
+    def try_read(self) -> tuple[bool, Optional[Any]]:
+        """(ok, message); ok False means empty (block or EOF decision is
+        the caller's, based on ``closed``)."""
+        if self._messages:
+            return True, self._messages.popleft()
+        return False, None

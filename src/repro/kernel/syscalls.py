@@ -1,0 +1,739 @@
+"""Syscall execution.
+
+The :class:`SyscallExecutor` drives application thread generators.  Each
+yielded syscall record goes through up to three steps:
+
+1. **entry** -- the syscall's entry CPU cost is charged to the thread's
+   resource binding by running it as scheduled CPU work;
+2. **execute** -- the semantic action; it either produces a result,
+   raises a kernel error (delivered into the generator), or blocks the
+   thread on one or more wait queues;
+3. **resume** -- after a wakeup, an optional return-path CPU cost (for
+   example select()'s second descriptor scan) followed by a re-check of
+   the condition, which may produce the result or block again.
+
+Results are delivered by advancing the generator, which immediately
+yields the next syscall; the thread's progress is therefore entirely
+driven by the scheduler giving it CPU.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.attributes import ContainerAttributes
+from repro.core.container import ResourceContainer
+from repro.kernel.descriptors import DescriptorKind
+from repro.kernel.errors import (
+    AddressInUseError,
+    BadDescriptorError,
+    ContainerPolicyError,
+    InvalidArgumentError,
+    KernelError,
+    WouldBlockError,
+)
+from repro.kernel.events import ProcessEventQueue
+from repro.kernel.process import ExecPhase, Thread, ThreadState
+from repro.net.tcp import Connection, ListenSocket
+from repro.syscall import api
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+#: Sentinel outcome meaning "the thread is now parked on wait queues".
+_BLOCKED = object()
+#: Sentinel outcome meaning "the thread called Exit".
+_EXIT = object()
+
+
+class SyscallExecutor:
+    """Executes syscall records on behalf of threads."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+
+    # ------------------------------------------------------------------
+    # Generator driving
+    # ------------------------------------------------------------------
+
+    def start_thread(self, thread: Thread) -> None:
+        """Prime a new thread's generator (fetch its first syscall)."""
+        thread.started = True
+        self._advance(thread, None, None)
+
+    def _advance(
+        self,
+        thread: Thread,
+        value: Any,
+        error: Optional[BaseException],
+    ) -> None:
+        """Deliver a syscall result (or error) and stage the next op."""
+        try:
+            if error is not None:
+                op = thread.body.throw(error)
+            else:
+                op = thread.body.send(value)
+        except StopIteration:
+            self.kernel.thread_exit(thread)
+            return
+        if not isinstance(op, api.Syscall):
+            self.kernel.thread_exit(
+                thread,
+                error=TypeError(f"thread {thread.name!r} yielded {op!r}"),
+            )
+            return
+        try:
+            self._stage_charge_override(thread, op)
+            cost = self.entry_cost(op, thread)
+        except KernelError as err:
+            self._restore_charge_override(thread)
+            self._advance(thread, None, err)
+            return
+        thread.pending_op = op
+        thread.phase = ExecPhase.ENTRY
+        thread.phase_remaining_us = cost
+        thread.state = ThreadState.READY
+        self.kernel.scheduler.on_wakeup(thread, self.kernel.sim.now)
+        self.kernel.cpu.notify_ready(thread)
+
+    def finish_phase(self, thread: Thread) -> None:
+        """The thread consumed its current phase's CPU; act on it."""
+        op = thread.pending_op
+        if op is None:  # pragma: no cover - defensive
+            return
+        try:
+            if thread.phase is ExecPhase.ENTRY:
+                outcome = self.execute(op, thread)
+            else:
+                outcome = self.resume(op, thread)
+        except KernelError as err:
+            thread.pending_op = None
+            self._restore_charge_override(thread)
+            self._advance(thread, None, err)
+            return
+        if outcome is _BLOCKED:
+            thread.park()
+            return
+        if outcome is _EXIT:
+            self._restore_charge_override(thread)
+            self.kernel.thread_exit(thread)
+            return
+        thread.pending_op = None
+        self._restore_charge_override(thread)
+        self._advance(thread, outcome, None)
+
+    def wake(self, thread: Thread, tag: Any) -> None:
+        """Wake a blocked thread; stage the resume phase."""
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        thread.wake_tag = tag
+        thread.clear_waits()
+        self._cancel_timer(thread)
+        op = thread.pending_op
+        thread.phase = ExecPhase.RESUME
+        thread.phase_remaining_us = self.resume_cost(op, thread) if op else 0.0
+        thread.state = ThreadState.READY
+        self.kernel.scheduler.on_wakeup(thread, self.kernel.sim.now)
+        self.kernel.cpu.notify_ready(thread)
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+
+    def entry_cost(self, op: api.Syscall, thread: Thread) -> float:
+        """Entry-path CPU cost of a syscall, in microseconds."""
+        costs = self.kernel.costs
+        ops = costs.container_ops
+        if isinstance(op, api.Compute):
+            if op.us < 0:
+                raise ValueError(f"Compute cost must be >= 0, got {op.us}")
+            return op.us
+        if isinstance(op, (api.Sleep, api.GetTime, api.Yield, api.Exit)):
+            return 0.0
+        if isinstance(op, api.Socket):
+            return costs.syscall_bind
+        if isinstance(op, api.Bind):
+            return costs.syscall_bind
+        if isinstance(op, api.Listen):
+            return costs.syscall_listen
+        if isinstance(op, api.Accept):
+            return costs.syscall_accept + costs.syscall_socket_alloc
+        if isinstance(op, api.Read):
+            return costs.syscall_read
+        if isinstance(op, api.Write):
+            segments = max(1, -(-op.size_bytes // 1448))
+            return costs.syscall_write_base + costs.proto_tx_segment * segments
+        if isinstance(op, api.Close):
+            # Closing a container descriptor is the Table 1 "destroy
+            # resource container" primitive; other kinds pay the plain
+            # close cost.
+            entry = thread.process.fds.lookup(op.fd)
+            if entry.kind is DescriptorKind.CONTAINER:
+                return ops.destroy
+            return costs.syscall_close
+        if isinstance(op, api.GetPeerName):
+            return 1.0
+        if isinstance(op, api.Select):
+            return costs.syscall_select_base + costs.syscall_select_per_fd * len(
+                op.fds
+            )
+        if isinstance(op, api.EventQueueCreate):
+            return costs.syscall_event_declare
+        if isinstance(op, api.EventDeclare):
+            return costs.syscall_event_declare
+        if isinstance(op, api.EventGet):
+            return costs.syscall_event_get
+        if isinstance(op, api.PipeCreate):
+            return costs.syscall_bind
+        if isinstance(op, api.PipeWrite):
+            return costs.syscall_write_base
+        if isinstance(op, api.PipeRead):
+            return costs.syscall_read
+        if isinstance(op, api.ReadFile):
+            cost, _size, _hit = self.kernel.fs.read_cost(op.path)
+            return cost
+        if isinstance(op, api.OpenFile):
+            return costs.syscall_bind
+        if isinstance(op, api.FdReadFile):
+            entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.FILE)
+            cost, _size, _hit = self.kernel.fs.read_cost(entry.obj.path)
+            return cost
+        if isinstance(op, api.Fork):
+            return costs.syscall_fork
+        if isinstance(op, api.SpawnThread):
+            return costs.syscall_thread_create
+        if isinstance(op, api.ContainerCreate):
+            return ops.create
+        if isinstance(op, api.ContainerSetParent):
+            return ops.set_parent
+        if isinstance(op, api.ContainerSetAttrs):
+            return ops.set_attributes
+        if isinstance(op, api.ContainerGetAttrs):
+            return ops.get_attributes
+        if isinstance(op, api.ContainerGetUsage):
+            return ops.get_usage
+        if isinstance(op, api.ContainerBindThread):
+            return ops.rebind_thread
+        if isinstance(op, api.ContainerGetBinding):
+            return ops.get_handle
+        if isinstance(op, api.ContainerResetSchedBinding):
+            return ops.reset_scheduler_binding
+        if isinstance(op, api.ContainerBindSocket):
+            return ops.bind_descriptor
+        if isinstance(op, api.ContainerSendTo):
+            return ops.move_between_processes
+        if isinstance(op, api.SendDescriptor):
+            return ops.move_between_processes
+        if isinstance(op, api.ContainerGetHandle):
+            return ops.get_handle
+        if isinstance(op, api.ContainerGrant):
+            return ops.set_attributes
+        raise InvalidArgumentError(f"unknown syscall: {op!r}")
+
+    def resume_cost(self, op: api.Syscall, thread: Thread) -> float:
+        """Return-path CPU cost paid after a wakeup."""
+        costs = self.kernel.costs
+        if isinstance(op, api.Select):
+            # The kernel re-scans the whole descriptor set on return --
+            # the linear overhead inherent to select()'s semantics that
+            # the paper blames for Fig. 11's residual slope.
+            return costs.syscall_select_base + costs.syscall_select_per_fd * len(
+                op.fds
+            )
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, op: api.Syscall, thread: Thread) -> Any:
+        """Entry-phase semantics.  Returns result, _BLOCKED, or _EXIT."""
+        kernel = self.kernel
+        if isinstance(op, api.Compute):
+            return None
+        if isinstance(op, api.GetTime):
+            return kernel.sim.now
+        if isinstance(op, api.Yield):
+            return None
+        if isinstance(op, api.Exit):
+            return _EXIT
+        if isinstance(op, api.Sleep):
+            if op.us < 0:
+                raise InvalidArgumentError(f"negative sleep: {op.us}")
+            self._arm_timer(thread, op.us)
+            return _BLOCKED
+        if isinstance(op, api.Socket):
+            return self._do_socket(thread)
+        if isinstance(op, api.Bind):
+            return self._do_bind(op, thread)
+        if isinstance(op, api.Listen):
+            return self._do_listen(op, thread)
+        if isinstance(op, api.Accept):
+            return self._do_accept(op, thread)
+        if isinstance(op, api.Read):
+            return self._do_read(op, thread)
+        if isinstance(op, api.Write):
+            return self._do_write(op, thread)
+        if isinstance(op, api.Close):
+            return self._do_close(op, thread)
+        if isinstance(op, api.GetPeerName):
+            entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.SOCKET)
+            return entry.obj.src_addr
+        if isinstance(op, api.Select):
+            return self._do_select(op, thread)
+        if isinstance(op, api.EventQueueCreate):
+            return self._do_evq_create(thread)
+        if isinstance(op, api.EventDeclare):
+            return self._do_evq_declare(op, thread)
+        if isinstance(op, api.EventGet):
+            return self._do_evq_get(op, thread)
+        if isinstance(op, api.SendDescriptor):
+            return self._do_send_descriptor(op, thread)
+        if isinstance(op, api.PipeCreate):
+            return self._do_pipe_create(op, thread)
+        if isinstance(op, api.PipeWrite):
+            return self._do_pipe_write(op, thread)
+        if isinstance(op, api.PipeRead):
+            return self._do_pipe_read(op, thread)
+        if isinstance(op, api.ReadFile):
+            return kernel.fs.size_of(op.path)
+        if isinstance(op, api.OpenFile):
+            kernel.fs.size_of(op.path)  # validates existence (ENOENT)
+            from repro.fs.handles import OpenFileHandle
+
+            handle = OpenFileHandle(op.path)
+            entry = thread.process.fds.allocate(DescriptorKind.FILE, handle)
+            handle.fd_refs = 1
+            return entry.fd
+        if isinstance(op, api.FdReadFile):
+            entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.FILE)
+            entry.obj.reads += 1
+            return kernel.fs.size_of(entry.obj.path)
+        if isinstance(op, api.Fork):
+            child = kernel.fork_process(
+                thread,
+                op.child_main,
+                op.name,
+                op.inherit_binding,
+                pass_fds=op.pass_fds,
+            )
+            return child.pid
+        if isinstance(op, api.SpawnThread):
+            new_thread = kernel.spawn_thread(
+                thread.process,
+                op.body_factory(),
+                f"{thread.process.name}:{op.name}",
+                binding=thread.resource_binding,
+            )
+            return new_thread.tid
+        return self._execute_container_op(op, thread)
+
+    def resume(self, op: api.Syscall, thread: Thread) -> Any:
+        """Post-wakeup semantics: re-check conditions."""
+        if isinstance(op, api.Sleep):
+            return None
+        if isinstance(op, api.Accept):
+            return self._do_accept(op, thread, resumed=True)
+        if isinstance(op, api.Read):
+            return self._do_read(op, thread, resumed=True)
+        if isinstance(op, api.Select):
+            return self._do_select(op, thread, resumed=True)
+        if isinstance(op, api.EventGet):
+            return self._do_evq_get(op, thread, resumed=True)
+        if isinstance(op, api.PipeRead):
+            return self._do_pipe_read(op, thread, resumed=True)
+        raise InvalidArgumentError(
+            f"syscall {type(op).__name__} does not support blocking"
+        )
+
+    # ------------------------------------------------------------------
+    # Charge overrides (container-bound file descriptors)
+    # ------------------------------------------------------------------
+
+    def _stage_charge_override(self, thread: Thread, op: api.Syscall) -> None:
+        """Switch the thread's resource binding for ops whose kernel
+        work is charged to a bound descriptor's container (FdReadFile
+        through a container-bound file) -- the per-operation rebinding
+        discipline of section 4.7, applied to file I/O."""
+        if not isinstance(op, api.FdReadFile):
+            return
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.FILE)
+        container = entry.obj.container
+        if container is None or not container.alive:
+            return
+        if not container.is_leaf:
+            return
+        thread.binding_restore = thread.resource_binding
+        self.kernel.containers.bindings.bind_thread(
+            thread, container, self.kernel.sim.now
+        )
+
+    def _restore_charge_override(self, thread: Thread) -> None:
+        """Undo a charge override after the op completes."""
+        restore = thread.binding_restore
+        if restore is None:
+            return
+        thread.binding_restore = None
+        if restore.alive:
+            self.kernel.containers.bindings.bind_thread(
+                thread, restore, self.kernel.sim.now
+            )
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _arm_timer(self, thread: Thread, delay_us: float) -> None:
+        thread.wait_timer = self.kernel.sim.after(
+            delay_us, self.wake, thread, "timeout"
+        )
+
+    def _cancel_timer(self, thread: Thread) -> None:
+        timer = getattr(thread, "wait_timer", None)
+        if timer is not None:
+            self.kernel.sim.cancel(timer)
+            thread.wait_timer = None
+
+    # ------------------------------------------------------------------
+    # Sockets
+    # ------------------------------------------------------------------
+
+    def _do_socket(self, thread: Thread) -> int:
+        socket = ListenSocket(thread.process, port=0)
+        entry = thread.process.fds.allocate(DescriptorKind.LISTEN_SOCKET, socket)
+        socket.primary_fd = entry.fd
+        socket.fd_refs = 1
+        return entry.fd
+
+    def _do_bind(self, op: api.Bind, thread: Thread) -> None:
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.LISTEN_SOCKET)
+        socket: ListenSocket = entry.obj
+        if op.port <= 0:
+            raise InvalidArgumentError(f"bad port: {op.port}")
+        if self.kernel.stack.binding_conflicts(socket, op.port, op.addr_filter):
+            raise AddressInUseError(
+                f"port {op.port} with filter {op.addr_filter} already bound"
+            )
+        socket.port = op.port
+        socket.addr_filter = op.addr_filter
+        self.kernel.stack.register_bound(socket)
+        return None
+
+    def _do_listen(self, op: api.Listen, thread: Thread) -> None:
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.LISTEN_SOCKET)
+        socket: ListenSocket = entry.obj
+        if socket.port <= 0:
+            raise InvalidArgumentError("listen() before bind()")
+        if op.backlog <= 0:
+            raise InvalidArgumentError(f"bad backlog: {op.backlog}")
+        socket.backlog = op.backlog
+        socket.notify_syn_drop = op.notify_syn_drop
+        if not socket.listening:
+            self.kernel.stack.register_listen(socket)
+        return None
+
+    def _do_accept(self, op: api.Accept, thread: Thread, resumed: bool = False) -> Any:
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.LISTEN_SOCKET)
+        socket: ListenSocket = entry.obj
+        if socket.accept_queue:
+            conn = socket.accept_queue.popleft()
+            conn_entry = thread.process.fds.allocate(DescriptorKind.SOCKET, conn)
+            conn.primary_fd = conn_entry.fd
+            conn.fd_refs = 1
+            conn.charge_target().usage.connections_accepted += 1
+            return conn_entry.fd
+        if not op.blocking:
+            raise WouldBlockError("accept queue empty")
+        socket.waiters.add(thread)
+        return _BLOCKED
+
+    def _do_read(self, op: api.Read, thread: Thread, resumed: bool = False) -> Any:
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.SOCKET)
+        conn: Connection = entry.obj
+        if conn.rx_segments:
+            payload, size = conn.rx_segments.popleft()
+            conn.rx_bytes -= size
+            self.kernel.memory.uncharge(
+                conn.charge_target(), size, "socket_buffer"
+            )
+            return payload
+        if conn.eof:
+            return None
+        if not op.blocking:
+            raise WouldBlockError("no data available")
+        conn.rx_waiters.add(thread)
+        return _BLOCKED
+
+    def _do_write(self, op: api.Write, thread: Thread) -> int:
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.SOCKET)
+        conn: Connection = entry.obj
+        self.kernel.stack.transmit_response(conn, op.payload, op.size_bytes)
+        return op.size_bytes
+
+    def _do_close(self, op: api.Close, thread: Thread) -> None:
+        entry = thread.process.fds.remove(op.fd)
+        self.kernel.release_descriptor(entry)
+        if thread.process.event_queue is not None:
+            thread.process.event_queue.retract(op.fd)
+        return None
+
+    # ------------------------------------------------------------------
+    # Descriptor passing
+    # ------------------------------------------------------------------
+
+    def _do_send_descriptor(self, op: api.SendDescriptor, thread: Thread) -> int:
+        entry = thread.process.fds.lookup(op.fd)
+        target = self.kernel.processes.get(op.target_pid)
+        if target is None or not target.alive:
+            raise InvalidArgumentError(f"no such process: {op.target_pid}")
+        new_entry = target.fds.allocate(entry.kind, entry.obj)
+        self.kernel.acquire_descriptor(new_entry)
+        return new_entry.fd
+
+    # ------------------------------------------------------------------
+    # Pipes
+    # ------------------------------------------------------------------
+
+    def _do_pipe_create(self, op: api.PipeCreate, thread: Thread) -> int:
+        from repro.kernel.pipes import Pipe
+
+        pipe = Pipe(name=op.name, capacity=op.capacity)
+        entry = thread.process.fds.allocate(DescriptorKind.PIPE, pipe)
+        pipe.fd_refs = 1
+        return entry.fd
+
+    def _do_pipe_write(self, op: api.PipeWrite, thread: Thread) -> bool:
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.PIPE)
+        pipe = entry.obj
+        ok = pipe.try_write(op.message)
+        if ok:
+            pipe.read_waiters.wake_all(self.kernel.wake, "pipe")
+        return ok
+
+    def _do_pipe_read(self, op: api.PipeRead, thread: Thread, resumed: bool = False) -> Any:
+        entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.PIPE)
+        pipe = entry.obj
+        ok, message = pipe.try_read()
+        if ok:
+            return message
+        if pipe.closed:
+            return None
+        if not op.blocking:
+            raise WouldBlockError("pipe empty")
+        pipe.read_waiters.add(thread)
+        return _BLOCKED
+
+    # ------------------------------------------------------------------
+    # select()
+    # ------------------------------------------------------------------
+
+    def _fd_ready(self, thread: Thread, fd: int) -> bool:
+        entry = thread.process.fds.lookup(fd)
+        if entry.kind is DescriptorKind.LISTEN_SOCKET:
+            return entry.obj.acceptable
+        if entry.kind is DescriptorKind.SOCKET:
+            return entry.obj.readable
+        raise BadDescriptorError(f"select on non-socket descriptor {fd}")
+
+    def _do_select(self, op: api.Select, thread: Thread, resumed: bool = False) -> Any:
+        if not op.fds:
+            raise InvalidArgumentError("select with empty descriptor set")
+        ready = [fd for fd in op.fds if self._fd_ready(thread, fd)]
+        if ready:
+            return ready
+        if resumed and thread.wake_tag == "timeout":
+            return []
+        if op.timeout_us is not None and op.timeout_us <= 0:
+            return []
+        for fd in op.fds:
+            entry = thread.process.fds.lookup(fd)
+            if entry.kind is DescriptorKind.LISTEN_SOCKET:
+                entry.obj.waiters.add(thread)
+            else:
+                entry.obj.rx_waiters.add(thread)
+        if op.timeout_us is not None and not resumed:
+            self._arm_timer(thread, op.timeout_us)
+        elif op.timeout_us is not None and resumed:
+            # Spurious wake with a timeout pending: re-arm for the
+            # remaining... we conservatively re-arm the full timeout.
+            self._arm_timer(thread, op.timeout_us)
+        return _BLOCKED
+
+    # ------------------------------------------------------------------
+    # Scalable event API
+    # ------------------------------------------------------------------
+
+    def _do_evq_create(self, thread: Thread) -> int:
+        process = thread.process
+        if process.event_queue is None:
+            process.event_queue = ProcessEventQueue(f"evq:{process.name}")
+        entry = process.fds.allocate(
+            DescriptorKind.EVENT_QUEUE, process.event_queue
+        )
+        return entry.fd
+
+    def _get_evq(self, thread: Thread, evq_fd: int) -> ProcessEventQueue:
+        entry = thread.process.fds.lookup_kind(evq_fd, DescriptorKind.EVENT_QUEUE)
+        return entry.obj
+
+    def _do_evq_declare(self, op: api.EventDeclare, thread: Thread) -> None:
+        evq = self._get_evq(thread, op.evq_fd)
+        entry = thread.process.fds.lookup(op.fd)
+        evq.declare(op.fd)
+        # Level-triggered semantics: if the descriptor is already ready
+        # (e.g. the request data raced ahead of accept()), deliver the
+        # event now -- otherwise the readiness would be lost forever.
+        from repro.syscall.api import IOEvent
+
+        if entry.kind is DescriptorKind.LISTEN_SOCKET and entry.obj.acceptable:
+            priority = entry.obj.charge_target().attrs.numeric_priority
+            evq.post(IOEvent("acceptable", op.fd, priority=priority))
+        elif entry.kind is DescriptorKind.SOCKET and entry.obj.readable:
+            priority = entry.obj.charge_target().attrs.numeric_priority
+            evq.post(IOEvent("readable", op.fd, priority=priority))
+        return None
+
+    def _do_evq_get(self, op: api.EventGet, thread: Thread, resumed: bool = False) -> Any:
+        evq = self._get_evq(thread, op.evq_fd)
+        event = evq.pop()
+        if event is not None:
+            return event
+        if resumed and thread.wake_tag == "timeout":
+            return None
+        if op.timeout_us is not None and op.timeout_us <= 0:
+            return None
+        evq.waiters.add(thread)
+        if op.timeout_us is not None:
+            self._arm_timer(thread, op.timeout_us)
+        return _BLOCKED
+
+    # ------------------------------------------------------------------
+    # Container operations
+    # ------------------------------------------------------------------
+
+    def _container_arg(self, thread: Thread, fd: int) -> ResourceContainer:
+        entry = thread.process.fds.lookup_kind(fd, DescriptorKind.CONTAINER)
+        return entry.obj
+
+    def _execute_container_op(self, op: api.Syscall, thread: Thread) -> Any:
+        from repro.core.security import (
+            DEFAULT_TRANSFER_RIGHTS,
+            Right,
+            acl_of,
+            check_access,
+        )
+
+        kernel = self.kernel
+        if not kernel.config.container_api_enabled:
+            raise ContainerPolicyError(
+                "resource-container API is disabled in this kernel mode"
+            )
+        manager = kernel.containers
+        now = kernel.sim.now
+        enforce = kernel.config.container_acl
+        pid = thread.process.pid
+        if isinstance(op, api.ContainerCreate):
+            parent = (
+                self._container_arg(thread, op.parent_fd)
+                if op.parent_fd is not None
+                else None
+            )
+            container = manager.create(op.name, attrs=op.attrs, parent=parent)
+            acl_of(container).owner_pid = pid
+            entry = thread.process.fds.allocate(DescriptorKind.CONTAINER, container)
+            return entry.fd
+        if isinstance(op, api.ContainerSetParent):
+            container = self._container_arg(thread, op.fd)
+            check_access(container, pid, Right.ADMIN, enforce=enforce,
+                         operation="set_parent")
+            parent = (
+                self._container_arg(thread, op.parent_fd)
+                if op.parent_fd is not None
+                else None
+            )
+            manager.set_parent(container, parent)
+            return None
+        if isinstance(op, api.ContainerSetAttrs):
+            if not isinstance(op.attrs, ContainerAttributes):
+                raise InvalidArgumentError("attrs must be ContainerAttributes")
+            container = self._container_arg(thread, op.fd)
+            check_access(container, pid, Right.ADMIN, enforce=enforce,
+                         operation="set_attributes")
+            manager.set_attributes(container, op.attrs)
+            return None
+        if isinstance(op, api.ContainerGetAttrs):
+            container = self._container_arg(thread, op.fd)
+            check_access(container, pid, Right.OBSERVE, enforce=enforce,
+                         operation="get_attributes")
+            return manager.get_attributes(container)
+        if isinstance(op, api.ContainerGetUsage):
+            container = self._container_arg(thread, op.fd)
+            check_access(container, pid, Right.OBSERVE, enforce=enforce,
+                         operation="get_usage")
+            return manager.get_usage(container, recursive=op.recursive)
+        if isinstance(op, api.ContainerGrant):
+            container = self._container_arg(thread, op.fd)
+            check_access(container, pid, Right.ADMIN, enforce=enforce,
+                         operation="grant")
+            if not isinstance(op.rights, Right):
+                raise InvalidArgumentError("rights must be a Right flag set")
+            acl_of(container).grant(op.target_pid, op.rights)
+            return None
+        if isinstance(op, api.ContainerBindThread):
+            container = self._container_arg(thread, op.fd)
+            check_access(container, pid, Right.BIND, enforce=enforce,
+                         operation="bind_thread")
+            if not container.is_leaf:
+                raise ContainerPolicyError(
+                    "threads may only be bound to leaf containers "
+                    f"({container.name!r} has children)"
+                )
+            manager.bindings.bind_thread(thread, container, now)
+            return None
+        if isinstance(op, api.ContainerGetBinding):
+            container = thread.resource_binding
+            if container is None:
+                raise ContainerPolicyError("thread has no resource binding")
+            manager.add_descriptor_ref(container)
+            entry = thread.process.fds.allocate(DescriptorKind.CONTAINER, container)
+            return entry.fd
+        if isinstance(op, api.ContainerResetSchedBinding):
+            thread.scheduler_binding.reset_to(thread.resource_binding, now)
+            return None
+        if isinstance(op, api.ContainerBindSocket):
+            container = self._container_arg(thread, op.container_fd)
+            check_access(container, pid, Right.BIND, enforce=enforce,
+                         operation="bind_socket")
+            entry = thread.process.fds.lookup_kind(
+                op.sock_fd,
+                DescriptorKind.SOCKET,
+                DescriptorKind.LISTEN_SOCKET,
+                DescriptorKind.FILE,
+            )
+            socket = entry.obj
+            old = socket.container
+            container.ref_object_binding()
+            socket.container = container
+            if old is not None:
+                manager.drop_object_binding(old)
+            return None
+        if isinstance(op, api.ContainerSendTo):
+            container = self._container_arg(thread, op.fd)
+            check_access(container, pid, Right.TRANSFER, enforce=enforce,
+                         operation="send_to")
+            target = kernel.processes.get(op.target_pid)
+            if target is None or not target.alive:
+                raise InvalidArgumentError(f"no such process: {op.target_pid}")
+            manager.add_descriptor_ref(container)
+            entry = target.fds.allocate(DescriptorKind.CONTAINER, container)
+            # Receiving a container carries default rights with it.
+            acl_of(container).grant(op.target_pid, DEFAULT_TRANSFER_RIGHTS)
+            return entry.fd
+        if isinstance(op, api.ContainerGetHandle):
+            container = manager.lookup(op.cid)
+            check_access(container, pid, Right.OBSERVE, enforce=enforce,
+                         operation="get_handle")
+            manager.add_descriptor_ref(container)
+            entry = thread.process.fds.allocate(DescriptorKind.CONTAINER, container)
+            return entry.fd
+        raise InvalidArgumentError(f"unknown syscall: {op!r}")

@@ -1,0 +1,63 @@
+"""Wait queues: the kernel's blocking/wakeup primitive.
+
+Any kernel object a thread can sleep on (a listen socket's accept queue,
+a connection's receive buffer, the per-process event queue) owns a
+:class:`WaitQueue`.  Threads may park on several queues at once (that is
+what ``select()`` is); the first wakeup wins and deregisters the thread
+from all of them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Thread
+
+
+class WaitQueue:
+    """FIFO queue of threads waiting for one condition."""
+
+    __slots__ = ("name", "_waiters")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list["Thread"] = []
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def add(self, thread: "Thread") -> None:
+        """Park ``thread`` here; records the queue on the thread."""
+        if thread not in self._waiters:
+            self._waiters.append(thread)
+            thread.waiting_on.append(self)
+
+    def remove(self, thread: "Thread") -> None:
+        """Deregister ``thread`` without waking it."""
+        if thread in self._waiters:
+            self._waiters.remove(thread)
+
+    def wake_one(self, waker: Callable[["Thread", Any], None], tag: Any = None) -> bool:
+        """Wake the longest-waiting thread via ``waker(thread, tag)``.
+
+        Returns True if a thread was woken.  ``waker`` is normally
+        ``Kernel.wake``; indirection keeps this module free of kernel
+        imports.
+        """
+        if not self._waiters:
+            return False
+        thread = self._waiters[0]
+        thread.clear_waits()  # removes it from self too
+        waker(thread, tag)
+        return True
+
+    def wake_all(self, waker: Callable[["Thread", Any], None], tag: Any = None) -> int:
+        """Wake every parked thread; returns how many were woken."""
+        woken = 0
+        while self.wake_one(waker, tag):
+            woken += 1
+        return woken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitQueue({self.name!r}, waiters={len(self._waiters)})"

@@ -1,0 +1,13 @@
+"""Kernel memory accounting with per-container limits.
+
+Paper section 4.4: "the use of other system resources such as physical
+memory, disk bandwidth and socket buffers can be conveniently controlled
+by resource containers.  Resource usage is charged to the correct
+activity."  This package charges kernel memory (socket buffers, protocol
+state) to containers and enforces the ``memory_limit_bytes`` attribute
+along the ancestor chain.
+"""
+
+from repro.mem.physmem import MemoryAccountant
+
+__all__ = ["MemoryAccountant"]

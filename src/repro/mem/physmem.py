@@ -1,0 +1,76 @@
+"""Per-container kernel memory accounting.
+
+The accountant charges allocations to a container and checks the
+``memory_limit_bytes`` attribute of the container and all its ancestors
+before admitting them.  A failed charge is how the network layer sheds
+load from a container that has exhausted its socket-buffer allowance --
+the consumption simply never happens, and the packet is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.container import ResourceContainer
+from repro.core.hierarchy import ancestors_and_self
+
+
+@dataclass
+class MemoryAccountant:
+    """Charges kernel memory to containers and enforces subtree limits."""
+
+    #: Total simulated physical memory available for charged allocations
+    #: (the testbed machine had 128 MB; kernel buffers get a slice).
+    capacity_bytes: int = 64 * 1024 * 1024
+    charged_bytes: int = 0
+    stats_denied: int = 0
+    #: Per-kind totals, for experiment reporting.
+    by_kind: dict = field(default_factory=dict)
+
+    def try_charge(
+        self,
+        container: Optional[ResourceContainer],
+        size_bytes: int,
+        kind: str = "generic",
+    ) -> bool:
+        """Attempt to charge ``size_bytes``; False if any limit refuses.
+
+        ``container`` of None charges the system pool only (legacy
+        unaccounted allocations in SOFTIRQ mode).
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative allocation: {size_bytes}")
+        if self.charged_bytes + size_bytes > self.capacity_bytes:
+            self.stats_denied += 1
+            return False
+        if container is not None:
+            for node in ancestors_and_self(container):
+                limit = node.attrs.memory_limit_bytes
+                if limit is not None and node.usage.memory_bytes + size_bytes > limit:
+                    self.stats_denied += 1
+                    return False
+            # Admit: charge the whole ancestor chain so subtree limits
+            # see aggregated consumption.
+            for node in ancestors_and_self(container):
+                node.usage.charge_memory(size_bytes)
+        self.charged_bytes += size_bytes
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + size_bytes
+        return True
+
+    def uncharge(
+        self,
+        container: Optional[ResourceContainer],
+        size_bytes: int,
+        kind: str = "generic",
+    ) -> None:
+        """Release a previous charge."""
+        if size_bytes < 0:
+            raise ValueError(f"negative free: {size_bytes}")
+        if container is not None:
+            for node in ancestors_and_self(container):
+                node.usage.charge_memory(-size_bytes)
+        self.charged_bytes -= size_bytes
+        if self.charged_bytes < 0:
+            raise ValueError("system memory accounting went negative")
+        self.by_kind[kind] = self.by_kind.get(kind, 0) - size_bytes

@@ -1,0 +1,121 @@
+"""Per-activity billing and capacity planning (paper section 4.8).
+
+"Because resource containers enable precise accounting for the costs of
+an activity, they may be useful to administrators simply for sending
+accurate bills to customers, and for use in capacity planning."
+
+:class:`BillingReport` turns container ledgers into exactly that: an
+invoice per (matching) container subtree, plus a capacity-planning
+summary of where the machine's CPU actually went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.container import ResourceContainer
+from repro.core.hierarchy import subtree_usage
+from repro.core.operations import ContainerManager
+
+
+@dataclass(frozen=True)
+class Tariff:
+    """Prices for metered resources (arbitrary currency units)."""
+
+    per_cpu_second: float = 0.04
+    per_million_packets: float = 0.50
+    per_connection: float = 0.0001
+
+    def charge(self, cpu_us: float, packets: int, connections: int) -> float:
+        """Total price for the given consumption."""
+        return (
+            self.per_cpu_second * (cpu_us / 1e6)
+            + self.per_million_packets * (packets / 1e6)
+            + self.per_connection * connections
+        )
+
+
+@dataclass
+class InvoiceLine:
+    """One customer's (container subtree's) metered consumption."""
+
+    name: str
+    cpu_us: float
+    network_cpu_us: float
+    packets: int
+    connections: int
+    amount: float
+
+
+@dataclass
+class BillingReport:
+    """Invoices for every top-level customer container."""
+
+    lines: list = field(default_factory=list)
+    unaccounted_cpu_us: float = 0.0
+    elapsed_us: float = 0.0
+
+    @classmethod
+    def generate(
+        cls,
+        manager: ContainerManager,
+        elapsed_us: float,
+        tariff: Optional[Tariff] = None,
+        customer_filter: Optional[Callable[[ResourceContainer], bool]] = None,
+        unaccounted_cpu_us: float = 0.0,
+    ) -> "BillingReport":
+        """Bill every top-level container (child of the root).
+
+        ``customer_filter`` restricts which top-level containers count
+        as billable customers (e.g. only guest-server roots).
+        """
+        tariff = tariff if tariff is not None else Tariff()
+        report = cls(elapsed_us=elapsed_us, unaccounted_cpu_us=unaccounted_cpu_us)
+        for container in manager.root.children:
+            if customer_filter is not None and not customer_filter(container):
+                continue
+            usage = subtree_usage(container)
+            report.lines.append(
+                InvoiceLine(
+                    name=container.name,
+                    cpu_us=usage.cpu_us,
+                    network_cpu_us=usage.cpu_network_us,
+                    packets=usage.packets_received,
+                    connections=usage.connections_accepted,
+                    amount=tariff.charge(
+                        usage.cpu_us,
+                        usage.packets_received,
+                        usage.connections_accepted,
+                    ),
+                )
+            )
+        report.lines.sort(key=lambda line: -line.amount)
+        return report
+
+    def total_billed_cpu_us(self) -> float:
+        """CPU covered by some invoice."""
+        return sum(line.cpu_us for line in self.lines)
+
+    def render(self) -> str:
+        """Invoice table plus the capacity-planning footer."""
+        lines = [
+            "Billing report (per top-level resource container)",
+            f"{'customer':30s}{'CPU s':>9s}{'net CPU s':>11s}"
+            f"{'packets':>10s}{'conns':>8s}{'amount':>10s}",
+        ]
+        for line in self.lines:
+            lines.append(
+                f"{line.name:30s}{line.cpu_us / 1e6:>9.3f}"
+                f"{line.network_cpu_us / 1e6:>11.3f}"
+                f"{line.packets:>10d}{line.connections:>8d}"
+                f"{line.amount:>10.4f}"
+            )
+        if self.elapsed_us > 0:
+            billed = self.total_billed_cpu_us()
+            lines.append(
+                f"capacity: {billed / self.elapsed_us:.1%} of machine CPU "
+                f"billed, {self.unaccounted_cpu_us / self.elapsed_us:.1%} "
+                "unaccounted (interrupts/system)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Measurement primitives used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.container import ResourceContainer
+from repro.kernel.accounting import ResourceUsage
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be 0..100, got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass
+class ThroughputMeter:
+    """Counts completions inside a measurement window.
+
+    Experiments run a warm-up period before ``start()`` so queues and
+    scheduler state reach steady state, exactly as a benchmark on real
+    hardware would.
+    """
+
+    started_at: Optional[float] = None
+    stopped_at: Optional[float] = None
+    count: int = 0
+
+    def start(self, now: float) -> None:
+        """Open the measurement window."""
+        self.started_at = now
+        self.count = 0
+
+    def stop(self, now: float) -> None:
+        """Close the measurement window."""
+        self.stopped_at = now
+
+    def record(self, now: float) -> None:
+        """Count one completion if the window is open."""
+        if self.started_at is None or now < self.started_at:
+            return
+        if self.stopped_at is not None and now > self.stopped_at:
+            return
+        self.count += 1
+
+    def rate_per_second(self, now: Optional[float] = None) -> float:
+        """Completions per simulated second over the open window."""
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else now
+        if end is None or end <= self.started_at:
+            return 0.0
+        return self.count / ((end - self.started_at) / 1_000_000.0)
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects response-time samples (microseconds)."""
+
+    samples: list = field(default_factory=list)
+    window_start: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        """Discard warm-up samples and begin recording."""
+        self.window_start = now
+        self.samples = []
+
+    def record(self, started_at: float, completed_at: float) -> None:
+        """Record one request's latency if it began inside the window."""
+        if self.window_start is not None and started_at < self.window_start:
+            return
+        self.samples.append(completed_at - started_at)
+
+    def mean_ms(self) -> float:
+        """Mean latency in milliseconds."""
+        return mean(self.samples) / 1000.0
+
+    def percentile_ms(self, pct: float) -> float:
+        """Percentile latency in milliseconds."""
+        return percentile(self.samples, pct) / 1000.0
+
+
+class UsageSampler:
+    """Differences container usage ledgers across a measurement window.
+
+    Used for Fig. 13 (CPU share of CGI processing) and the section-5.8
+    virtual-server experiment: snapshot at window start, snapshot at
+    window end, report the delta as a share of elapsed time.
+    """
+
+    def __init__(self) -> None:
+        self._start_snap: dict[int, ResourceUsage] = {}
+        self._start_time: Optional[float] = None
+        self._watched: dict[int, ResourceContainer] = {}
+
+    def watch(self, container: ResourceContainer) -> None:
+        """Track a container (call before start())."""
+        self._watched[container.cid] = container
+
+    def start(self, now: float) -> None:
+        """Snapshot all watched containers."""
+        self._start_time = now
+        from repro.core.hierarchy import subtree_usage
+
+        self._start_snap = {
+            cid: subtree_usage(c) for cid, c in self._watched.items()
+        }
+
+    def cpu_share(self, container: ResourceContainer, now: float) -> float:
+        """Fraction of elapsed window CPU charged to the subtree."""
+        if self._start_time is None or now <= self._start_time:
+            return 0.0
+        from repro.core.hierarchy import subtree_usage
+
+        start = self._start_snap.get(container.cid)
+        start_cpu = start.cpu_us if start is not None else 0.0
+        delta = subtree_usage(container).cpu_us - start_cpu
+        return delta / (now - self._start_time)
+
+    def cpu_us(self, container: ResourceContainer, now: float) -> float:
+        """Absolute CPU microseconds charged over the window."""
+        if self._start_time is None:
+            return 0.0
+        from repro.core.hierarchy import subtree_usage
+
+        start = self._start_snap.get(container.cid)
+        start_cpu = start.cpu_us if start is not None else 0.0
+        return subtree_usage(container).cpu_us - start_cpu
+
+
+@dataclass
+class Series:
+    """One plotted curve: label plus (x, y) points."""
+
+    label: str
+    points: list = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.points.append((x, y))
+
+    def xs(self) -> list:
+        """X coordinates."""
+        return [p[0] for p in self.points]
+
+    def ys(self) -> list:
+        """Y coordinates."""
+        return [p[1] for p in self.points]

@@ -1,0 +1,105 @@
+"""Execution-timeline analysis from the trace bus.
+
+Attach a :class:`TimelineRecorder` before running and every CPU slice is
+folded into per-principal totals and a coarse time series -- the view an
+operator would want when asking "where did the machine go?" during an
+incident (say, a SYN flood).  Purely observational: recording changes no
+simulation behaviour, only wall-clock speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import Simulation
+from repro.sim.tracing import TraceRecord
+
+
+@dataclass
+class PrincipalActivity:
+    """Accumulated CPU for one charged principal (container name)."""
+
+    name: str
+    total_us: float = 0.0
+    network_us: float = 0.0
+    slices: int = 0
+
+
+class TimelineRecorder:
+    """Folds ``cpu.slice`` trace records into summaries and buckets."""
+
+    def __init__(self, sim: Simulation, bucket_us: float = 100_000.0) -> None:
+        if bucket_us <= 0:
+            raise ValueError("bucket size must be positive")
+        self.sim = sim
+        self.bucket_us = bucket_us
+        self.by_principal: dict[str, PrincipalActivity] = {}
+        #: bucket index -> {principal: cpu_us}
+        self.buckets: dict[int, dict[str, float]] = {}
+        self.interrupt_us = 0.0
+        self.total_us = 0.0
+        sim.trace.subscribe("cpu.slice", self._on_slice)
+
+    def _on_slice(self, record: TraceRecord) -> None:
+        amount = record.data["amount_us"]
+        charge: Optional[str] = record.data["charge"]
+        name = charge if charge is not None else "<unaccounted>"
+        activity = self.by_principal.get(name)
+        if activity is None:
+            activity = PrincipalActivity(name)
+            self.by_principal[name] = activity
+        activity.total_us += amount
+        activity.slices += 1
+        if record.data.get("network"):
+            activity.network_us += amount
+        if record.data["kind"] != "entity":
+            self.interrupt_us += amount
+        self.total_us += amount
+        bucket = int(record.time // self.bucket_us)
+        self.buckets.setdefault(bucket, {})
+        self.buckets[bucket][name] = self.buckets[bucket].get(name, 0.0) + amount
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def top_principals(self, n: int = 10) -> list[PrincipalActivity]:
+        """Principals by total CPU, descending."""
+        return sorted(
+            self.by_principal.values(), key=lambda a: -a.total_us
+        )[:n]
+
+    def share_of(self, name: str) -> float:
+        """Fraction of recorded CPU charged to ``name``."""
+        if self.total_us <= 0:
+            return 0.0
+        activity = self.by_principal.get(name)
+        return activity.total_us / self.total_us if activity else 0.0
+
+    def bucket_series(self, name: str) -> list[tuple[float, float]]:
+        """(bucket start time, cpu_us) series for one principal."""
+        series = []
+        for bucket in sorted(self.buckets):
+            amount = self.buckets[bucket].get(name, 0.0)
+            series.append((bucket * self.bucket_us, amount))
+        return series
+
+    def render(self, n: int = 10) -> str:
+        """Operator-style summary table."""
+        lines = [
+            "CPU timeline summary",
+            f"{'principal':32s}{'CPU ms':>10s}{'net ms':>10s}"
+            f"{'slices':>8s}{'share':>8s}",
+        ]
+        for activity in self.top_principals(n):
+            lines.append(
+                f"{activity.name:32s}{activity.total_us / 1e3:>10.1f}"
+                f"{activity.network_us / 1e3:>10.1f}{activity.slices:>8d}"
+                f"{self.share_of(activity.name):>8.1%}"
+            )
+        lines.append(
+            f"interrupt context: {self.interrupt_us / 1e3:.1f} ms "
+            f"({(self.interrupt_us / self.total_us) if self.total_us else 0:.1%})"
+        )
+        return "\n".join(lines)

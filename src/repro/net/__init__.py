@@ -1,0 +1,42 @@
+"""Simulated network subsystem.
+
+Models the parts of a TCP/IP stack that matter for the paper's
+experiments: per-packet interrupt and protocol-processing costs, SYN and
+accept queues, established-connection data transfer, the filtered
+``sockaddr`` namespace (section 4.8), and -- crucially -- *where* protocol
+processing runs and who gets charged for it, under the three kernel
+models the paper compares:
+
+- ``SOFTIRQ``: the unmodified kernel.  Protocol processing runs at
+  software-interrupt priority, FIFO, charged to no resource principal.
+- ``LRP``: Lazy Receiver Processing [15].  Packets are demultiplexed
+  early (in the interrupt handler) to their destination *process* and
+  processed by a per-process kernel thread scheduled at that process's
+  priority; excess traffic is discarded early.
+- ``RC``: the paper's system.  Early demultiplexing to the destination
+  *resource container*; the per-process kernel network thread serves
+  pending containers in priority order and charges each container for
+  its own packets.
+"""
+
+from repro.net.filters import AddrFilter, best_match
+from repro.net.packet import Packet, PacketKind, format_ip, ip_addr
+from repro.net.procmodel import KernelNetThread, NetMode
+from repro.net.qos import NetworkQos, TransmitShaper
+from repro.net.tcp import Connection, ListenSocket, TcpStack
+
+__all__ = [
+    "AddrFilter",
+    "Connection",
+    "KernelNetThread",
+    "ListenSocket",
+    "NetMode",
+    "NetworkQos",
+    "Packet",
+    "PacketKind",
+    "TcpStack",
+    "TransmitShaper",
+    "best_match",
+    "format_ip",
+    "ip_addr",
+]

@@ -1,0 +1,68 @@
+"""Packets and addresses.
+
+Addresses are 32-bit integers (IPv4).  A packet carries just enough for
+the experiments: a kind (which determines its protocol-processing cost),
+source address/port, destination port, an optional established-connection
+reference, and a payload.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.tcp import Connection
+
+_packet_seq = itertools.count(1)
+
+
+def ip_addr(a: int, b: int, c: int, d: int) -> int:
+    """Build a 32-bit address from dotted-quad components."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad address octet: {octet}")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def format_ip(addr: int) -> str:
+    """Dotted-quad string for a 32-bit address."""
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class PacketKind(enum.Enum):
+    """Inbound packet types the server-side stack processes.
+
+    (Outbound SYN|ACK and response segments are modelled as direct
+    deliveries to the client after a wire delay; their transmit cost is
+    charged in syscall/protocol context on the server.)
+    """
+
+    SYN = "syn"
+    #: Handshake-completing ACK; carries the client's connection object.
+    HANDSHAKE_ACK = "handshake_ack"
+    #: Data segment on an established connection (an HTTP request).
+    DATA = "data"
+    FIN = "fin"
+
+
+@dataclass
+class Packet:
+    """One inbound packet."""
+
+    kind: PacketKind
+    src_addr: int
+    src_port: int = 0
+    dst_port: int = 80
+    conn: Optional["Connection"] = None
+    payload: Any = None
+    size_bytes: int = 64
+    seq: int = field(default_factory=lambda: next(_packet_seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.kind.value}, src={format_ip(self.src_addr)}, "
+            f"dst_port={self.dst_port}, seq={self.seq})"
+        )

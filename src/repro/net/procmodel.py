@@ -1,0 +1,253 @@
+"""Kernel network-processing models (paper sections 3.2, 4.7, 5.1).
+
+Three models decide where inbound protocol processing runs and who pays:
+
+``SOFTIRQ`` (unmodified kernel)
+    The hardware interrupt handler queues the packet on a bounded IP
+    input queue; a software interrupt -- which preempts *every* thread
+    but yields to hardware interrupts -- performs full protocol
+    processing in FIFO order, charged to no resource principal.  Under
+    overload this is the receive-livelock regime of [30].
+
+``LRP`` (Lazy Receiver Processing [15])
+    The interrupt handler additionally runs the packet filter
+    (early demultiplexing) and hands the packet to the *destination
+    process's* kernel network thread; protocol processing then happens
+    at that process's scheduling priority and is charged to it.  Traffic
+    that matches no socket, or that overflows the per-process queue, is
+    discarded early, at interrupt-handler cost only.
+
+``RC`` (resource containers, this paper)
+    As LRP, but the early demultiplexer resolves to a *resource
+    container* (the socket's bound container), the per-process network
+    thread serves pending containers in priority order, and each
+    container is charged for its own packets.  A container with numeric
+    priority zero is serviced only when nothing else is runnable and its
+    bounded queue simply drops overflow -- the SYN-flood defence.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.container import ResourceContainer
+from repro.net.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class NetMode(enum.Enum):
+    """Which processing model the kernel runs."""
+
+    SOFTIRQ = "softirq"
+    LRP = "lrp"
+    RC = "rc"
+
+
+#: Per-container (RC) or per-socket (LRP) pending-packet queue bound.
+#: Sized like an aggregate socket-buffer allowance: large enough that
+#: legitimate connect bursts (hundreds of clients) never overflow it
+#: while a flood (tens of thousands of packets/sec against a starved
+#: container) still fills it within milliseconds.
+DEFAULT_NET_QUEUE_LIMIT = 256
+
+
+class KernelNetThread:
+    """Per-process kernel thread that performs protocol processing.
+
+    Implements the Schedulable protocol.  Holds one bounded FIFO queue
+    per pending container; the head of the highest-priority non-empty
+    queue is processed next (ties broken by packet arrival order), as
+    the prototype does: "A per-process kernel thread is used to perform
+    processing of network packets in priority order of their containers.
+    To ensure correct accounting, this thread sets its resource binding
+    appropriately while processing each packet."
+    """
+
+    def __init__(
+        self,
+        process: "Process",
+        kernel: "Kernel",
+        queue_limit: int = DEFAULT_NET_QUEUE_LIMIT,
+    ) -> None:
+        self.process = process
+        self.kernel = kernel
+        self.queue_limit = queue_limit
+        self.name = f"netthread:{process.name}"
+        self._queues: dict[object, deque[tuple[Packet, float]]] = {}
+        self._containers: dict[object, ResourceContainer] = {}
+        #: (key, container, packet, remaining_us) of the current packet.
+        self._head: Optional[tuple[object, ResourceContainer, Packet, float]] = None
+        #: True once any CPU has been spent on the head packet; an
+        #: un-started head may still be displaced by higher-priority
+        #: arrivals (selection happens at scheduler-evaluation time,
+        #: which may be long before the thread actually runs).
+        self._head_started = False
+        self.stats_processed = 0
+        self.stats_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Queueing
+    # ------------------------------------------------------------------
+
+    def enqueue(
+        self,
+        container: ResourceContainer,
+        packet: Packet,
+        cost_us: float,
+        queue_key: object = None,
+    ) -> bool:
+        """Queue a demultiplexed packet; False means overflow-dropped.
+
+        Queues are keyed by ``queue_key`` (default: the charge
+        container).  The RC model queues per *container*; the LRP model
+        queues per *socket* -- LRP demultiplexes to sockets, so overload
+        on one socket (a flooded listen queue) cannot crowd out traffic
+        for established connections ("excess traffic is discarded
+        early", per socket).
+        """
+        key = queue_key if queue_key is not None else ("container", container.cid)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+        self._containers[key] = container
+        if len(queue) >= self.queue_limit:
+            self.stats_dropped += 1
+            container.usage.packets_dropped += 1
+            return False
+        queue.append((packet, cost_us))
+        return True
+
+    def pending_packets(self) -> int:
+        """Total queued packets (head included)."""
+        total = sum(len(q) for q in self._queues.values())
+        return total + (1 if self._head is not None else 0)
+
+    # ------------------------------------------------------------------
+    # Schedulable protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def runnable(self) -> bool:
+        return self._head is not None or any(self._queues.values())
+
+    def charge_container(self) -> Optional[ResourceContainer]:
+        self._ensure_head()
+        if self._head is None:
+            return None
+        return self._head[1]
+
+    def scheduler_containers(self) -> list[ResourceContainer]:
+        seen: dict[int, ResourceContainer] = {}
+        for key, queue in self._queues.items():
+            if queue:
+                container = self._containers[key]
+                seen[container.cid] = container
+        return list(seen.values())
+
+    # ------------------------------------------------------------------
+    # Work protocol (driven by the CPU dispatcher)
+    # ------------------------------------------------------------------
+
+    def work_remaining_us(self) -> float:
+        """CPU still needed to finish the current head packet."""
+        self._ensure_head()
+        if self._head is None:
+            return 0.0
+        return self._head[3]
+
+    def advance(self, us: float) -> bool:
+        """Consume CPU toward the head packet; True when it completes."""
+        self._ensure_head()
+        if self._head is None:
+            return False
+        self._head_started = True
+        key, container, packet, remaining = self._head
+        remaining -= us
+        if remaining <= 1e-9:
+            self._head = (key, container, packet, 0.0)
+            return True
+        self._head = (key, container, packet, remaining)
+        return False
+
+    def take_completed(self) -> tuple[ResourceContainer, Packet]:
+        """Pop the finished head packet for semantic processing."""
+        if self._head is None or self._head[3] > 1e-9:
+            raise RuntimeError("no completed packet at netthread head")
+        _key, container, packet, _ = self._head
+        self._head = None
+        self._head_started = False
+        self.stats_processed += 1
+        return container, packet
+
+    def _ensure_head(self) -> None:
+        """Select the next packet: highest container priority, then FIFO.
+
+        An un-started head is displaced if strictly higher-priority
+        traffic has arrived since it was tentatively selected; once
+        protocol processing has consumed CPU, the packet completes.
+        """
+        if self._head is not None:
+            if self._head_started:
+                return
+            head_container = self._head[1]
+            best_waiting = max(
+                (
+                    self._containers[key].attrs.numeric_priority
+                    for key, queue in self._queues.items()
+                    if queue and self._containers[key].alive
+                ),
+                default=None,
+            )
+            if (
+                best_waiting is None
+                or best_waiting <= head_container.attrs.numeric_priority
+            ):
+                return
+            # Push the tentative head back and re-select.
+            key, container, packet, cost = self._head
+            self._queues[key].appendleft((packet, cost))
+            self._head = None
+        best_queue_key: Optional[object] = None
+        best_order: Optional[tuple] = None
+        for key, queue in self._queues.items():
+            if not queue:
+                continue
+            container = self._containers[key]
+            if not container.alive:
+                # Container died with packets queued; discard them.
+                queue.clear()
+                continue
+            packet, _cost = queue[0]
+            order = (-container.attrs.numeric_priority, packet.seq)
+            if best_order is None or order < best_order:
+                best_order = order
+                best_queue_key = key
+        if best_queue_key is None:
+            return
+        queue = self._queues[best_queue_key]
+        packet, cost = queue.popleft()
+        self._head = (best_queue_key, self._containers[best_queue_key], packet, cost)
+        self._head_started = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelNetThread({self.process.name!r}, pending={self.pending_packets()})"
+
+
+def protocol_cost(kernel: "Kernel", packet: Packet) -> float:
+    """Protocol-processing CPU cost for one inbound packet."""
+    costs = kernel.costs
+    if packet.kind is PacketKind.SYN:
+        return costs.proto_syn
+    if packet.kind is PacketKind.HANDSHAKE_ACK:
+        return costs.proto_established
+    if packet.kind is PacketKind.DATA:
+        return costs.proto_rx_segment
+    if packet.kind is PacketKind.FIN:
+        return costs.proto_fin
+    raise ValueError(f"unknown packet kind: {packet.kind}")

@@ -1,0 +1,104 @@
+"""Network QoS: per-container transmit shaping.
+
+Paper section 4.1 lists "network QoS values" among container attributes
+but never exercises them.  We give the attribute concrete semantics: a
+per-container egress rate limit, enforced with a virtual-clock shaper.
+Response segments for a shaped container are released no faster than its
+configured rate; everything else is untouched.
+
+The shaper is deliberately simple (one virtual "link free at" clock per
+container, strict FIFO within a container) -- enough to implement the
+Rent-A-Server bandwidth-tiering scenario and to be property-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.container import ResourceContainer
+from repro.core.hierarchy import ancestors_and_self
+
+
+@dataclass(frozen=True)
+class NetworkQos:
+    """Egress QoS carried in ``ContainerAttributes.network_qos``.
+
+    Attributes:
+        tx_rate_bytes_per_sec: egress bandwidth cap for the container's
+            subtree; None means unshaped.
+        burst_bytes: how far transmission may run ahead of the rate
+            (bucket depth); defaults to one fairly large segment so
+            single small responses are never delayed.
+    """
+
+    tx_rate_bytes_per_sec: Optional[float] = None
+    burst_bytes: int = 8 * 1024
+
+    def __post_init__(self) -> None:
+        if (
+            self.tx_rate_bytes_per_sec is not None
+            and self.tx_rate_bytes_per_sec <= 0
+        ):
+            raise ValueError("tx rate must be positive (or None)")
+        if self.burst_bytes < 0:
+            raise ValueError("burst must be >= 0")
+
+
+def effective_qos(container: Optional[ResourceContainer]) -> Optional[NetworkQos]:
+    """The tightest (lowest-rate) QoS along the ancestor chain."""
+    if container is None:
+        return None
+    tightest: Optional[NetworkQos] = None
+    for node in ancestors_and_self(container):
+        qos = node.attrs.network_qos
+        if isinstance(qos, NetworkQos) and qos.tx_rate_bytes_per_sec is not None:
+            if (
+                tightest is None
+                or qos.tx_rate_bytes_per_sec < tightest.tx_rate_bytes_per_sec
+            ):
+                tightest = qos
+    return tightest
+
+
+class TransmitShaper:
+    """Virtual-clock egress shaper keyed by container.
+
+    ``release_delay(container, size, now)`` returns how long the segment
+    must wait before hitting the wire and advances the container's
+    virtual link clock.  Containers without QoS (or with no rate) pass
+    through with zero delay.
+    """
+
+    def __init__(self) -> None:
+        #: cid -> time at which the shaped link becomes free.
+        self._link_free_at: dict[int, float] = {}
+        self.stats_shaped_segments = 0
+        self.stats_delayed_us = 0.0
+
+    def release_delay(
+        self,
+        container: Optional[ResourceContainer],
+        size_bytes: int,
+        now: float,
+    ) -> float:
+        """Delay (us) before this segment may be delivered."""
+        qos = effective_qos(container)
+        if qos is None or qos.tx_rate_bytes_per_sec is None:
+            return 0.0
+        assert container is not None
+        service_time = size_bytes * 1e6 / qos.tx_rate_bytes_per_sec
+        burst_credit = qos.burst_bytes * 1e6 / qos.tx_rate_bytes_per_sec
+        free_at = self._link_free_at.get(container.cid, now - burst_credit)
+        # An idle link accumulates at most one burst of credit.
+        start = max(free_at, now - burst_credit)
+        finish = start + service_time
+        self._link_free_at[container.cid] = finish
+        delay = max(0.0, finish - now)
+        self.stats_shaped_segments += 1
+        self.stats_delayed_us += delay
+        return delay
+
+    def forget(self, container: ResourceContainer) -> None:
+        """Drop shaper state for a destroyed container."""
+        self._link_free_at.pop(container.cid, None)

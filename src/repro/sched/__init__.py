@@ -1,0 +1,31 @@
+"""CPU schedulers that treat resource containers as resource principals.
+
+The prototype in the paper (section 5.1) replaces the Digital UNIX
+scheduler with a multi-level policy: top-level containers may hold
+*fixed-share guarantees* (and may be capped), while time-share containers
+divide their parent's residual CPU.  :class:`ContainerScheduler`
+implements that policy with stride scheduling for proportional shares and
+window-based accounting for hard caps.
+
+Two additional schedulers support ablation benchmarks:
+
+- :class:`UnixTimeshareScheduler` -- a 4.3BSD-style decay-usage
+  priority scheduler (the "unmodified kernel" flavour of time-sharing);
+- :class:`LotteryScheduler` -- Waldspurger/Weihl lottery scheduling
+  (related work [48]), randomized proportional share.
+"""
+
+from repro.sched.base import Schedulable, Scheduler
+from repro.sched.container_sched import ContainerScheduler
+from repro.sched.lottery import LotteryScheduler
+from repro.sched.state import SchedulerNodeState
+from repro.sched.timeshare import UnixTimeshareScheduler
+
+__all__ = [
+    "ContainerScheduler",
+    "LotteryScheduler",
+    "Schedulable",
+    "Scheduler",
+    "SchedulerNodeState",
+    "UnixTimeshareScheduler",
+]

@@ -1,0 +1,124 @@
+"""Scheduler and schedulable-entity interfaces.
+
+A *schedulable* is anything the CPU dispatcher can run: a user/kernel
+thread, or one of the per-process kernel network threads used by the LRP
+and resource-container processing models (paper section 4.7).  The
+scheduler never sees packets or syscalls -- only schedulables, the
+containers they charge, and the charges themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.container import ResourceContainer
+
+
+@runtime_checkable
+class Schedulable(Protocol):
+    """What the CPU dispatcher and schedulers require of a runnable entity."""
+
+    #: Human-readable identifier for traces.
+    name: str
+
+    @property
+    def runnable(self) -> bool:
+        """True when the entity has work and is not blocked."""
+        ...
+
+    def charge_container(self) -> Optional[ResourceContainer]:
+        """The container the *next* slice of work will be charged to.
+
+        For a thread this is its current resource binding; for a kernel
+        network thread it is the container of the head packet it would
+        process next.  None means "charge nobody" (pure system work).
+        """
+        ...
+
+    def scheduler_containers(self) -> list[ResourceContainer]:
+        """The containers the entity is currently multiplexed over.
+
+        For a thread this is its scheduler binding (section 4.3); for a
+        network thread, the set of containers with pending packets.
+        """
+        ...
+
+
+class Scheduler(abc.ABC):
+    """Abstract CPU scheduling policy.
+
+    Concrete schedulers are passive: the kernel calls :meth:`pick` when
+    the CPU needs work, :meth:`charge` after every slice, and
+    :meth:`window_roll` on its accounting-window timer.
+    """
+
+    #: Default time slice handed to a picked entity, microseconds.
+    quantum_us: float = 1_000.0
+
+    #: Cap-accounting window length, microseconds.  Hard CPU limits
+    #: (Fig. 12/13's sand-boxes) are enforced at this granularity.
+    window_us: float = 10_000.0
+
+    def __init__(self) -> None:
+        self._entities: list[Schedulable] = []
+
+    # -- membership ------------------------------------------------------
+
+    def attach(self, entity: Schedulable) -> None:
+        """Make an entity eligible for scheduling."""
+        if entity not in self._entities:
+            self._entities.append(entity)
+            self.on_attach(entity)
+
+    def detach(self, entity: Schedulable) -> None:
+        """Remove an entity (thread exit)."""
+        if entity in self._entities:
+            self._entities.remove(entity)
+
+    def entities(self) -> list[Schedulable]:
+        """All attached entities (runnable or not)."""
+        return list(self._entities)
+
+    # -- policy hooks ------------------------------------------------------
+
+    def on_attach(self, entity: Schedulable) -> None:
+        """Policy-specific initialisation for a new entity."""
+
+    def on_wakeup(self, entity: Schedulable, now: float) -> None:
+        """Entity transitioned blocked -> runnable."""
+
+    @abc.abstractmethod
+    def pick(
+        self, now: float, exclude: Optional[set] = None
+    ) -> Optional[Schedulable]:
+        """Choose the next entity to run, or None if nothing is eligible.
+
+        ``exclude`` is a set of id()s of entities already running on
+        other cores (SMP); they must not be selected again.
+        """
+
+    @abc.abstractmethod
+    def charge(
+        self,
+        entity: Schedulable,
+        container: Optional[ResourceContainer],
+        amount_us: float,
+        now: float,
+    ) -> None:
+        """Record that ``entity`` consumed CPU against ``container``."""
+
+    def window_roll(self, now: float) -> None:
+        """Advance the cap-accounting window (default: nothing)."""
+
+    def is_throttled(self, entity: Schedulable, now: float) -> bool:
+        """True if resource limits currently forbid running ``entity``."""
+        return False
+
+    def slice_bound_us(self, entity: Schedulable) -> float:
+        """Upper bound on the next slice length for ``entity``.
+
+        Schedulers enforcing windowed CPU caps return the remaining
+        budget so a slice never overshoots the cap; others return inf.
+        """
+        return float("inf")

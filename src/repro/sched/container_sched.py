@@ -1,0 +1,247 @@
+"""The prototype's multi-level container scheduler (paper section 5.1).
+
+Selection is a three-level key:
+
+1. **Numeric-priority layer** (strict).  The combined numeric priority
+   of an entity's scheduler binding (section 4.3) forms strict layers:
+   a priority-zero container -- the paper's denial-of-service defence
+   value -- is serviced only when nothing with positive priority is
+   runnable.
+2. **Top-level group stride.**  Within a layer, the children of the
+   root container form scheduling groups weighted by their fixed-share
+   guarantee (time-share groups split the residual weight).  The
+   eligible group with the smallest *pass* value runs and its pass
+   advances by charge/weight -- stride scheduling, which delivers exact
+   proportional shares under saturation (the section 5.8 property).  A
+   group that wakes from idleness has its pass clamped up to the global
+   virtual time so it cannot monopolise the CPU while it "catches up".
+3. **Round-robin within a group.**  Entities take turns by
+   least-recently-ran order, so a thread that blocks often (an
+   event-driven server) is never starved by CPU-bound peers (CGI
+   children) sharing its group, regardless of how much it consumed in
+   other groups earlier in its life.
+
+Hard CPU limits (``cpu_limit``) are enforced with accounting windows: a
+container subtree that has consumed ``limit * window`` within the
+current window is *capped out*, and entities that would charge it are
+throttled until the window rolls.  This matches the prototype enforcing
+fixed shares at coarse timescales while keeping the simulation cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.container import ResourceContainer
+from repro.core.hierarchy import ancestors_and_self, top_level_of
+from repro.sched.base import Schedulable, Scheduler
+from repro.sched.state import SchedulerNodeState
+
+
+def _node_state(container: ResourceContainer) -> SchedulerNodeState:
+    state = container.sched_state
+    if state is None:
+        state = SchedulerNodeState()
+        container.sched_state = state
+    return state
+
+
+class ContainerScheduler(Scheduler):
+    """Hierarchical fixed-share + time-share scheduler over containers."""
+
+    def __init__(
+        self,
+        root: ResourceContainer,
+        quantum_us: float = 1_000.0,
+        window_us: float = 10_000.0,
+    ) -> None:
+        super().__init__()
+        self.root = root
+        self.quantum_us = quantum_us
+        self.window_us = window_us
+        #: Global group virtual time: groups waking from idleness are
+        #: clamped to this so stale passes cannot monopolise the CPU.
+        self._group_vtime = 0.0
+        #: Monotonic pick counter; per-entity last-ran stamps implement
+        #: least-recently-ran round-robin within a group.
+        self._pick_seq = 0
+        self._last_ran: dict[int, int] = {}
+        #: Deterministic attach-order index used for tie-breaking (object
+        #: ids vary between runs and would break replayability).
+        self._attach_seq = 0
+        self._order: dict[int, int] = {}
+        self.window_rolls = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def on_attach(self, entity: Schedulable) -> None:
+        self._last_ran[id(entity)] = 0
+        self._attach_seq += 1
+        self._order[id(entity)] = self._attach_seq
+
+    def detach(self, entity: Schedulable) -> None:
+        super().detach(entity)
+        self._last_ran.pop(id(entity), None)
+        self._order.pop(id(entity), None)
+
+    # ------------------------------------------------------------------
+    # Cap enforcement
+    # ------------------------------------------------------------------
+
+    def capped_out(self, container: ResourceContainer) -> bool:
+        """True if the container or any ancestor exhausted its window cap."""
+        for node in ancestors_and_self(container):
+            limit = node.attrs.cpu_limit
+            if limit is not None and node.window_usage_us >= limit * self.window_us:
+                return True
+        return False
+
+    def is_throttled(self, entity: Schedulable, now: float) -> bool:
+        container = entity.charge_container()
+        if container is None:
+            return False
+        return self.capped_out(container)
+
+    def slice_bound_us(self, entity: Schedulable) -> float:
+        """Remaining window budget along the charge container's ancestor
+        chain, so one slice cannot overshoot a hard cap."""
+        container = entity.charge_container()
+        if container is None:
+            return float("inf")
+        bound = float("inf")
+        for node in ancestors_and_self(container):
+            limit = node.attrs.cpu_limit
+            if limit is not None:
+                remaining = limit * self.window_us - node.window_usage_us
+                bound = min(bound, max(remaining, 0.0))
+        return bound
+
+    def window_roll(self, now: float) -> None:
+        """Reset window accumulators for the whole hierarchy."""
+        self.window_rolls += 1
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            node.reset_window()
+            stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # Weights
+    # ------------------------------------------------------------------
+
+    def group_weight(self, group: ResourceContainer) -> float:
+        """Effective top-level weight of one child of the root.
+
+        Fixed-share groups weigh exactly their guaranteed share;
+        time-share groups split the residual (1 - sum of fixed shares)
+        in proportion to their ``timeshare_weight``.
+        """
+        siblings = self.root.children
+        fixed_total = sum(
+            c.attrs.fixed_share
+            for c in siblings
+            if c.attrs.fixed_share is not None
+        )
+        if group.attrs.fixed_share is not None:
+            return group.attrs.fixed_share
+        ts_total = sum(
+            c.attrs.timeshare_weight
+            for c in siblings
+            if c.attrs.fixed_share is None
+        )
+        residual = max(1e-6, 1.0 - min(fixed_total, 1.0))
+        if ts_total <= 0.0:
+            return 1e-9
+        return residual * group.attrs.timeshare_weight / ts_total
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def pick(
+        self, now: float, exclude: Optional[set] = None
+    ) -> Optional[Schedulable]:
+        best: Optional[Schedulable] = None
+        best_key: Optional[tuple] = None
+        best_group: Optional[ResourceContainer] = None
+        for entity in self._entities:
+            if not entity.runnable:
+                continue
+            if exclude is not None and id(entity) in exclude:
+                continue
+            container = entity.charge_container()
+            if container is None:
+                group = None
+                group_pass = self._group_vtime
+                priority = 1  # system work: normal layer, neutral pass
+            else:
+                if self.capped_out(container):
+                    continue
+                group = top_level_of(container)
+                group_pass = _node_state(group).pass_value
+                priority = self._combined_priority(entity, container)
+            stamp = self._last_ran.get(id(entity), 0)
+            # Strict priority layers first; stride over groups within a
+            # layer; least-recently-ran round-robin within a group.
+            key = (-priority, group_pass, stamp, self._order.get(id(entity), 0))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = entity
+                best_group = group
+        if best is None:
+            return None
+        self._pick_seq += 1
+        self._last_ran[id(best)] = self._pick_seq
+        if best_group is not None:
+            state = _node_state(best_group)
+            # Clamp a long-idle group up to the global virtual time.
+            state.pass_value = max(state.pass_value, self._group_vtime)
+            self._group_vtime = state.pass_value
+        return best
+
+    def _combined_priority(
+        self, entity: Schedulable, container: ResourceContainer
+    ) -> int:
+        """Priority of an entity: combined over its scheduler binding.
+
+        Multiplexed threads take the max priority over the containers
+        they serve (see :meth:`SchedulerBinding.combined_priority`);
+        entities whose binding set is empty fall back to the charge
+        container's own priority.
+        """
+        members = entity.scheduler_containers()
+        if members:
+            return max(c.attrs.numeric_priority for c in members)
+        return container.attrs.numeric_priority
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+
+    def charge(
+        self,
+        entity: Schedulable,
+        container: Optional[ResourceContainer],
+        amount_us: float,
+        now: float,
+    ) -> None:
+        if amount_us <= 0.0 or container is None:
+            return
+        group = top_level_of(container)
+        weight = self.group_weight(group)
+        state = _node_state(group)
+        state.pass_value += amount_us / max(weight, 1e-9)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, experiments)
+    # ------------------------------------------------------------------
+
+    def runnable_entities(self, now: float) -> list[Schedulable]:
+        """Entities that are runnable and not throttled right now."""
+        return [
+            e
+            for e in self._entities
+            if e.runnable and not self.is_throttled(e, now)
+        ]

@@ -1,0 +1,28 @@
+"""Per-container scheduler bookkeeping.
+
+Kept in a separate record (attached to ``ResourceContainer.sched_state``)
+so the container abstraction itself stays policy-free: the paper is
+explicit that containers are "just a mechanism" usable with a large
+variety of scheduling policies (section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SchedulerNodeState:
+    """Stride-scheduling state for one container.
+
+    Attributes:
+        pass_value: virtual time; the scheduler picks the eligible entity
+            with the smallest pass and advances it by charge / weight.
+        tickets: lottery tickets (used by :class:`LotteryScheduler` only).
+        decayed_usage_us: decay-usage accumulator (used by
+            :class:`UnixTimeshareScheduler` only).
+    """
+
+    pass_value: float = 0.0
+    tickets: int = 100
+    decayed_usage_us: float = 0.0

@@ -1,0 +1,56 @@
+"""Simulated clock.
+
+The clock is owned by the :class:`~repro.sim.engine.Simulation` and only
+advances when the event loop dispatches an event.  Nothing in the system
+reads wall-clock time; all timing comes from here, which is what makes
+runs deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+#: One millisecond expressed in simulated microseconds.
+MILLISECOND = 1_000.0
+
+#: One second expressed in simulated microseconds.
+SECOND = 1_000_000.0
+
+
+class Clock:
+    """Monotonic simulated clock with microsecond resolution.
+
+    Time is a float number of microseconds since simulation start.  The
+    clock can only move forward; attempts to move it backwards indicate a
+    bug in the event queue and raise immediately rather than silently
+    corrupting causality.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            ValueError: if ``when`` is earlier than the current time.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"clock may not run backwards: now={self._now}, target={when}"
+            )
+        self._now = when
+
+    def seconds(self) -> float:
+        """Current time expressed in simulated seconds."""
+        return self._now / SECOND
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.3f}us)"

@@ -1,0 +1,130 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulation` owns the clock, the event queue, the root RNG, and the
+trace bus.  Components schedule callbacks; :meth:`Simulation.run` drains
+the queue in timestamp order, advancing the clock as it goes.
+
+The engine knows nothing about kernels or networks; it is a generic
+deterministic executor, which keeps it easy to test in isolation and to
+reuse for workload generators that live "outside" the simulated host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import SeededRng
+from repro.sim.tracing import TraceBus
+
+
+class Simulation:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: seed for the root RNG; identical seeds give identical runs.
+        trace: optionally share a pre-built trace bus.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceBus] = None) -> None:
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.rng = SeededRng(seed)
+        self.trace = trace if trace is not None else TraceBus()
+        self._events_dispatched = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self.clock.now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_dispatched
+
+    def at(self, when: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule into the past: now={self.clock.now}, when={when}"
+            )
+        return self.queue.schedule(when, callback, *args)
+
+    def after(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.schedule(self.clock.now + delay, callback, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Dispatch events until the queue empties or a bound is reached.
+
+        Args:
+            until: stop once simulated time would exceed this value; the
+                clock is left at exactly ``until`` when the bound is hit.
+            max_events: safety valve for runaway simulations.
+
+        Returns:
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise RuntimeError("simulation loop is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        dispatched_this_run = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and dispatched_this_run >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                event = self.queue.pop()
+                if event is None:  # pragma: no cover - raced cancellation
+                    continue
+                self.clock.advance_to(event.when)
+                event.callback(*event.args)
+                self._events_dispatched += 1
+                dispatched_this_run += 1
+            if until is not None and self.clock.now < until and self.queue.peek_time() is None:
+                # Queue drained before the horizon; report the full horizon
+                # so throughput denominators stay correct.
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulation(now={self.clock.now:.1f}us, "
+            f"pending={len(self.queue)}, dispatched={self._events_dispatched})"
+        )

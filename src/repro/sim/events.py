@@ -1,0 +1,105 @@
+"""Event queue for the discrete-event engine.
+
+A binary heap keyed on ``(time, sequence)``.  The sequence number breaks
+ties deterministically: two events scheduled for the same instant fire in
+the order they were scheduled.  Events can be cancelled in O(1) (lazy
+deletion); the heap skips cancelled entries on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`EventQueue.schedule`; user code holds
+    on to the returned handle only if it may need to :meth:`cancel` it
+    (for example, a CPU time-slice completion that an interrupt preempts).
+    """
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still going to fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.when:.3f}, seq={self.seq}, {name}, {state})"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of pending (not cancelled, not fired) events."""
+        return self._live
+
+    def schedule(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run at simulated time ``when``."""
+        event = Event(when, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (lazy removal from the heap)."""
+        if event.pending:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].when
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next pending event, or None when empty."""
+        self._drop_dead()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        event.fired = True
+        self._live -= 1
+        return event
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

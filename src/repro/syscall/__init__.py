@@ -1,0 +1,11 @@
+"""The simulated syscall surface.
+
+Application threads are generators that ``yield`` instances of the
+classes in :mod:`repro.syscall.api`; the kernel charges each syscall's
+CPU cost to the thread's resource binding, performs its semantics, and
+resumes the generator with the result.
+"""
+
+from repro.syscall import api
+
+__all__ = ["api"]

@@ -1,0 +1,22 @@
+"""Workload generation: document mixes and load drivers.
+
+The paper's experiments use a single cached 1 KB document and closed-loop
+S-Clients [4]; this package additionally provides the standard web-server
+workload shapes (SPECweb-like file-size mixes, open-loop Poisson
+arrivals) so the system can be exercised beyond the paper's exact
+configurations.
+"""
+
+from repro.workloads.httpload import (
+    ClosedLoopFleet,
+    FileSizeMix,
+    OpenLoopGenerator,
+    SPECWEB_LIKE_MIX,
+)
+
+__all__ = [
+    "ClosedLoopFleet",
+    "FileSizeMix",
+    "OpenLoopGenerator",
+    "SPECWEB_LIKE_MIX",
+]

@@ -1,0 +1,218 @@
+"""Document mixes and HTTP load drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.webclient import HttpClient
+from repro.kernel.kernel import Kernel
+from repro.net.packet import ip_addr
+from repro.sim.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class SizeClass:
+    """One class of documents in a file-size mix."""
+
+    name: str
+    size_bytes: int
+    weight: float
+    count: int = 8
+
+
+@dataclass(frozen=True)
+class FileSizeMix:
+    """A weighted mix of document size classes.
+
+    ``populate`` creates the documents in the filesystem (optionally
+    pre-warming the cache) and ``pick_path`` draws request targets with
+    the class weights.
+    """
+
+    classes: tuple
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a mix needs at least one size class")
+        total = sum(c.weight for c in self.classes)
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+
+    def populate(self, kernel: Kernel, warm: bool = True,
+                 prefix: str = "/docs") -> list[str]:
+        """Create every document; returns all paths."""
+        paths = []
+        for size_class in self.classes:
+            for index in range(size_class.count):
+                path = f"{prefix}/{size_class.name}/{index}.html"
+                kernel.fs.add_file(path, size_class.size_bytes)
+                if warm:
+                    kernel.fs.warm(path)
+                paths.append(path)
+        return paths
+
+    def pick_path(self, rng: SeededRng, prefix: str = "/docs") -> str:
+        """Draw a document path according to the class weights."""
+        total = sum(c.weight for c in self.classes)
+        roll = rng.uniform(0.0, total)
+        for size_class in self.classes:
+            roll -= size_class.weight
+            if roll <= 0:
+                index = rng.randint(0, size_class.count - 1)
+                return f"{prefix}/{size_class.name}/{index}.html"
+        size_class = self.classes[-1]
+        return f"{prefix}/{size_class.name}/0.html"
+
+    def mean_size_bytes(self) -> float:
+        """Weighted mean document size."""
+        total = sum(c.weight for c in self.classes)
+        return sum(c.size_bytes * c.weight for c in self.classes) / total
+
+
+#: A SPECweb96-shaped mix: mostly small documents, a heavy tail.
+SPECWEB_LIKE_MIX = FileSizeMix(
+    classes=(
+        SizeClass("tiny", 512, weight=0.35),
+        SizeClass("small", 5 * 1024, weight=0.50),
+        SizeClass("medium", 50 * 1024, weight=0.14),
+        SizeClass("large", 500 * 1024, weight=0.01, count=2),
+    )
+)
+
+
+class ClosedLoopFleet:
+    """A fleet of closed-loop clients drawing paths from a mix."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        count: int,
+        mix: Optional[FileSizeMix] = None,
+        base_addr: int = ip_addr(10, 80, 0, 1),
+        think_time_us: float = 0.0,
+        server_port: int = 80,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        if count < 1:
+            raise ValueError("fleet needs at least one client")
+        self.kernel = kernel
+        self.mix = mix
+        self.rng = rng if rng is not None else kernel.sim.rng.fork("fleet")
+        self.clients: list[HttpClient] = []
+        for index in range(count):
+            path = (
+                mix.pick_path(self.rng) if mix is not None else "/index.html"
+            )
+            self.clients.append(
+                HttpClient(
+                    kernel,
+                    src_addr=base_addr + index,
+                    name=f"fleet-{index}",
+                    path=path,
+                    server_port=server_port,
+                    think_time_us=think_time_us,
+                    rng=self.rng.fork(f"client-{index}") if think_time_us else None,
+                )
+            )
+
+    def start(self, at_us: float = 2_000.0, spread_us: float = 100.0) -> None:
+        """Start every client, staggered."""
+        for index, client in enumerate(self.clients):
+            client.start(at_us=at_us + index * spread_us)
+
+    def stop(self) -> None:
+        """Stop all clients."""
+        for client in self.clients:
+            client.stop()
+
+    def completed(self) -> int:
+        """Total completed requests across the fleet."""
+        return sum(c.stats_completed for c in self.clients)
+
+    def mean_latency_ms(self) -> float:
+        """Fleet-wide mean latency."""
+        samples = [lat for c in self.clients for lat in c.latencies_us]
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples) / 1000.0
+
+
+class OpenLoopGenerator:
+    """Open-loop (arrival-rate-driven) request generator.
+
+    Unlike closed-loop clients, arrival times are independent of
+    completions -- the generator that exposes a server's overload
+    behaviour.  Each arrival is a one-shot client that issues a single
+    request and stops.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rate_per_sec: float,
+        mix: Optional[FileSizeMix] = None,
+        base_addr: int = ip_addr(10, 90, 0, 1),
+        server_port: int = 80,
+        poisson: bool = True,
+        timeout_us: float = 2_000_000.0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        if rate_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.rate_per_sec = rate_per_sec
+        self.mix = mix
+        self.base_addr = base_addr
+        self.server_port = server_port
+        self.poisson = poisson
+        self.timeout_us = timeout_us
+        self.rng = rng if rng is not None else kernel.sim.rng.fork("openloop")
+        self.running = False
+        self.stats_issued = 0
+        self.stats_completed = 0
+        self.latencies_us: list[float] = []
+
+    def start(self, at_us: float = 0.0) -> None:
+        """Begin generating arrivals."""
+        self.running = True
+        self.sim.at(max(at_us, self.sim.now), self._arrival)
+
+    def stop(self) -> None:
+        """Stop generating (in-flight requests finish or time out)."""
+        self.running = False
+
+    def _interarrival_us(self) -> float:
+        mean = 1_000_000.0 / self.rate_per_sec
+        if self.poisson:
+            return self.rng.expovariate(1.0 / mean)
+        return mean
+
+    def _arrival(self) -> None:
+        if not self.running:
+            return
+        self.stats_issued += 1
+        path = self.mix.pick_path(self.rng) if self.mix else "/index.html"
+        client = HttpClient(
+            self.kernel,
+            src_addr=self.base_addr + (self.stats_issued % 60_000),
+            name=f"open-{self.stats_issued}",
+            path=path,
+            server_port=self.server_port,
+            timeout_us=self.timeout_us,
+            on_complete=self._on_complete,
+        )
+        client.start(at_us=self.sim.now)
+        self.sim.after(self._interarrival_us(), self._arrival)
+
+    def _on_complete(self, client: HttpClient, request, latency_us: float) -> None:
+        self.stats_completed += 1
+        self.latencies_us.append(latency_us)
+        client.stop()
+
+    def goodput(self, elapsed_s: float) -> float:
+        """Completed requests per second over the elapsed window."""
+        if elapsed_s <= 0:
+            return 0.0
+        return self.stats_completed / elapsed_s

@@ -1,0 +1,196 @@
+"""CGI dispatch: traditional fork and persistent (FastCGI) workers."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.apps.httpserver import CgiPolicy, EventDrivenServer
+from repro.apps.webclient import HttpClient
+from repro.net.packet import ip_addr
+
+#: Small CGI cost so tests run quickly (the experiments use 2 s).
+FAST_CGI_US = 20_000.0
+
+
+def served_host(mode=SystemMode.RC, cgi=None, **kwargs):
+    host = Host(mode=mode, seed=37)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    server = EventDrivenServer(host.kernel, cgi=cgi, **kwargs)
+    server.install()
+    return host, server
+
+
+def test_cgi_path_matching():
+    policy = CgiPolicy(prefix="/cgi/")
+    assert policy.matches("/cgi/search")
+    assert not policy.matches("/index.html")
+
+
+def test_fork_cgi_completes_request():
+    cgi = CgiPolicy(cpu_us=FAST_CGI_US)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    client = HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "c", path="/cgi/app",
+        timeout_us=10_000_000.0,
+    )
+    client.start(at_us=2_000.0)
+    host.run(until_us=500_000.0)
+    assert client.stats_completed >= 1
+    assert server.stats.cgi_forked >= 1
+    assert server.stats.cgi_completed >= 1
+
+
+def test_fork_cgi_works_without_containers():
+    cgi = CgiPolicy(cpu_us=FAST_CGI_US)
+    host, server = served_host(
+        mode=SystemMode.UNMODIFIED, use_containers=False, cgi=cgi
+    )
+    client = HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "c", path="/cgi/app",
+        timeout_us=10_000_000.0,
+    )
+    client.start(at_us=2_000.0)
+    host.run(until_us=500_000.0)
+    assert client.stats_completed >= 1
+
+
+def test_cgi_container_inherited_by_child():
+    """Traditional CGI passes the request's container by fork
+    inheritance (section 4.8); the child's 2-second burn must be charged
+    to a per-request CGI container, not to a fresh process container."""
+    cgi = CgiPolicy(cpu_us=FAST_CGI_US, cpu_limit=0.5)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    destroyed_cgi_cpu = []
+    host.kernel.containers.on_destroy.append(
+        lambda c: destroyed_cgi_cpu.append(c.usage.cpu_us)
+        if ":cgi-req-" in c.name
+        else None
+    )
+    client = HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "c", path="/cgi/app",
+        timeout_us=10_000_000.0,
+    )
+    client.start(at_us=2_000.0)
+    host.run(until_us=500_000.0)
+    assert client.stats_completed >= 1
+    assert destroyed_cgi_cpu
+    # The request container absorbed (at least) the CGI compute burn.
+    assert max(destroyed_cgi_cpu) >= FAST_CGI_US
+
+
+def test_cgi_parent_cap_limits_cpu_share():
+    cgi = CgiPolicy(cpu_us=2_000_000.0, cpu_limit=0.25)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    for index in range(3):
+        HttpClient(
+            host.kernel, ip_addr(10, 0, 1, index + 1), f"c{index}",
+            path="/cgi/app", timeout_us=60_000_000.0,
+        ).start(at_us=2_000.0 + index * 500.0)
+    host.run(until_us=2_000_000.0)
+    # Sum CPU of live CGI request containers: bounded by cap * elapsed.
+    cgi_cpu = sum(
+        c.usage.cpu_us
+        for c in host.kernel.containers.all_containers()
+        if ":cgi-req-" in c.name
+    )
+    assert cgi_cpu <= 0.25 * host.sim.now * 1.1
+
+
+def test_static_traffic_survives_cgi_load():
+    cgi = CgiPolicy(cpu_us=500_000.0, cpu_limit=0.3)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "cgi", path="/cgi/app",
+        timeout_us=60_000_000.0,
+    ).start(at_us=2_000.0)
+    static = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "static")
+    static.start(at_us=2_000.0)
+    host.run(until_us=1_000_000.0)
+    assert static.stats_completed > 200  # barely affected by the sandbox
+
+
+def test_in_process_module_serves_and_charges():
+    """Library-module dynamic handlers (ISAPI/NSAPI style): no fork, and
+    the burn is still charged to a per-request container."""
+    cgi = CgiPolicy(cpu_us=FAST_CGI_US, in_process=True, cpu_limit=0.5)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    destroyed = []
+    host.kernel.containers.on_destroy.append(
+        lambda c: destroyed.append(c.usage.cpu_us)
+        if ":cgi-req-" in c.name
+        else None
+    )
+    client = HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "c", path="/cgi/app",
+        timeout_us=10_000_000.0,
+    )
+    client.start(at_us=2_000.0)
+    host.run(until_us=500_000.0)
+    assert client.stats_completed >= 1
+    assert len(host.kernel.processes) == 1  # no CGI processes forked
+    assert destroyed and max(destroyed) >= FAST_CGI_US
+
+
+def test_in_process_module_stalls_event_loop():
+    """The cost of skipping fault isolation: the single-threaded server
+    is unavailable to everyone else for the handler's whole burst."""
+    cgi = CgiPolicy(cpu_us=100_000.0, in_process=True)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    static = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "static")
+    static.start(at_us=2_000.0)
+    HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "cgi", path="/cgi/app",
+        timeout_us=10_000_000.0,
+    ).start(at_us=50_000.0)
+    host.run(until_us=400_000.0)
+    # The static client saw at least one ~100 ms latency spike.
+    assert max(static.latencies_us) > 90_000.0
+
+
+def test_in_process_excludes_persistent_workers():
+    with pytest.raises(ValueError):
+        CgiPolicy(in_process=True, persistent_workers=2)
+
+
+def test_persistent_workers_serve_cgi():
+    cgi = CgiPolicy(cpu_us=FAST_CGI_US, persistent_workers=2)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    clients = [
+        HttpClient(
+            host.kernel, ip_addr(10, 0, 1, i + 1), f"c{i}", path="/cgi/app",
+            timeout_us=10_000_000.0,
+        )
+        for i in range(2)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=5_000.0 + index * 500.0)
+    host.run(until_us=1_000_000.0)
+    assert all(c.stats_completed >= 1 for c in clients)
+    # Workers persist (no fork per request).
+    worker_names = [
+        p.name for p in host.kernel.processes.values()
+        if p.name.startswith("fastcgi")
+    ]
+    assert len(worker_names) == 2
+
+
+def test_persistent_workers_charge_request_container():
+    """Explicit container passing (ContainerSendTo) charges the worker's
+    burn to the request container."""
+    cgi = CgiPolicy(cpu_us=FAST_CGI_US, persistent_workers=1, cpu_limit=0.5)
+    host, server = served_host(use_containers=True, cgi=cgi)
+    destroyed = []
+    host.kernel.containers.on_destroy.append(
+        lambda c: destroyed.append((c.name, c.usage.cpu_us))
+        if ":cgi-req-" in c.name
+        else None
+    )
+    client = HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "c", path="/cgi/app",
+        timeout_us=10_000_000.0,
+    )
+    client.start(at_us=5_000.0)
+    host.run(until_us=1_000_000.0)
+    assert client.stats_completed >= 1
+    assert destroyed
+    assert max(cpu for _name, cpu in destroyed) >= FAST_CGI_US

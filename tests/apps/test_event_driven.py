@@ -1,0 +1,106 @@
+"""Event-driven server variants."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.apps.httpserver import EventDrivenServer, ListenSpec
+from repro.apps.webclient import HttpClient
+from repro.net.filters import AddrFilter
+from repro.net.packet import ip_addr
+
+
+def served_host(mode=SystemMode.RC, **kwargs):
+    host = Host(mode=mode, seed=31)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    server = EventDrivenServer(host.kernel, **kwargs)
+    server.install()
+    return host, server
+
+
+@pytest.mark.parametrize("event_api", ["select", "eventapi"])
+def test_both_event_mechanisms_serve(event_api):
+    host, server = served_host(use_containers=True, event_api=event_api)
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=1_000.0)
+    host.run(until_us=100_000.0)
+    assert client.stats_completed > 10
+    # The last response may still be on the wire at the horizon.
+    assert abs(server.stats.static_served - client.stats_completed) <= 1
+
+
+def test_invalid_event_api_rejected():
+    host = Host(mode=SystemMode.RC, seed=31)
+    with pytest.raises(ValueError):
+        EventDrivenServer(host.kernel, event_api="poll")
+
+
+def test_multiple_listen_specs_with_filters():
+    premium_addr = ip_addr(10, 9, 9, 9)
+    specs = [
+        ListenSpec(
+            "premium",
+            addr_filter=AddrFilter(template=premium_addr, prefix_len=32),
+            priority=9,
+        ),
+        ListenSpec("default", priority=1),
+    ]
+    host, server = served_host(
+        specs=specs, use_containers=True, event_api="select"
+    )
+    premium = HttpClient(host.kernel, premium_addr, "vip")
+    regular = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "reg")
+    premium.start(at_us=1_000.0)
+    regular.start(at_us=1_000.0)
+    host.run(until_us=100_000.0)
+    assert premium.stats_completed > 5
+    assert regular.stats_completed > 5
+    # Each class was accounted under its own container.
+    names = {c.name for c in host.kernel.containers.all_containers()}
+    assert "httpd:class:premium" in names
+    assert "httpd:class:default" in names
+
+
+def test_class_container_accumulates_usage():
+    host, server = served_host(use_containers=True)
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=1_000.0)
+    host.run(until_us=200_000.0)
+    class_container = next(
+        c
+        for c in host.kernel.containers.all_containers()
+        if c.name == "httpd:class:default"
+    )
+    assert class_container.usage.cpu_us > 0
+    # Kernel network processing was charged to the class container too.
+    assert class_container.usage.cpu_network_us > 0
+
+
+def test_server_closes_connections_after_response():
+    host, server = served_host()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=1_000.0)
+    host.run(until_us=300_000.0)
+    assert server.open_connections() <= 2  # nothing leaks
+
+
+def test_classifier_assigns_app_priority():
+    vip_addr = ip_addr(10, 9, 9, 9)
+    host, server = served_host(
+        mode=SystemMode.UNMODIFIED,
+        use_containers=False,
+        classifier=lambda addr: 9 if addr == vip_addr else 1,
+    )
+    vip = HttpClient(host.kernel, vip_addr, "vip")
+    vip.start(at_us=1_000.0)
+    host.run(until_us=50_000.0)
+    assert vip.stats_completed > 0
+
+
+def test_unknown_path_closes_connection():
+    host, server = served_host()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c", path="/missing")
+    client.start(at_us=1_000.0)
+    host.run(until_us=100_000.0)
+    assert client.stats_completed == 0
+    assert server.stats.connections_closed > 0

@@ -1,0 +1,114 @@
+"""The SMTP-style mail server: submit, spool, deliver, account."""
+
+import pytest
+
+from repro import AddrFilter, Host, SystemMode, ip_addr
+from repro.apps.httpserver.common import ListenSpec
+from repro.apps.mailserver import MailClient, MailServer, MailStats
+
+PREMIUM = ip_addr(10, 3, 3, 3)
+
+
+def served_host(use_containers=False, specs=None, **kwargs):
+    host = Host(
+        mode=SystemMode.RC if use_containers else SystemMode.UNMODIFIED,
+        seed=101,
+    )
+    server = MailServer(
+        host.kernel, use_containers=use_containers, specs=specs, **kwargs
+    )
+    server.install()
+    return host, server
+
+
+def test_single_submission_roundtrip():
+    host, server = served_host()
+    client = MailClient(host.kernel, ip_addr(10, 0, 0, 1), "m1")
+    client.start(at_us=2_000.0)
+    host.run(seconds=0.1)
+    client.stop()
+    host.run(seconds=0.1)
+    assert client.stats_submitted >= 1
+    assert server.stats.spooled >= 1
+    assert server.stats.delivered >= 1
+
+
+def test_sustained_submission_throughput():
+    host, server = served_host(delivery_threads=8)
+    clients = [
+        MailClient(host.kernel, ip_addr(10, 0, 0, i + 1), f"m{i}")
+        for i in range(8)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=2_000.0 + 150.0 * index)
+    host.run(seconds=1.0)
+    total = sum(c.stats_submitted for c in clients)
+    assert total > 300
+    # Delivery keeps up (queue drains within the delivery RTT budget).
+    assert server.stats.delivered > 0.8 * server.stats.spooled
+
+
+def test_queue_capacity_rejects_overflow():
+    host, server = served_host(delivery_threads=1, queue_capacity=4)
+    # One slow delivery thread, many submitters: the spool fills.
+    clients = [
+        MailClient(host.kernel, ip_addr(10, 0, 0, i + 1), f"m{i}")
+        for i in range(10)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=2_000.0 + 50.0 * index)
+    host.run(seconds=0.5)
+    assert server.stats.rejected > 0
+
+
+def test_validation():
+    host = Host(mode=SystemMode.UNMODIFIED, seed=101)
+    with pytest.raises(ValueError):
+        MailServer(host.kernel, delivery_threads=0)
+
+
+def test_per_class_accounting_with_containers():
+    """Premium and bulk sender classes: both kernel protocol work and
+    user-level spooling/delivery are charged to the right class."""
+    specs = [
+        ListenSpec(
+            "premium",
+            addr_filter=AddrFilter(template=PREMIUM, prefix_len=32),
+            priority=9,
+        ),
+        ListenSpec("bulk", priority=1),
+    ]
+    host, server = served_host(use_containers=True, specs=specs)
+    premium = MailClient(
+        host.kernel, PREMIUM, "vip", size_bytes=2 * 1024,
+        think_time_us=5_000.0,
+    )
+    bulk = [
+        MailClient(
+            host.kernel, ip_addr(10, 0, 0, i + 1), f"bulk{i}",
+            size_bytes=64 * 1024,
+        )
+        for i in range(4)
+    ]
+    premium.start(at_us=2_000.0)
+    for index, client in enumerate(bulk):
+        client.start(at_us=2_500.0 + index * 200.0)
+    host.run(seconds=1.0)
+    classes = {
+        c.name: c
+        for c in host.kernel.containers.all_containers()
+        if ":class:" in c.name
+    }
+    premium_usage = classes["maild:class:premium"].usage
+    bulk_usage = classes["maild:class:bulk"].usage
+    assert premium_usage.cpu_us > 0
+    assert premium_usage.cpu_network_us > 0  # kernel work charged too
+    # Four bulk senders with 32x bigger messages dominate consumption.
+    assert bulk_usage.cpu_us > 3 * premium_usage.cpu_us
+
+
+def test_stats_dataclass_defaults():
+    stats = MailStats()
+    assert (stats.accepted, stats.spooled, stats.delivered, stats.rejected) == (
+        0, 0, 0, 0,
+    )

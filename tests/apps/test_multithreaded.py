@@ -1,0 +1,70 @@
+"""Multi-threaded (thread-per-connection) server."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.apps.httpserver import MultiThreadedServer
+from repro.apps.webclient import HttpClient
+from repro.net.packet import ip_addr
+
+
+def served_host(mode=SystemMode.RC, **kwargs):
+    host = Host(mode=mode, seed=33)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    server = MultiThreadedServer(host.kernel, **kwargs)
+    server.install()
+    return host, server
+
+
+def test_serves_concurrent_clients():
+    host, server = served_host(n_threads=8)
+    clients = [
+        HttpClient(host.kernel, ip_addr(10, 0, 0, i + 1), f"c{i}")
+        for i in range(6)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=2_000.0 + index * 100.0)
+    host.run(until_us=300_000.0)
+    assert all(c.stats_completed > 5 for c in clients)
+    assert server.stats.static_served == sum(c.stats_completed for c in clients)
+
+
+def test_thread_pool_size_enforced():
+    host, _server = served_host(n_threads=4)
+    host.run(until_us=10_000.0)
+    threads = host.kernel.all_threads()
+    workers = [t for t in threads if "mt-httpd" in t.name]
+    assert len(workers) == 4
+
+
+def test_per_connection_containers_created_and_destroyed():
+    host, _server = served_host(n_threads=4, use_containers=True)
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=2_000.0)
+    host.run(until_us=200_000.0)
+    assert client.stats_completed > 10
+    # Per-connection containers are transient; none should accumulate.
+    conn_containers = [
+        c
+        for c in host.kernel.containers.all_containers()
+        if c.name == "conn"
+    ]
+    assert len(conn_containers) <= 4  # at most one per busy worker
+
+
+def test_persistent_connection_served_by_one_thread():
+    host, server = served_host(n_threads=4)
+    client = HttpClient(
+        host.kernel, ip_addr(10, 0, 0, 1), "c", persistent=True
+    )
+    client.start(at_us=2_000.0)
+    host.run(until_us=200_000.0)
+    assert client.stats_completed > 50
+    assert server.stats.connections_accepted == 1
+
+
+def test_needs_at_least_one_thread():
+    host = Host(mode=SystemMode.RC, seed=33)
+    with pytest.raises(ValueError):
+        MultiThreadedServer(host.kernel, n_threads=0)

@@ -1,0 +1,119 @@
+"""HTTP client behaviour against a live server."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.apps.httpserver import EventDrivenServer
+from repro.apps.webclient import HttpClient
+from repro.net.packet import ip_addr
+
+
+def make_served_host(mode=SystemMode.RC, **server_kwargs):
+    host = Host(mode=mode, seed=17)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    server = EventDrivenServer(host.kernel, **server_kwargs)
+    server.install()
+    return host, server
+
+
+def test_single_request_completes():
+    host, _server = make_served_host()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=1_000.0)
+    host.run(until_us=20_000.0)
+    assert client.stats_completed >= 1
+    assert client.stats_retries == 0
+
+
+def test_closed_loop_reissues():
+    host, _server = make_served_host()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=1_000.0)
+    host.run(until_us=200_000.0)
+    assert client.stats_completed > 50
+
+
+def test_latency_recorded_per_request():
+    host, _server = make_served_host()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=1_000.0)
+    host.run(until_us=100_000.0)
+    assert len(client.latencies_us) == client.stats_completed
+    assert all(lat > 0 for lat in client.latencies_us)
+    assert client.mean_latency_ms() > 0
+
+
+def test_persistent_client_reuses_connection():
+    host, server = make_served_host()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c", persistent=True)
+    client.start(at_us=1_000.0)
+    host.run(until_us=200_000.0)
+    assert client.stats_completed > 100
+    # Only one connection was ever accepted for all those requests.
+    assert server.stats.connections_accepted == 1
+
+
+def test_persistent_faster_than_per_connection():
+    host_a, _ = make_served_host()
+    per_conn = HttpClient(host_a.kernel, ip_addr(10, 0, 0, 1), "a")
+    per_conn.start(at_us=1_000.0)
+    host_a.run(until_us=500_000.0)
+    host_b, _ = make_served_host()
+    persistent = HttpClient(
+        host_b.kernel, ip_addr(10, 0, 0, 1), "b", persistent=True
+    )
+    persistent.start(at_us=1_000.0)
+    host_b.run(until_us=500_000.0)
+    assert persistent.stats_completed > per_conn.stats_completed
+
+
+def test_client_times_out_and_retries_without_server():
+    host = Host(mode=SystemMode.RC, seed=17)  # no server installed
+    client = HttpClient(
+        host.kernel, ip_addr(10, 0, 0, 1), "c", timeout_us=50_000.0
+    )
+    client.start(at_us=0.0)
+    host.run(until_us=400_000.0)
+    assert client.stats_completed == 0
+    assert client.stats_retries >= 5
+
+
+def test_think_time_limits_rate():
+    host, _server = make_served_host()
+    slow = HttpClient(
+        host.kernel,
+        ip_addr(10, 0, 0, 1),
+        "slow",
+        think_time_us=50_000.0,
+    )
+    slow.start(at_us=1_000.0)
+    host.run(until_us=1_000_000.0)
+    # ~1s / (50ms think + ~1ms service) ~= 19 requests.
+    assert 10 <= slow.stats_completed <= 25
+
+
+def test_stop_halts_the_loop():
+    host, _server = make_served_host()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=1_000.0)
+    host.run(until_us=50_000.0)
+    completed = client.stats_completed
+    client.stop()
+    host.run(until_us=300_000.0)
+    assert client.stats_completed <= completed + 1
+
+
+def test_on_complete_hook_fires():
+    host, _server = make_served_host()
+    seen = []
+    client = HttpClient(
+        host.kernel,
+        ip_addr(10, 0, 0, 1),
+        "c",
+        on_complete=lambda c, req, lat: seen.append((req.path, lat)),
+    )
+    client.start(at_us=1_000.0)
+    host.run(until_us=30_000.0)
+    assert seen
+    assert seen[0][0] == "/index.html"

@@ -1,0 +1,129 @@
+"""Workload generators: mixes, fleets, open-loop arrivals."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.apps.httpserver import EventDrivenServer
+from repro.workloads import (
+    SPECWEB_LIKE_MIX,
+    ClosedLoopFleet,
+    FileSizeMix,
+    OpenLoopGenerator,
+)
+from repro.workloads.httpload import SizeClass
+
+
+@pytest.fixture
+def served_host():
+    host = Host(mode=SystemMode.RC, seed=71)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    server = EventDrivenServer(host.kernel, use_containers=True)
+    server.install()
+    return host, server
+
+
+def test_mix_populate_creates_all_files(served_host):
+    host, _server = served_host
+    paths = SPECWEB_LIKE_MIX.populate(host.kernel)
+    assert len(paths) == sum(c.count for c in SPECWEB_LIKE_MIX.classes)
+    for path in paths:
+        assert host.kernel.fs.exists(path)
+
+
+def test_mix_pick_follows_weights(served_host):
+    host, _server = served_host
+    SPECWEB_LIKE_MIX.populate(host.kernel)
+    rng = host.sim.rng.fork("picks")
+    picks = [SPECWEB_LIKE_MIX.pick_path(rng) for _ in range(2_000)]
+    small_fraction = sum("/small/" in p for p in picks) / len(picks)
+    large_fraction = sum("/large/" in p for p in picks) / len(picks)
+    assert small_fraction == pytest.approx(0.50, abs=0.05)
+    assert large_fraction == pytest.approx(0.01, abs=0.01)
+
+
+def test_mix_mean_size():
+    mix = FileSizeMix(
+        classes=(
+            SizeClass("a", 1000, weight=0.5),
+            SizeClass("b", 3000, weight=0.5),
+        )
+    )
+    assert mix.mean_size_bytes() == pytest.approx(2000.0)
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        FileSizeMix(classes=())
+
+
+def test_closed_loop_fleet_serves(served_host):
+    host, server = served_host
+    SPECWEB_LIKE_MIX.populate(host.kernel)
+    fleet = ClosedLoopFleet(host.kernel, count=8, mix=SPECWEB_LIKE_MIX)
+    fleet.start(at_us=2_000.0)
+    host.run(seconds=0.5)
+    assert fleet.completed() > 100
+    assert fleet.mean_latency_ms() > 0
+
+
+def test_fleet_validation(served_host):
+    host, _server = served_host
+    with pytest.raises(ValueError):
+        ClosedLoopFleet(host.kernel, count=0)
+
+
+def test_open_loop_generator_issues_at_rate(served_host):
+    host, _server = served_host
+    generator = OpenLoopGenerator(
+        host.kernel, rate_per_sec=500.0, poisson=False
+    )
+    generator.start(at_us=2_000.0)
+    host.run(seconds=1.0)
+    assert generator.stats_issued == pytest.approx(500, abs=10)
+    assert generator.stats_completed > 450
+    assert generator.goodput(1.0) > 450
+
+
+def test_open_loop_poisson_deterministic(served_host):
+    host, _server = served_host
+    generator = OpenLoopGenerator(
+        host.kernel, rate_per_sec=300.0, rng=host.sim.rng.fork("gen")
+    )
+    generator.start(at_us=2_000.0)
+    host.run(seconds=0.5)
+    first = generator.stats_issued
+    assert first > 50
+
+    # Re-building the same seeded scenario reproduces the count.
+    host2 = Host(mode=SystemMode.RC, seed=71)
+    host2.kernel.fs.add_file("/index.html", 1024)
+    host2.kernel.fs.warm("/index.html")
+    EventDrivenServer(host2.kernel, use_containers=True).install()
+    generator2 = OpenLoopGenerator(
+        host2.kernel, rate_per_sec=300.0, rng=host2.sim.rng.fork("gen")
+    )
+    generator2.start(at_us=2_000.0)
+    host2.run(seconds=0.5)
+    assert generator2.stats_issued == first
+
+
+def test_open_loop_overload_sheds(served_host):
+    """Offered load beyond capacity: goodput saturates, not crashes."""
+    host, _server = served_host
+    generator = OpenLoopGenerator(
+        host.kernel, rate_per_sec=6_000.0, poisson=False,
+        timeout_us=300_000.0,
+    )
+    generator.start(at_us=2_000.0)
+    host.run(seconds=1.0)
+    assert generator.stats_issued > 5_500
+    # Capacity is ~2900/s for this workload; under 2x overload the
+    # goodput stays a substantial fraction of it rather than collapsing.
+    assert 1_000 < generator.goodput(1.0) < 3_500
+
+
+def test_generator_validation(served_host):
+    host, _server = served_host
+    with pytest.raises(ValueError):
+        OpenLoopGenerator(host.kernel, rate_per_sec=0.0)

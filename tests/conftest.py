@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.sim.engine import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh deterministic simulation."""
+    return Simulation(seed=42)
+
+
+@pytest.fixture
+def rc_host() -> Host:
+    """A host in resource-container mode with a standard docroot."""
+    host = Host(mode=SystemMode.RC, seed=42)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    return host
+
+
+@pytest.fixture
+def unmodified_host() -> Host:
+    """A host in unmodified (softirq) mode with a standard docroot."""
+    host = Host(mode=SystemMode.UNMODIFIED, seed=42)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    return host
+
+
+@pytest.fixture
+def lrp_host() -> Host:
+    """A host in LRP mode with a standard docroot."""
+    host = Host(mode=SystemMode.LRP, seed=42)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    return host

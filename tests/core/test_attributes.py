@@ -1,0 +1,80 @@
+"""Container attribute validation."""
+
+import pytest
+
+from repro.core.attributes import (
+    ContainerAttributes,
+    SchedClass,
+    fixed_share_attrs,
+    timeshare_attrs,
+)
+
+
+def test_defaults_are_timeshare():
+    attrs = ContainerAttributes()
+    assert attrs.sched_class is SchedClass.TIMESHARE
+    assert attrs.fixed_share is None
+    assert attrs.cpu_limit is None
+
+
+def test_fixed_share_requires_share():
+    with pytest.raises(ValueError):
+        ContainerAttributes(sched_class=SchedClass.FIXED_SHARE)
+
+
+def test_fixed_share_range():
+    with pytest.raises(ValueError):
+        fixed_share_attrs(0.0)
+    with pytest.raises(ValueError):
+        fixed_share_attrs(1.5)
+    assert fixed_share_attrs(1.0).fixed_share == 1.0
+
+
+def test_timeshare_rejects_fixed_share():
+    with pytest.raises(ValueError):
+        ContainerAttributes(
+            sched_class=SchedClass.TIMESHARE, fixed_share=0.5
+        )
+
+
+def test_negative_priority_rejected():
+    with pytest.raises(ValueError):
+        timeshare_attrs(priority=-1)
+
+
+def test_zero_priority_allowed():
+    assert timeshare_attrs(priority=0).numeric_priority == 0
+
+
+def test_cpu_limit_range():
+    with pytest.raises(ValueError):
+        timeshare_attrs(cpu_limit=0.0)
+    with pytest.raises(ValueError):
+        timeshare_attrs(cpu_limit=1.2)
+    assert timeshare_attrs(cpu_limit=0.3).cpu_limit == 0.3
+
+
+def test_memory_limit_non_negative():
+    with pytest.raises(ValueError):
+        ContainerAttributes(memory_limit_bytes=-1)
+    assert ContainerAttributes(memory_limit_bytes=0).memory_limit_bytes == 0
+
+
+def test_weight_positive():
+    with pytest.raises(ValueError):
+        timeshare_attrs(weight=0.0)
+
+
+def test_updated_revalidates():
+    attrs = timeshare_attrs()
+    with pytest.raises(ValueError):
+        attrs.updated(numeric_priority=-5)
+    new = attrs.updated(numeric_priority=9)
+    assert new.numeric_priority == 9
+    assert attrs.numeric_priority != 9  # original unchanged (frozen)
+
+
+def test_fixed_share_helper_sets_limit():
+    attrs = fixed_share_attrs(0.3, cpu_limit=0.3)
+    assert attrs.sched_class is SchedClass.FIXED_SHARE
+    assert attrs.cpu_limit == 0.3

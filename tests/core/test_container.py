@@ -1,0 +1,129 @@
+"""ResourceContainer structure, references, and charging."""
+
+import pytest
+
+from repro.core.attributes import fixed_share_attrs, timeshare_attrs
+from repro.core.container import ContainerState, ResourceContainer
+from repro.kernel.errors import ContainerPolicyError
+
+
+def make_root():
+    return ResourceContainer("<root>", is_root=True)
+
+
+def test_parent_child_links():
+    root = make_root()
+    child = ResourceContainer("c", parent=root)
+    assert child.parent is root
+    assert child in root.children
+
+
+def test_timeshare_container_cannot_have_children():
+    root = make_root()
+    ts_parent = ResourceContainer("ts", attrs=timeshare_attrs(), parent=root)
+    with pytest.raises(ContainerPolicyError):
+        ResourceContainer("kid", parent=ts_parent)
+
+
+def test_fixed_share_container_can_have_children():
+    root = make_root()
+    fs_parent = ResourceContainer(
+        "fs", attrs=fixed_share_attrs(0.5), parent=root
+    )
+    kid = ResourceContainer("kid", parent=fs_parent)
+    assert kid.parent is fs_parent
+
+
+def test_cycle_rejected():
+    root = make_root()
+    a = ResourceContainer("a", attrs=fixed_share_attrs(0.5), parent=root)
+    b = ResourceContainer("b", attrs=fixed_share_attrs(0.5), parent=a)
+    with pytest.raises(ContainerPolicyError):
+        a.set_parent(b)
+
+
+def test_self_parent_rejected():
+    root = make_root()
+    a = ResourceContainer("a", attrs=fixed_share_attrs(0.5), parent=root)
+    with pytest.raises(ContainerPolicyError):
+        a.set_parent(a)
+
+
+def test_root_parent_immutable():
+    root = make_root()
+    other = make_root()
+    with pytest.raises(ContainerPolicyError):
+        root.set_parent(other)
+
+
+def test_reparent_moves_child_lists():
+    root = make_root()
+    a = ResourceContainer("a", attrs=fixed_share_attrs(0.4), parent=root)
+    b = ResourceContainer("b", attrs=fixed_share_attrs(0.4), parent=root)
+    c = ResourceContainer("c", parent=a)
+    c.set_parent(b)
+    assert c not in a.children
+    assert c in b.children
+
+
+def test_detach_to_no_parent():
+    root = make_root()
+    c = ResourceContainer("c", parent=root)
+    c.set_parent(None)
+    assert c.parent is None
+    assert c not in root.children
+
+
+def test_reference_counting_totals():
+    c = ResourceContainer("c")
+    c.ref_descriptor()
+    c.ref_thread_binding()
+    c.ref_object_binding()
+    assert c.total_refs == 3
+    assert not c.unref_descriptor()
+    assert not c.unref_thread_binding()
+    assert c.unref_object_binding()  # last one reports unreferenced
+
+
+def test_unbalanced_unref_raises():
+    c = ResourceContainer("c")
+    with pytest.raises(ContainerPolicyError):
+        c.unref_descriptor()
+
+
+def test_charge_propagates_window_to_ancestors():
+    root = make_root()
+    parent = ResourceContainer("p", attrs=fixed_share_attrs(0.5), parent=root)
+    leaf = ResourceContainer("leaf", parent=parent)
+    leaf.charge_cpu(10.0)
+    assert leaf.window_usage_us == 10.0
+    assert parent.window_usage_us == 10.0
+    assert root.window_usage_us == 10.0
+    # Cumulative usage stays direct.
+    assert leaf.usage.cpu_us == 10.0
+    assert parent.usage.cpu_us == 0.0
+
+
+def test_reset_window_is_local():
+    root = make_root()
+    leaf = ResourceContainer("leaf", parent=root)
+    leaf.charge_cpu(5.0)
+    leaf.reset_window()
+    assert leaf.window_usage_us == 0.0
+    assert root.window_usage_us == 5.0  # parent reset separately
+
+
+def test_destroyed_container_rejects_operations():
+    c = ResourceContainer("c")
+    c.state = ContainerState.DESTROYED
+    with pytest.raises(ContainerPolicyError):
+        c.ref_descriptor()
+
+
+def test_network_charge_categories():
+    c = ResourceContainer("c")
+    c.charge_cpu(7.0, network=True)
+    c.charge_cpu(3.0, syscall=True)
+    assert c.usage.cpu_us == 10.0
+    assert c.usage.cpu_network_us == 7.0
+    assert c.usage.cpu_syscall_us == 3.0

@@ -1,0 +1,120 @@
+"""ContainerManager lifecycle semantics (paper section 4.6)."""
+
+import pytest
+
+from repro.core.attributes import fixed_share_attrs, timeshare_attrs
+from repro.core.container import ContainerState
+from repro.core.operations import ContainerManager
+from repro.kernel.errors import ContainerPolicyError
+
+
+@pytest.fixture
+def manager():
+    return ContainerManager()
+
+
+def test_create_defaults_under_root(manager):
+    c = manager.create("c")
+    assert c.parent is manager.root
+    assert c.descriptor_refs == 1
+
+
+def test_release_destroys_unreferenced(manager):
+    c = manager.create("c")
+    manager.release(c)
+    assert c.state is ContainerState.DESTROYED
+    with pytest.raises(ContainerPolicyError):
+        manager.lookup(c.cid)
+
+
+def test_release_keeps_multiply_referenced(manager):
+    c = manager.create("c")
+    manager.add_descriptor_ref(c)
+    manager.release(c)
+    assert c.alive
+    manager.release(c)
+    assert not c.alive
+
+
+def test_thread_binding_keeps_container_alive(manager):
+    c = manager.create("c")
+    c.ref_thread_binding()
+    manager.release(c)  # descriptor gone, binding remains
+    assert c.alive
+    if c.unref_thread_binding():
+        manager._maybe_destroy(c)
+    assert not c.alive
+
+
+def test_destroying_parent_orphans_children(manager):
+    parent = manager.create("p", attrs=fixed_share_attrs(0.5))
+    child = manager.create("c", parent=parent)
+    manager.release(parent)
+    assert not parent.alive
+    assert child.parent is None
+    assert child.alive
+
+
+def test_root_cannot_be_destroyed(manager):
+    manager.release(manager.root)
+    assert manager.root.alive
+
+
+def test_on_destroy_hook_fires(manager):
+    seen = []
+    manager.on_destroy.append(seen.append)
+    c = manager.create("c")
+    manager.release(c)
+    assert seen == [c]
+
+
+def test_on_create_hook_fires(manager):
+    seen = []
+    manager.on_create.append(seen.append)
+    c = manager.create("c")
+    assert seen == [c]
+
+
+def test_set_attributes_checks_structure(manager):
+    parent = manager.create("p", attrs=fixed_share_attrs(0.5))
+    manager.create("c", parent=parent)
+    with pytest.raises(ContainerPolicyError):
+        manager.set_attributes(parent, timeshare_attrs())
+
+
+def test_set_attributes_ok_for_leaf(manager):
+    c = manager.create("c")
+    manager.set_attributes(c, timeshare_attrs(priority=8))
+    assert manager.get_attributes(c).numeric_priority == 8
+
+
+def test_get_usage_recursive(manager):
+    parent = manager.create("p", attrs=fixed_share_attrs(0.5))
+    child = manager.create("c", parent=parent)
+    child.usage.charge_cpu(20.0)
+    parent.usage.charge_cpu(5.0)
+    assert manager.get_usage(parent).cpu_us == 25.0
+    assert manager.get_usage(parent, recursive=False).cpu_us == 5.0
+
+
+def test_lookup_dead_container_fails(manager):
+    c = manager.create("c")
+    manager.release(c)
+    with pytest.raises(ContainerPolicyError):
+        manager.lookup(c.cid)
+
+
+def test_all_containers_excludes_destroyed(manager):
+    c = manager.create("c")
+    assert c in manager.all_containers()
+    manager.release(c)
+    assert c not in manager.all_containers()
+
+
+def test_object_binding_refcount(manager):
+    c = manager.create("c")
+    c.ref_object_binding()
+    manager.release(c)
+    assert c.alive  # socket binding keeps it alive
+    manager.drop_object_binding(c)
+    assert not c.alive

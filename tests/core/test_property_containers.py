@@ -1,0 +1,119 @@
+"""Property-based tests over container hierarchies (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import fixed_share_attrs, timeshare_attrs
+from repro.core.container import ResourceContainer
+from repro.core.hierarchy import (
+    iter_subtree,
+    subtree_usage,
+    validate_hierarchy,
+)
+from repro.core.operations import ContainerManager
+
+
+@st.composite
+def hierarchy_ops(draw):
+    """A random sequence of create/charge/release operations."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("create"), st.booleans()),
+                st.tuples(st.just("charge"), st.floats(0.0, 1000.0)),
+                st.tuples(st.just("release"), st.integers(0, 30)),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+@given(hierarchy_ops())
+@settings(max_examples=60, deadline=None)
+def test_hierarchy_invariants_hold_under_random_ops(ops):
+    """After any operation sequence the structural invariants hold and
+    charged CPU is conserved into the subtree aggregate."""
+    manager = ContainerManager()
+    created = []
+    total_charged = 0.0
+    fixed_budget = 1.0
+    for op in ops:
+        if op[0] == "create":
+            interior = op[1]
+            # Keep fixed shares under the root's budget so validation
+            # can insist on non-oversubscription.
+            if interior and fixed_budget > 0.05:
+                share = min(0.1, fixed_budget)
+                fixed_budget -= share
+                attrs = fixed_share_attrs(share)
+            else:
+                attrs = timeshare_attrs()
+            parents = [
+                c
+                for c in created
+                if c.alive and c.attrs.fixed_share is not None
+            ]
+            parent = parents[-1] if parents else None
+            created.append(manager.create("c", attrs=attrs, parent=parent))
+        elif op[0] == "charge":
+            alive = [c for c in created if c.alive and c.is_leaf]
+            if alive:
+                alive[-1].charge_cpu(op[1])
+                total_charged += op[1]
+        elif op[0] == "release":
+            index = op[1]
+            if index < len(created) and created[index].alive:
+                if created[index].descriptor_refs > 0:
+                    manager.release(created[index])
+    validate_hierarchy(manager.root)
+    # Conservation: every charged microsecond is visible either in a
+    # live container's ledger or was destroyed along with its container.
+    live_cpu = subtree_usage(manager.root).cpu_us
+    assert live_cpu <= total_charged + 1e-6
+
+
+@given(st.lists(st.floats(0.0, 500.0), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_window_usage_matches_sum_of_charges(amounts):
+    """Window accounting up the ancestor chain equals the exact sum."""
+    manager = ContainerManager()
+    parent = manager.create("p", attrs=fixed_share_attrs(0.5))
+    leaf = manager.create("leaf", parent=parent)
+    for amount in amounts:
+        leaf.charge_cpu(amount)
+    expected = sum(amounts)
+    assert abs(leaf.window_usage_us - expected) < 1e-6
+    assert abs(parent.window_usage_us - expected) < 1e-6
+    assert abs(manager.root.window_usage_us - expected) < 1e-6
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.floats(0.0, 100.0)),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_subtree_usage_equals_manual_sum(charges):
+    """subtree_usage over a fan-out equals a hand-maintained total."""
+    manager = ContainerManager()
+    parent = manager.create("p", attrs=fixed_share_attrs(0.9))
+    leaves = [manager.create(f"leaf{i}", parent=parent) for i in range(5)]
+    expected = 0.0
+    for index, amount in charges:
+        leaves[index].charge_cpu(amount)
+        expected += amount
+    assert abs(subtree_usage(parent).cpu_us - expected) < 1e-6
+
+
+@given(st.integers(1, 25))
+@settings(max_examples=30, deadline=None)
+def test_iter_subtree_counts(n_leaves):
+    manager = ContainerManager()
+    parent = manager.create("p", attrs=fixed_share_attrs(0.5))
+    for i in range(n_leaves):
+        manager.create(f"leaf{i}", parent=parent)
+    # parent + leaves
+    assert sum(1 for _ in iter_subtree(parent)) == n_leaves + 1

@@ -1,0 +1,94 @@
+"""Smoke tests for the experiment harnesses (tiny configurations).
+
+The benchmarks exercise the real configurations; these just guarantee
+every harness runs end-to-end and produces well-formed output quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    baseline,
+    fig11_priority,
+    fig12_cgi,
+    fig14_synflood,
+    table1_primitives,
+    virtual_servers,
+)
+
+
+def test_table1_smoke():
+    result = table1_primitives.run()
+    rendered = result.render()
+    assert "create resource container" in rendered
+    assert len(result.simulated_us) == 7
+
+
+def test_table1_wallclock_smoke():
+    results = table1_primitives.wallclock_microbench()
+    assert all(value > 0 for value in results.values())
+
+
+def test_fig11_single_point():
+    value = fig11_priority._run_point("eventapi", 3, 0.2, 0.3)
+    assert value > 0
+
+
+def test_fig11_run_structure():
+    result = fig11_priority.run(fast=True, points=[0, 3])
+    assert len(result.series) == 3
+    assert all(len(s.points) == 2 for s in result.series)
+    assert "Fig. 11" in result.render()
+
+
+def test_fig12_single_point():
+    from repro import SystemMode
+
+    throughput, share = fig12_cgi._run_point(
+        SystemMode.RC, 0.3, 1, warmup_s=0.5, measure_s=1.0
+    )
+    assert throughput > 0
+    assert 0.0 <= share <= 1.0
+
+
+def test_fig14_single_point():
+    value = fig14_synflood._run_point(True, 5_000.0, 0.5, 0.5)
+    assert value > 0
+
+
+def test_baseline_smoke():
+    value = baseline._throughput(
+        persistent=True, use_containers=False,
+        warmup_s=0.1, measure_s=0.3, clients=5,
+    )
+    assert value > 1_000
+
+
+def test_virtual_servers_smoke():
+    result = virtual_servers.run(fast=True)
+    assert len(result.guests) == 3
+    assert "guest-a" in result.render()
+
+
+def test_ablation_pruning_smoke():
+    result = ablations.run_pruning(fast=True, n_containers=10)
+    assert result.max_without_pruning > result.max_with_pruning
+
+
+def test_ablation_scheduler_policies_smoke():
+    results = ablations.run_scheduler_policies(fast=True)
+    assert {r.policy for r in results} == {"stride", "lottery"}
+
+
+def test_figure_result_render_alignment():
+    from repro.experiments.common import FigureResult, new_series
+
+    series = new_series("a")
+    series.add(1, 10.0)
+    other = new_series("b")
+    other.add(1, 20.0)
+    other.add(2, 30.0)
+    figure = FigureResult(title="T", x_label="x", series=[series, other])
+    rendered = figure.render()
+    assert "T" in rendered
+    assert "-" in rendered.splitlines()[-1]  # missing point placeholder

@@ -1,0 +1,73 @@
+"""Figure/result export to JSON and CSV."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.common import FigureResult, new_series
+from repro.experiments.export import (
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    result_to_json,
+)
+
+
+@pytest.fixture
+def figure():
+    a = new_series("alpha")
+    a.add(0, 10.0)
+    a.add(1, 20.0)
+    b = new_series("beta")
+    b.add(0, 1.0)
+    b.add(2, 3.0)
+    return FigureResult(title="T", x_label="x", series=[a, b])
+
+
+def test_dict_roundtrip(figure):
+    data = figure_to_dict(figure)
+    assert data["title"] == "T"
+    assert data["series"][0]["label"] == "alpha"
+    assert data["series"][0]["points"] == [[0, 10.0], [1, 20.0]]
+
+
+def test_json_parses(figure):
+    parsed = json.loads(figure_to_json(figure))
+    assert parsed["x_label"] == "x"
+    assert len(parsed["series"]) == 2
+
+
+def test_csv_has_header_and_gaps(figure):
+    rows = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+    assert rows[0] == ["x", "alpha", "beta"]
+    # x=1 exists only for alpha; beta's cell is empty.
+    row_for_1 = next(r for r in rows[1:] if r[0] == "1")
+    assert row_for_1[1] == "20.0"
+    assert row_for_1[2] == ""
+
+
+def test_result_to_json_handles_dataclasses():
+    from repro.experiments.baseline import BaselineResult
+
+    result = BaselineResult(
+        conn_per_request=2800.0, persistent=8900.0, with_containers=2700.0
+    )
+    parsed = json.loads(result_to_json(result))
+    assert parsed["persistent"] == 8900.0
+
+
+def test_result_to_json_handles_nested_dicts(figure):
+    parsed = json.loads(result_to_json({"fig": figure, "n": 3}))
+    assert parsed["n"] == 3
+    assert parsed["fig"]["title"] == "T"
+
+
+def test_result_to_json_falls_back_to_render():
+    class Odd:
+        def render(self):
+            return "rendered text"
+
+    parsed = json.loads(result_to_json(Odd()))
+    assert parsed["rendered"] == "rendered text"

@@ -1,0 +1,135 @@
+"""Disk-file container binding (completing section 4.6's file half)."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.kernel.errors import BadDescriptorError
+from repro.syscall import api
+
+
+@pytest.fixture
+def host():
+    h = Host(mode=SystemMode.RC, seed=95)
+    h.kernel.fs.add_file("/data.bin", 10 * 1024)
+    h.kernel.fs.warm("/data.bin")
+    return h
+
+
+def run_program(host, body_factory, horizon_s=2.0):
+    result = {}
+
+    def main():
+        result["value"] = yield from body_factory()
+
+    host.kernel.spawn_process("prog", main)
+    host.run(until_us=host.sim.now + horizon_s * 1e6)
+    return result.get("value")
+
+
+def test_open_and_read_through_descriptor(host):
+    def program():
+        fd = yield api.OpenFile("/data.bin")
+        size = yield api.FdReadFile(fd)
+        yield api.Close(fd)
+        return size
+
+    assert run_program(host, program) == 10 * 1024
+
+
+def test_open_missing_file_raises(host):
+    def program():
+        try:
+            yield api.OpenFile("/missing")
+        except Exception as err:
+            return type(err).__name__
+        return "ok"
+
+    assert run_program(host, program) == "FileNotFoundError_"
+
+
+def test_read_through_closed_descriptor_raises(host):
+    def program():
+        fd = yield api.OpenFile("/data.bin")
+        yield api.Close(fd)
+        try:
+            yield api.FdReadFile(fd)
+        except BadDescriptorError:
+            return "ebadf"
+        return "ok"
+
+    assert run_program(host, program) == "ebadf"
+
+
+def test_bound_file_reads_charged_to_container(host):
+    """The point of file binding: I/O through the descriptor is charged
+    to the file's container, not the reader's own binding."""
+
+    def program():
+        cfd = yield api.ContainerCreate("file-owner")
+        fd = yield api.OpenFile("/data.bin")
+        yield api.ContainerBindSocket(fd, cfd)  # accepts file descriptors
+        for _ in range(10):
+            yield api.FdReadFile(fd)
+        usage = yield api.ContainerGetUsage(cfd)
+        return usage.cpu_us
+
+    charged = run_program(host, program)
+    # 10 reads x (5us cached + 5us/KB * 10KB) = 550us.
+    assert charged == pytest.approx(550.0, rel=0.05)
+
+
+def test_unbound_file_reads_charged_to_reader(host):
+    def program():
+        fd = yield api.OpenFile("/data.bin")
+        binding_fd = yield api.ContainerGetBinding()
+        before = (yield api.ContainerGetUsage(binding_fd)).cpu_us
+        yield api.FdReadFile(fd)
+        after = (yield api.ContainerGetUsage(binding_fd)).cpu_us
+        return after - before
+
+    delta = run_program(host, program)
+    assert delta >= 55.0  # the read cost landed on the reader
+
+
+def test_reader_binding_restored_after_override(host):
+    def program():
+        cfd = yield api.ContainerCreate("file-owner")
+        fd = yield api.OpenFile("/data.bin")
+        yield api.ContainerBindSocket(fd, cfd)
+        yield api.FdReadFile(fd)
+        mine = yield api.ContainerGetBinding()
+        attrs = yield api.ContainerGetAttrs(mine)
+        return attrs is not None
+
+    assert run_program(host, program) is True
+
+
+def test_container_survives_until_file_closed(host):
+    def program():
+        cfd = yield api.ContainerCreate("file-owner")
+        fd = yield api.OpenFile("/data.bin")
+        yield api.ContainerBindSocket(fd, cfd)
+        yield api.Close(cfd)  # descriptor gone; binding keeps it alive
+        yield api.FdReadFile(fd)  # still charges the bound container
+        yield api.Close(fd)
+        return "done"
+
+    assert run_program(host, program) == "done"
+    names = [c.name for c in host.kernel.containers.all_containers()]
+    assert "file-owner" not in names  # released with the file
+
+
+def test_subsequent_reads_hit_cache_cheaper(host):
+    host.kernel.fs.add_file("/cold.bin", 1024)
+
+    def program():
+        fd = yield api.OpenFile("/cold.bin")
+        t0 = yield api.GetTime()
+        yield api.FdReadFile(fd)  # miss
+        t1 = yield api.GetTime()
+        yield api.FdReadFile(fd)  # hit
+        t2 = yield api.GetTime()
+        return (t1 - t0), (t2 - t1)
+
+    miss_time, hit_time = run_program(host, program)
+    assert miss_time > hit_time + 3_000.0  # the 4ms miss penalty

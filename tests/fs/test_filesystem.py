@@ -1,0 +1,88 @@
+"""Filesystem and buffer cache."""
+
+import pytest
+
+from repro.fs.filesystem import BufferCache, FileNotFoundError_, FileSystem
+from repro.kernel.costs import DEFAULT_COSTS
+
+
+def test_add_and_size():
+    fs = FileSystem(DEFAULT_COSTS)
+    fs.add_file("/a", 1024)
+    assert fs.size_of("/a") == 1024
+    assert fs.exists("/a")
+    assert not fs.exists("/b")
+
+
+def test_missing_file_raises():
+    fs = FileSystem(DEFAULT_COSTS)
+    with pytest.raises(FileNotFoundError_):
+        fs.size_of("/nope")
+
+
+def test_negative_size_rejected():
+    fs = FileSystem(DEFAULT_COSTS)
+    with pytest.raises(ValueError):
+        fs.add_file("/a", -1)
+
+
+def test_first_read_misses_then_hits():
+    fs = FileSystem(DEFAULT_COSTS)
+    fs.add_file("/a", 1024)
+    cost_miss, size, hit = fs.read_cost("/a")
+    assert not hit
+    assert size == 1024
+    cost_hit, _, hit2 = fs.read_cost("/a")
+    assert hit2
+    assert cost_hit < cost_miss
+    assert cost_miss - cost_hit == pytest.approx(DEFAULT_COSTS.fs_miss_penalty)
+
+
+def test_warm_prefills_cache():
+    fs = FileSystem(DEFAULT_COSTS)
+    fs.add_file("/a", 1024)
+    fs.warm("/a")
+    _cost, _size, hit = fs.read_cost("/a")
+    assert hit
+
+
+def test_hit_cost_scales_with_size():
+    fs = FileSystem(DEFAULT_COSTS)
+    fs.add_file("/small", 1024)
+    fs.add_file("/big", 64 * 1024)
+    fs.warm("/small")
+    fs.warm("/big")
+    small_cost, _, _ = fs.read_cost("/small")
+    big_cost, _, _ = fs.read_cost("/big")
+    assert big_cost > small_cost
+
+
+def test_lru_eviction():
+    cache = BufferCache(capacity_bytes=3000)
+    cache.access("/a", 1500)
+    cache.access("/b", 1500)
+    cache.access("/a", 1500)  # touch /a so /b is LRU
+    cache.access("/c", 1500)  # evicts /b
+    assert cache.resident("/a")
+    assert not cache.resident("/b")
+    assert cache.resident("/c")
+
+
+def test_oversized_file_never_cached():
+    cache = BufferCache(capacity_bytes=1000)
+    assert not cache.access("/huge", 5000)
+    assert not cache.resident("/huge")
+    assert cache.used_bytes == 0
+
+
+def test_cache_stats():
+    cache = BufferCache(capacity_bytes=10_000)
+    cache.access("/a", 100)
+    cache.access("/a", 100)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BufferCache(capacity_bytes=0)

@@ -1,0 +1,61 @@
+"""Whole-system determinism: identical seeds, identical histories."""
+
+from repro import Host, SystemMode, ip_addr
+from repro.apps.httpserver import CgiPolicy, EventDrivenServer
+from repro.apps.synflood import SynFlooder
+from repro.apps.webclient import HttpClient
+
+
+def run_scenario(seed: int) -> tuple:
+    """A busy mixed scenario; returns a digest of observable history."""
+    host = Host(mode=SystemMode.RC, seed=seed)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    server = EventDrivenServer(
+        host.kernel,
+        use_containers=True,
+        cgi=CgiPolicy(cpu_us=50_000.0, cpu_limit=0.3),
+        event_api="select",
+    )
+    server.install()
+    clients = [
+        HttpClient(
+            host.kernel,
+            ip_addr(10, 0, 0, i + 1),
+            f"c{i}",
+            think_time_us=500.0,
+            rng=host.sim.rng.fork(f"c{i}"),  # seed-dependent timing
+        )
+        for i in range(8)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=2_000.0 + index * 137.0)
+    cgi_client = HttpClient(
+        host.kernel, ip_addr(10, 0, 1, 1), "cgi", path="/cgi/x",
+        timeout_us=60_000_000.0,
+    )
+    cgi_client.start(at_us=9_000.0)
+    flooder = SynFlooder(
+        host.kernel, rate_per_sec=5_000.0, batch=5,
+        rng=host.sim.rng.fork("flood"),
+    )
+    flooder.start(at_us=100_000.0)
+    host.run(seconds=1.0)
+    return (
+        tuple(c.stats_completed for c in clients),
+        tuple(round(c.mean_latency_ms(), 6) for c in clients),
+        cgi_client.stats_completed,
+        server.stats.static_served,
+        server.stats.connections_accepted,
+        round(host.kernel.cpu.accounting.total_cpu_us, 3),
+        host.sim.events_dispatched,
+    )
+
+
+def test_identical_seeds_identical_histories():
+    assert run_scenario(777) == run_scenario(777)
+
+
+def test_different_seeds_diverge():
+    # The flood RNG differs, so histories should not be identical.
+    assert run_scenario(1) != run_scenario(2)

@@ -1,0 +1,94 @@
+"""End-to-end priority behaviour (the Fig. 11 mechanism)."""
+
+import pytest
+
+from repro import AddrFilter, Host, SystemMode, ip_addr
+from repro.apps.httpserver import EventDrivenServer, ListenSpec
+from repro.apps.webclient import HttpClient
+
+PREMIUM = ip_addr(10, 9, 9, 9)
+
+
+def build(mode, event_api="select"):
+    host = Host(mode=mode, seed=67)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    if mode is SystemMode.RC:
+        specs = [
+            ListenSpec(
+                "premium",
+                addr_filter=AddrFilter(template=PREMIUM, prefix_len=32),
+                priority=10,
+            ),
+            ListenSpec("default", priority=1),
+        ]
+        server = EventDrivenServer(
+            host.kernel, specs=specs, use_containers=True, event_api=event_api
+        )
+    else:
+        server = EventDrivenServer(
+            host.kernel,
+            use_containers=False,
+            classifier=lambda addr: 10 if addr == PREMIUM else 1,
+        )
+    server.install()
+    return host, server
+
+
+def drive(host, n_low=25, seconds=1.5):
+    premium = HttpClient(
+        host.kernel, PREMIUM, "premium", think_time_us=2_000.0,
+        rng=host.sim.rng.fork("premium"),
+    )
+    premium.start(at_us=2_500.0)
+    low = [
+        HttpClient(
+            host.kernel, ip_addr(10, 0, 0, i + 1), f"low{i}",
+            think_time_us=2_000.0, rng=host.sim.rng.fork(f"low{i}"),
+        )
+        for i in range(n_low)
+    ]
+    for index, client in enumerate(low):
+        client.start(at_us=3_000.0 + index * 100.0)
+    host.run(seconds=seconds)
+    return premium, low
+
+
+def test_premium_latency_insulated_with_containers():
+    host, _server = build(SystemMode.RC)
+    premium, _low = drive(host)
+    assert premium.mean_latency_ms() < 2.5
+
+
+def test_premium_latency_suffers_without_containers():
+    host, _server = build(SystemMode.UNMODIFIED)
+    premium, _low = drive(host)
+    assert premium.mean_latency_ms() > 3.0
+
+
+def test_low_priority_clients_not_starved():
+    """Priority layering is strict, but the premium client is mostly
+    idle (closed loop with think time), so low-priority work proceeds."""
+    host, _server = build(SystemMode.RC)
+    _premium, low = drive(host)
+    assert sum(c.stats_completed for c in low) > 500
+
+
+def test_premium_served_by_premium_class_container():
+    host, _server = build(SystemMode.RC)
+    premium, _low = drive(host, n_low=3)
+    class_containers = {
+        c.name: c
+        for c in host.kernel.containers.all_containers()
+        if ":class:" in c.name
+    }
+    premium_cpu = class_containers["httpd:class:premium"].usage.cpu_us
+    default_cpu = class_containers["httpd:class:default"].usage.cpu_us
+    assert premium_cpu > 0
+    assert default_cpu > premium_cpu  # 3 low clients vs 1 premium
+
+
+def test_event_api_delivers_premium_first():
+    host, _server = build(SystemMode.RC, event_api="eventapi")
+    premium, _low = drive(host)
+    assert premium.mean_latency_ms() < 2.0

@@ -1,0 +1,89 @@
+"""Integration: hierarchical caps and shares end to end."""
+
+import pytest
+
+from repro import Host, SystemMode, fixed_share_attrs, timeshare_attrs
+from repro.syscall import api
+
+
+def spin():
+    while True:
+        yield api.Compute(5_000.0)
+
+
+@pytest.fixture
+def host():
+    return Host(mode=SystemMode.RC, seed=63)
+
+
+def test_hard_cap_enforced_for_cpu_hog(host):
+    capped = host.kernel.containers.create(
+        "capped", attrs=fixed_share_attrs(0.2, cpu_limit=0.2)
+    )
+    host.kernel.spawn_process("hog", spin, parent_container=capped)
+    host.run(seconds=2.0)
+    from repro.core.hierarchy import subtree_usage
+
+    share = subtree_usage(capped).cpu_us / host.now
+    assert share == pytest.approx(0.2, abs=0.01)
+
+
+def test_cap_is_not_a_guarantee_when_idle(host):
+    """An uncontended capped container simply uses up to its cap; the
+    rest of the machine stays idle (non-work-conserving by design)."""
+    capped = host.kernel.containers.create(
+        "capped", attrs=fixed_share_attrs(0.3, cpu_limit=0.3)
+    )
+    host.kernel.spawn_process("hog", spin, parent_container=capped)
+    host.run(seconds=1.0)
+    acct = host.kernel.cpu.accounting
+    assert acct.utilization(host.now) == pytest.approx(0.3, abs=0.02)
+
+
+def test_fixed_shares_split_exactly_under_saturation(host):
+    shares = {"a": 0.6, "b": 0.4}
+    roots = {}
+    for name, share in shares.items():
+        roots[name] = host.kernel.containers.create(
+            name, attrs=fixed_share_attrs(share)
+        )
+        host.kernel.spawn_process(f"hog-{name}", spin, parent_container=roots[name])
+    host.run(seconds=2.0)
+    from repro.core.hierarchy import subtree_usage
+
+    for name, share in shares.items():
+        observed = subtree_usage(roots[name]).cpu_us / host.now
+        assert observed == pytest.approx(share, abs=0.02), name
+
+
+def test_nested_cap_tighter_than_parent(host):
+    outer = host.kernel.containers.create(
+        "outer", attrs=fixed_share_attrs(0.5, cpu_limit=0.5)
+    )
+    inner = host.kernel.containers.create(
+        "inner", attrs=fixed_share_attrs(0.1, cpu_limit=0.1), parent=outer
+    )
+    host.kernel.spawn_process("hog", spin, parent_container=inner)
+    host.run(seconds=2.0)
+    from repro.core.hierarchy import subtree_usage
+
+    assert subtree_usage(inner).cpu_us / host.now == pytest.approx(0.1, abs=0.01)
+
+
+def test_timeshare_children_split_parent_share(host):
+    parent = host.kernel.containers.create(
+        "parent", attrs=fixed_share_attrs(0.6)
+    )
+    procs = [
+        host.kernel.spawn_process(f"kid{i}", spin, parent_container=parent)
+        for i in range(3)
+    ]
+    # A competitor keeps the parent at exactly its share.
+    other = host.kernel.containers.create("other", attrs=fixed_share_attrs(0.4))
+    host.kernel.spawn_process("rival", spin, parent_container=other)
+    host.run(seconds=2.0)
+    kid_usage = [p.default_container.usage.cpu_us for p in procs]
+    total = sum(kid_usage)
+    assert total / host.now == pytest.approx(0.6, abs=0.03)
+    for usage in kid_usage:
+        assert usage / total == pytest.approx(1 / 3, abs=0.05)

@@ -1,0 +1,63 @@
+"""ResourceUsage / SystemAccounting ledgers."""
+
+import pytest
+
+from repro.kernel.accounting import ResourceUsage, SystemAccounting
+
+
+def test_cpu_charge_accumulates():
+    usage = ResourceUsage()
+    usage.charge_cpu(10.0)
+    usage.charge_cpu(5.0, network=True)
+    usage.charge_cpu(2.0, syscall=True)
+    assert usage.cpu_us == 17.0
+    assert usage.cpu_network_us == 5.0
+    assert usage.cpu_syscall_us == 2.0
+
+
+def test_negative_cpu_charge_rejected():
+    with pytest.raises(ValueError):
+        ResourceUsage().charge_cpu(-1.0)
+
+
+def test_memory_charge_and_peak():
+    usage = ResourceUsage()
+    usage.charge_memory(100)
+    usage.charge_memory(50)
+    usage.charge_memory(-120)
+    assert usage.memory_bytes == 30
+    assert usage.memory_peak_bytes == 150
+
+
+def test_memory_negative_balance_rejected():
+    usage = ResourceUsage()
+    usage.charge_memory(10)
+    with pytest.raises(ValueError):
+        usage.charge_memory(-20)
+
+
+def test_snapshot_is_independent():
+    usage = ResourceUsage()
+    usage.charge_cpu(5.0)
+    snap = usage.snapshot()
+    usage.charge_cpu(5.0)
+    assert snap.cpu_us == 5.0
+    assert usage.cpu_us == 10.0
+
+
+def test_addition_is_elementwise():
+    a = ResourceUsage(cpu_us=1.0, packets_received=2)
+    b = ResourceUsage(cpu_us=3.0, packets_received=5, syscalls=1)
+    total = a + b
+    assert total.cpu_us == 4.0
+    assert total.packets_received == 7
+    assert total.syscalls == 1
+
+
+def test_utilization():
+    acct = SystemAccounting(total_cpu_us=500_000.0)
+    assert acct.utilization(1_000_000.0) == pytest.approx(0.5)
+    assert acct.utilization(0.0) == 0.0
+    # Clamped at 1.0 even with float accumulation slop.
+    acct.total_cpu_us = 1_100_000.0
+    assert acct.utilization(1_000_000.0) == 1.0

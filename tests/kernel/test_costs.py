@@ -1,0 +1,73 @@
+"""Cost-model calibration invariants.
+
+These pin the simulation to the paper's measured totals; if a constant
+drifts, the experiments stop being a reproduction.
+"""
+
+import pytest
+
+from repro.kernel.costs import DEFAULT_COSTS, CostModel
+
+
+def test_persistent_request_total_matches_paper():
+    # 9487 requests/sec at saturation => 105.4 us/request (section 5.3).
+    assert DEFAULT_COSTS.request_cost_persistent() == pytest.approx(105.0)
+
+
+def test_connection_request_total_matches_paper():
+    # 2954 requests/sec at saturation => 338.5 us/request (section 5.3).
+    assert DEFAULT_COSTS.request_cost_per_connection() == pytest.approx(338.0)
+
+
+def test_connection_extra_is_difference():
+    costs = DEFAULT_COSTS
+    assert costs.connection_setup_teardown_cost() == pytest.approx(
+        costs.request_cost_per_connection() - costs.request_cost_persistent()
+    )
+
+
+def test_syn_flood_cost_unmodified_near_100us():
+    # Collapse "effectively zero at about 10,000 SYNs/sec" needs the
+    # full SYN handling cost to be on the order of 1e6/1e4 = 100 us.
+    cost = DEFAULT_COSTS.syn_flood_cost_unmodified()
+    assert 60.0 <= cost <= 110.0
+
+
+def test_syn_flood_cost_filtered_matches_fig14_arithmetic():
+    # (1 - 0.73) * 1e6 / 70_000 = 3.857 us retained per-SYN cost.
+    assert DEFAULT_COSTS.syn_flood_cost_filtered() == pytest.approx(3.9, abs=0.2)
+
+
+def test_softirq_share_lets_server_beat_fair_share():
+    """Fig. 12's misaccounting: the softirq share must be a substantial
+    fraction of the per-request cost (the paper's server claims ~2x a
+    CGI process's share at n=4)."""
+    costs = DEFAULT_COSTS
+    share = costs.softirq_share_per_connection_request()
+    assert share / costs.request_cost_per_connection() > 0.5
+
+
+def test_table1_values_match_paper():
+    table = DEFAULT_COSTS.container_ops.as_table()
+    assert table["create resource container"] == 2.36
+    assert table["destroy resource container"] == 2.10
+    assert table["change thread's resource binding"] == 1.04
+    assert table["obtain container resource usage"] == 2.04
+    assert table["set/get container attributes"] == 2.10
+    assert table["move container between processes"] == 3.15
+    assert table["obtain handle for existing container"] == 1.90
+
+
+def test_with_overrides_returns_new_model():
+    base = CostModel()
+    changed = base.with_overrides(proto_syn=10.0)
+    assert changed.proto_syn == 10.0
+    assert base.proto_syn != 10.0
+
+
+def test_container_ops_cheaper_than_a_request():
+    """Table 1's point: every primitive costs far less than a single
+    HTTP transaction, so per-request container use is near-free."""
+    costs = DEFAULT_COSTS
+    for value in costs.container_ops.as_table().values():
+        assert value < costs.request_cost_persistent() / 10.0

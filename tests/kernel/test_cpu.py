@@ -1,0 +1,140 @@
+"""CPU dispatcher: interrupt precedence, preemption, accounting."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.kernel.cpu import InterruptJob
+from repro.syscall import api
+
+
+@pytest.fixture
+def host():
+    return Host(mode=SystemMode.RC, seed=51)
+
+
+def test_interrupt_job_runs_and_accounts(host):
+    fired = []
+    job = InterruptJob(cost_us=10.0, action=lambda: fired.append(host.now))
+    host.kernel.cpu.post_hard_interrupt(job)
+    host.run(until_us=100.0)
+    assert fired == [10.0]
+    acct = host.kernel.cpu.accounting
+    assert acct.interrupt_cpu_us == pytest.approx(10.0)
+    assert acct.unaccounted_cpu_us == pytest.approx(10.0)
+
+
+def test_interrupt_charged_to_container(host):
+    container = host.kernel.containers.create("c")
+    job = InterruptJob(cost_us=7.0, action=lambda: None, charge=container)
+    host.kernel.cpu.post_hard_interrupt(job)
+    host.run(until_us=100.0)
+    assert container.usage.cpu_us == pytest.approx(7.0)
+    assert host.kernel.cpu.accounting.unaccounted_cpu_us == 0.0
+
+
+def test_hard_interrupt_preempts_thread(host):
+    """A packet arriving mid-slice preempts the thread; the thread's
+    total simulated work is unchanged (charged in two pieces)."""
+    timeline = {}
+
+    def program():
+        start = yield api.GetTime()
+        yield api.Compute(1_000.0)
+        timeline["end"] = (yield api.GetTime()) - start
+
+    host.kernel.spawn_process("p", program)
+    # Interrupt lands in the middle of the 1000us compute.
+    host.sim.at(
+        500.0,
+        lambda: host.kernel.cpu.post_hard_interrupt(
+            InterruptJob(cost_us=50.0, action=lambda: None)
+        ),
+    )
+    host.run(until_us=10_000.0)
+    # The compute took its 1000us of CPU plus the 50us the interrupt
+    # stole, plus dispatch overheads.
+    assert timeline["end"] >= 1_050.0
+
+
+def test_soft_interrupt_yields_to_hard(host):
+    order = []
+    cpu = host.kernel.cpu
+    cpu.post_soft_interrupt(InterruptJob(cost_us=30.0, action=lambda: order.append("soft")))
+    cpu.post_hard_interrupt(InterruptJob(cost_us=10.0, action=lambda: order.append("hard")))
+    host.run(until_us=100.0)
+    # The soft job was already queued first but the hard queue drains first.
+    assert order == ["hard", "soft"]
+
+
+def test_softirq_queue_bound_drops(host):
+    cpu = host.kernel.cpu
+    cpu.soft_queue_limit = 2
+    accepted = [
+        cpu.post_soft_interrupt(InterruptJob(cost_us=1.0, action=lambda: None))
+        for _ in range(4)
+    ]
+    assert accepted == [True, True, False, False]
+    assert cpu.soft_drops == 2
+
+
+def test_conservation_of_cpu_time(host):
+    """charged + unaccounted == total busy time (destroyed containers'
+    charges included)."""
+    destroyed_cpu = []
+    host.kernel.containers.on_destroy.append(
+        lambda c: destroyed_cpu.append(c.usage.cpu_us)
+    )
+
+    def spin():
+        for _ in range(20):
+            yield api.Compute(100.0)
+
+    host.kernel.spawn_process("spin", spin)
+    for t in range(5):
+        host.sim.at(
+            float(t * 300 + 50),
+            lambda: host.kernel.cpu.post_hard_interrupt(
+                InterruptJob(cost_us=20.0, action=lambda: None)
+            ),
+        )
+    host.run(until_us=50_000.0)
+    acct = host.kernel.cpu.accounting
+    charged = sum(
+        c.usage.cpu_us for c in host.kernel.containers.all_containers()
+    ) + sum(destroyed_cpu)
+    assert charged + acct.unaccounted_cpu_us == pytest.approx(
+        acct.total_cpu_us, rel=1e-9
+    )
+
+
+def test_quantum_slices_long_compute(host):
+    """A long compute is delivered in quantum-sized slices so peers
+    interleave rather than waiting for the whole burst."""
+    progress = {"a": 0, "b": 0}
+
+    def make(name):
+        def body():
+            for _ in range(10):
+                yield api.Compute(1_000.0)
+                progress[name] += 1
+
+        return body
+
+    host.kernel.spawn_process("a", make("a"))
+    host.kernel.spawn_process("b", make("b"))
+    host.run(until_us=10_500.0)
+    # Both made roughly equal progress -- neither ran to completion first.
+    assert progress["a"] >= 3
+    assert progress["b"] >= 3
+
+
+def test_idle_time_computation(host):
+    def nap():
+        yield api.Sleep(5_000.0)
+        yield api.Compute(1_000.0)
+
+    host.kernel.spawn_process("napper", nap)
+    host.run(until_us=10_000.0)
+    idle = host.kernel.cpu.idle_time(10_000.0)
+    assert idle == pytest.approx(10_000.0 - host.kernel.cpu.accounting.total_cpu_us)
+    assert idle > 8_000.0

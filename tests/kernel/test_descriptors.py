@@ -1,0 +1,83 @@
+"""Descriptor table semantics."""
+
+import pytest
+
+from repro.kernel.descriptors import Descriptor, DescriptorKind, DescriptorTable
+from repro.kernel.errors import BadDescriptorError
+
+
+def test_lowest_free_allocation():
+    table = DescriptorTable()
+    a = table.allocate(DescriptorKind.SOCKET, "sa")
+    b = table.allocate(DescriptorKind.SOCKET, "sb")
+    assert (a.fd, b.fd) == (0, 1)
+    table.remove(0)
+    c = table.allocate(DescriptorKind.SOCKET, "sc")
+    assert c.fd == 0  # lowest free is reused, as in UNIX
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(BadDescriptorError):
+        DescriptorTable().lookup(3)
+
+
+def test_lookup_kind_checks_type():
+    table = DescriptorTable()
+    entry = table.allocate(DescriptorKind.CONTAINER, "c")
+    table.lookup_kind(entry.fd, DescriptorKind.CONTAINER)
+    with pytest.raises(BadDescriptorError):
+        table.lookup_kind(entry.fd, DescriptorKind.SOCKET)
+
+
+def test_lookup_kind_accepts_alternatives():
+    table = DescriptorTable()
+    entry = table.allocate(DescriptorKind.LISTEN_SOCKET, "ls")
+    found = table.lookup_kind(
+        entry.fd, DescriptorKind.SOCKET, DescriptorKind.LISTEN_SOCKET
+    )
+    assert found is entry
+
+
+def test_remove_returns_entry():
+    table = DescriptorTable()
+    entry = table.allocate(DescriptorKind.PIPE, "p")
+    removed = table.remove(entry.fd)
+    assert removed.obj == "p"
+    with pytest.raises(BadDescriptorError):
+        table.remove(entry.fd)
+
+
+def test_entries_sorted_by_fd():
+    table = DescriptorTable()
+    for name in ("a", "b", "c"):
+        table.allocate(DescriptorKind.FILE, name)
+    table.remove(1)
+    table.allocate(DescriptorKind.FILE, "d")
+    assert [e.obj for e in table.entries()] == ["a", "d", "c"]
+
+
+def test_install_copy_preserves_fd_number():
+    parent = DescriptorTable()
+    entry = parent.allocate(DescriptorKind.SOCKET, "shared")
+    parent.allocate(DescriptorKind.SOCKET, "other")
+    child = DescriptorTable()
+    copy = child.install_copy_of(parent.lookup(1))
+    assert copy.fd == 1
+    assert 0 not in child
+    assert child.lookup(1).obj == "other"
+
+
+def test_install_copy_rejects_collision():
+    parent = DescriptorTable()
+    entry = parent.allocate(DescriptorKind.SOCKET, "x")
+    child = DescriptorTable()
+    child.install_copy_of(entry)
+    with pytest.raises(BadDescriptorError):
+        child.install_copy_of(entry)
+
+
+def test_contains_and_len():
+    table = DescriptorTable()
+    entry = table.allocate(DescriptorKind.EVENT_QUEUE, "evq")
+    assert entry.fd in table
+    assert len(table) == 1

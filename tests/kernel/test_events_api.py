@@ -1,0 +1,67 @@
+"""Per-process event queue: priority ordering, dedup, declarations."""
+
+import pytest
+
+from repro.kernel.events import ProcessEventQueue
+from repro.syscall.api import IOEvent
+
+
+@pytest.fixture
+def evq():
+    queue = ProcessEventQueue("test")
+    for fd in range(10):
+        queue.declare(fd)
+    return queue
+
+
+def test_priority_ordering(evq):
+    evq.post(IOEvent("readable", 1, priority=1))
+    evq.post(IOEvent("readable", 2, priority=9))
+    evq.post(IOEvent("readable", 3, priority=4))
+    order = [evq.pop().fd for _ in range(3)]
+    assert order == [2, 3, 1]
+
+
+def test_fifo_within_priority(evq):
+    evq.post(IOEvent("readable", 1, priority=5))
+    evq.post(IOEvent("readable", 2, priority=5))
+    assert evq.pop().fd == 1
+    assert evq.pop().fd == 2
+
+
+def test_dedup_suppresses_duplicate_readiness(evq):
+    assert evq.post(IOEvent("readable", 1, priority=5))
+    assert not evq.post(IOEvent("readable", 1, priority=5))
+    assert evq.stats_suppressed == 1
+    evq.pop()
+    # After draining, the key is free again.
+    assert evq.post(IOEvent("readable", 1, priority=5))
+
+
+def test_undeclared_fd_suppressed(evq):
+    assert not evq.post(IOEvent("readable", 99, priority=5))
+
+
+def test_syn_dropped_bypasses_declaration_check(evq):
+    # syn_dropped events are notifications, not fd readiness.
+    assert evq.post(IOEvent("syn_dropped", 99, data=123), dedup=False)
+    event = evq.pop()
+    assert event.kind == "syn_dropped"
+    assert event.data == 123
+
+
+def test_retract_stops_future_events(evq):
+    evq.retract(1)
+    assert not evq.post(IOEvent("readable", 1, priority=5))
+
+
+def test_pop_empty_returns_none(evq):
+    assert evq.pop() is None
+
+
+def test_len_tracks_pending(evq):
+    evq.post(IOEvent("readable", 1, priority=5))
+    evq.post(IOEvent("acceptable", 2, priority=5))
+    assert len(evq) == 2
+    evq.pop()
+    assert len(evq) == 1

@@ -1,0 +1,126 @@
+"""Randomized syscall programs (hypothesis-driven fuzzing).
+
+Generates random (but type-valid) syscall sequences across several
+concurrent processes and asserts the kernel-wide invariants that must
+hold for *any* program: no crash, CPU-time conservation, container
+hierarchy validity, and non-negative ledgers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Host, SystemMode
+from repro.core.hierarchy import validate_hierarchy
+from repro.kernel.errors import KernelError
+from repro.syscall import api
+
+
+def op_strategy():
+    """One random syscall step (an opcode plus arguments)."""
+    return st.one_of(
+        st.tuples(st.just("compute"), st.floats(0.0, 500.0)),
+        st.tuples(st.just("sleep"), st.floats(0.0, 2_000.0)),
+        st.tuples(st.just("create"), st.integers(0, 9)),
+        st.tuples(st.just("bind"), st.integers(0, 9)),
+        st.tuples(st.just("close"), st.integers(0, 9)),
+        st.tuples(st.just("usage"), st.integers(0, 9)),
+        st.tuples(st.just("pipe_rt"), st.integers(0, 100)),
+        st.tuples(st.just("readfile"), st.booleans()),
+        st.tuples(st.just("getbinding"), st.booleans()),
+    )
+
+
+def make_program(steps):
+    """Turn a step list into a thread body that tolerates kernel errors."""
+
+    def body():
+        created: list[int] = []
+        for opcode, arg in steps:
+            try:
+                if opcode == "compute":
+                    yield api.Compute(arg)
+                elif opcode == "sleep":
+                    yield api.Sleep(arg)
+                elif opcode == "create":
+                    created.append((yield api.ContainerCreate(f"fz{arg}")))
+                elif opcode == "bind" and created:
+                    yield api.ContainerBindThread(
+                        created[arg % len(created)]
+                    )
+                elif opcode == "close" and created:
+                    fd = created.pop(arg % len(created))
+                    yield api.Close(fd)
+                elif opcode == "usage" and created:
+                    yield api.ContainerGetUsage(created[arg % len(created)])
+                elif opcode == "pipe_rt":
+                    pfd = yield api.PipeCreate(capacity=4)
+                    yield api.PipeWrite(pfd, arg)
+                    value = yield api.PipeRead(pfd)
+                    assert value == arg
+                    yield api.Close(pfd)
+                elif opcode == "readfile":
+                    yield api.ReadFile("/fuzz.dat")
+                elif opcode == "getbinding":
+                    fd = yield api.ContainerGetBinding()
+                    yield api.Close(fd)
+            except KernelError:
+                continue  # rejected operations are fine; crashes are not
+
+    return body
+
+
+@given(
+    programs=st.lists(
+        st.lists(op_strategy(), min_size=1, max_size=25),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_random_programs_preserve_kernel_invariants(programs):
+    host = Host(mode=SystemMode.RC, seed=4242)
+    host.kernel.fs.add_file("/fuzz.dat", 2048)
+    host.kernel.fs.warm("/fuzz.dat")
+    destroyed_cpu = []
+    host.kernel.containers.on_destroy.append(
+        lambda c: destroyed_cpu.append(c.usage.cpu_us)
+    )
+    for index, steps in enumerate(programs):
+        host.kernel.spawn_process(f"fuzz{index}", make_program(steps))
+    host.run(seconds=0.2)
+
+    # 1. Hierarchy is structurally valid.
+    validate_hierarchy(host.kernel.containers.root)
+    # 2. CPU conservation: charged (live + destroyed) + unaccounted
+    #    equals total busy time.
+    acct = host.kernel.cpu.accounting
+    charged = sum(
+        c.usage.cpu_us for c in host.kernel.containers.all_containers()
+    ) + sum(destroyed_cpu)
+    assert abs(charged + acct.unaccounted_cpu_us - acct.total_cpu_us) < 1e-6
+    # 3. Busy time never exceeds elapsed time (uniprocessor).
+    assert acct.total_cpu_us <= host.now + 1e-6
+    # 4. Ledgers are non-negative.
+    for container in host.kernel.containers.all_containers():
+        assert container.usage.cpu_us >= 0.0
+        assert container.usage.memory_bytes >= 0
+
+
+@given(
+    steps=st.lists(op_strategy(), min_size=1, max_size=30),
+    seed=st.integers(0, 1_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_programs_are_deterministic(steps, seed):
+    def run_once():
+        host = Host(mode=SystemMode.RC, seed=seed)
+        host.kernel.fs.add_file("/fuzz.dat", 2048)
+        host.kernel.fs.warm("/fuzz.dat")
+        host.kernel.spawn_process("fuzz", make_program(steps))
+        host.run(seconds=0.1)
+        return (
+            host.sim.events_dispatched,
+            round(host.kernel.cpu.accounting.total_cpu_us, 6),
+        )
+
+    assert run_once() == run_once()

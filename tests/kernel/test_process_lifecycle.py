@@ -1,0 +1,153 @@
+"""Process/thread lifecycle and resource cleanup."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.kernel.process import ThreadState
+from repro.syscall import api
+
+
+@pytest.fixture
+def host():
+    h = Host(mode=SystemMode.RC, seed=53)
+    h.kernel.fs.add_file("/doc", 512)
+    return h
+
+
+def test_thread_completes_and_process_exits(host):
+    def quick():
+        yield api.Compute(10.0)
+
+    process = host.kernel.spawn_process("p", quick)
+    host.run(until_us=10_000.0)
+    assert not process.alive
+    assert process.pid not in host.kernel.processes
+
+
+def test_default_container_released_at_exit(host):
+    def quick():
+        yield api.Compute(10.0)
+
+    process = host.kernel.spawn_process("p", quick)
+    default = process.default_container
+    host.run(until_us=10_000.0)
+    assert not default.alive
+
+
+def test_process_survives_while_any_thread_lives(host):
+    def short():
+        yield api.Compute(10.0)
+
+    def long():
+        yield api.Sleep(50_000.0)
+
+    process = host.kernel.spawn_process("p", short)
+    host.kernel.spawn_thread(process, long(), "long")
+    host.run(until_us=20_000.0)
+    assert process.alive
+    host.run(until_us=100_000.0)
+    assert not process.alive
+
+
+def test_exit_syscall_terminates_thread(host):
+    after = {"ran": False}
+
+    def program():
+        yield api.Exit()
+        after["ran"] = True  # pragma: no cover - must not run
+        yield api.Compute(1.0)
+
+    host.kernel.spawn_process("p", program)
+    host.run(until_us=10_000.0)
+    assert not after["ran"]
+
+
+def test_misbehaving_thread_raises_loudly(host):
+    def bad():
+        yield "not a syscall"
+
+    # The first op is staged synchronously, so the failure surfaces at
+    # spawn time; a later bad yield would surface out of host.run().
+    with pytest.raises(RuntimeError, match="misbehaved"):
+        host.kernel.spawn_process("p", bad)
+
+
+def test_forked_child_outlives_parent(host):
+    log = []
+
+    def child_main():
+        def body():
+            yield api.Sleep(20_000.0)
+            log.append("child done")
+
+        return body()
+
+    def parent():
+        yield api.Fork(child_main, name="kid", pass_fds=[])
+        log.append("parent done")
+
+    host.kernel.spawn_process("p", parent)
+    host.run(until_us=100_000.0)
+    assert log == ["parent done", "child done"]
+
+
+def test_inherited_binding_keeps_container_alive(host):
+    """fork(inherit_binding=True): the container survives the parent
+    dropping every reference, held by the child's thread binding."""
+    state = {}
+
+    def child_main():
+        def body():
+            yield api.Sleep(30_000.0)
+
+        return body()
+
+    def parent():
+        cfd = yield api.ContainerCreate("activity")
+        yield api.ContainerBindThread(cfd)
+        yield api.Fork(child_main, name="kid", inherit_binding=True, pass_fds=[])
+        entry = None  # parent exits; its fd and binding go away
+        del entry
+
+    process = host.kernel.spawn_process("p", parent)
+    host.run(until_us=5_000.0)
+    container = next(
+        (c for c in host.kernel.containers.all_containers()
+         if c.name == "activity"),
+        None,
+    )
+    assert container is not None and container.alive
+    host.run(until_us=100_000.0)  # child exits too
+    assert not container.alive
+
+
+def test_blocked_thread_state(host):
+    def blocker():
+        yield api.Sleep(50_000.0)
+
+    process = host.kernel.spawn_process("p", blocker)
+    host.run(until_us=10_000.0)
+    thread = process.threads[0]
+    assert thread.state is ThreadState.BLOCKED
+    host.run(until_us=100_000.0)
+    assert thread.state is ThreadState.DONE
+
+
+def test_spawn_thread_runs_concurrently(host):
+    counts = {"a": 0, "b": 0}
+
+    def worker(tag):
+        def body():
+            for _ in range(5):
+                yield api.Compute(100.0)
+                counts[tag] += 1
+
+        return body
+
+    def main():
+        yield api.SpawnThread(worker("b"), name="b")
+        yield from worker("a")()
+
+    host.kernel.spawn_process("p", main)
+    host.run(until_us=50_000.0)
+    assert counts == {"a": 5, "b": 5}

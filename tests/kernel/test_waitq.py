@@ -1,0 +1,72 @@
+"""Wait queue semantics."""
+
+from repro.kernel.waitq import WaitQueue
+
+
+class FakeThread:
+    def __init__(self, name):
+        self.name = name
+        self.waiting_on = []
+        self.woken_with = None
+
+    def clear_waits(self):
+        for queue in self.waiting_on:
+            queue.remove(self)
+        self.waiting_on.clear()
+
+
+def waker(thread, tag):
+    thread.woken_with = tag
+
+
+def test_fifo_wake_order():
+    queue = WaitQueue("q")
+    a, b = FakeThread("a"), FakeThread("b")
+    queue.add(a)
+    queue.add(b)
+    assert queue.wake_one(waker, "x")
+    assert a.woken_with == "x"
+    assert b.woken_with is None
+
+
+def test_wake_empty_returns_false():
+    assert not WaitQueue().wake_one(waker)
+
+
+def test_wake_all_counts():
+    queue = WaitQueue()
+    threads = [FakeThread(str(i)) for i in range(3)]
+    for thread in threads:
+        queue.add(thread)
+    assert queue.wake_all(waker, "go") == 3
+    assert all(t.woken_with == "go" for t in threads)
+    assert len(queue) == 0
+
+
+def test_add_is_idempotent():
+    queue = WaitQueue()
+    thread = FakeThread("t")
+    queue.add(thread)
+    queue.add(thread)
+    assert len(queue) == 1
+
+
+def test_multi_queue_wake_deregisters_everywhere():
+    """A thread parked on several queues (select) leaves all on wake."""
+    q1, q2 = WaitQueue("q1"), WaitQueue("q2")
+    thread = FakeThread("t")
+    q1.add(thread)
+    q2.add(thread)
+    assert q1.wake_one(waker, "ready")
+    assert len(q1) == 0
+    assert len(q2) == 0
+    assert thread.waiting_on == []
+
+
+def test_remove_without_wake():
+    queue = WaitQueue()
+    thread = FakeThread("t")
+    queue.add(thread)
+    queue.remove(thread)
+    assert len(queue) == 0
+    assert thread.woken_with is None

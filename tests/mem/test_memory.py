@@ -1,0 +1,94 @@
+"""Per-container memory accounting and limits."""
+
+import pytest
+
+from repro.core.attributes import ContainerAttributes, SchedClass
+from repro.core.operations import ContainerManager
+from repro.mem.physmem import MemoryAccountant
+
+
+@pytest.fixture
+def setup():
+    manager = ContainerManager()
+    accountant = MemoryAccountant(capacity_bytes=10_000)
+    return manager, accountant
+
+
+def test_charge_and_uncharge(setup):
+    manager, accountant = setup
+    c = manager.create("c")
+    assert accountant.try_charge(c, 500, "socket_buffer")
+    assert c.usage.memory_bytes == 500
+    assert accountant.charged_bytes == 500
+    accountant.uncharge(c, 500, "socket_buffer")
+    assert c.usage.memory_bytes == 0
+    assert accountant.charged_bytes == 0
+
+
+def test_container_limit_denies(setup):
+    manager, accountant = setup
+    c = manager.create(
+        "c", attrs=ContainerAttributes(memory_limit_bytes=1000)
+    )
+    assert accountant.try_charge(c, 800)
+    assert not accountant.try_charge(c, 300)
+    assert accountant.stats_denied == 1
+    assert c.usage.memory_bytes == 800
+
+
+def test_parent_limit_constrains_children(setup):
+    manager, accountant = setup
+    parent = manager.create(
+        "p",
+        attrs=ContainerAttributes(
+            sched_class=SchedClass.FIXED_SHARE,
+            fixed_share=0.5,
+            memory_limit_bytes=1000,
+        ),
+    )
+    a = manager.create("a", parent=parent)
+    b = manager.create("b", parent=parent)
+    assert accountant.try_charge(a, 700)
+    assert not accountant.try_charge(b, 500)  # subtree total would be 1200
+    assert accountant.try_charge(b, 300)
+
+
+def test_system_capacity_bound(setup):
+    manager, accountant = setup
+    c = manager.create("c")
+    assert accountant.try_charge(c, 9_000)
+    assert not accountant.try_charge(c, 2_000)
+
+
+def test_none_container_charges_system_pool(setup):
+    _manager, accountant = setup
+    assert accountant.try_charge(None, 100)
+    assert accountant.charged_bytes == 100
+    accountant.uncharge(None, 100)
+    assert accountant.charged_bytes == 0
+
+
+def test_negative_sizes_rejected(setup):
+    manager, accountant = setup
+    c = manager.create("c")
+    with pytest.raises(ValueError):
+        accountant.try_charge(c, -1)
+    with pytest.raises(ValueError):
+        accountant.uncharge(c, -1)
+
+
+def test_over_uncharge_detected(setup):
+    manager, accountant = setup
+    c = manager.create("c")
+    accountant.try_charge(c, 10)
+    with pytest.raises(ValueError):
+        accountant.uncharge(c, 20)
+
+
+def test_by_kind_tracking(setup):
+    manager, accountant = setup
+    c = manager.create("c")
+    accountant.try_charge(c, 100, "socket_buffer")
+    accountant.try_charge(c, 50, "pcb")
+    assert accountant.by_kind["socket_buffer"] == 100
+    assert accountant.by_kind["pcb"] == 50

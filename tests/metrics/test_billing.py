@@ -1,0 +1,86 @@
+"""Billing and capacity-planning reports."""
+
+import pytest
+
+from repro.core.attributes import fixed_share_attrs
+from repro.core.operations import ContainerManager
+from repro.metrics.billing import BillingReport, Tariff
+
+
+@pytest.fixture
+def populated():
+    manager = ContainerManager()
+    guest_a = manager.create("guest-a", attrs=fixed_share_attrs(0.5))
+    leaf_a = manager.create("conn", parent=guest_a)
+    guest_b = manager.create("guest-b", attrs=fixed_share_attrs(0.5))
+    leaf_a.usage.charge_cpu(2_000_000.0, network=True)
+    leaf_a.usage.packets_received = 1_000_000
+    leaf_a.usage.connections_accepted = 100
+    guest_b.usage.charge_cpu(500_000.0)
+    return manager, guest_a, guest_b
+
+
+def test_tariff_charges():
+    tariff = Tariff(per_cpu_second=1.0, per_million_packets=2.0,
+                    per_connection=0.5)
+    amount = tariff.charge(cpu_us=3e6, packets=2_000_000, connections=4)
+    assert amount == pytest.approx(3.0 + 4.0 + 2.0)
+
+
+def test_report_bills_subtrees(populated):
+    manager, guest_a, _guest_b = populated
+    report = BillingReport.generate(manager, elapsed_us=10e6)
+    by_name = {line.name: line for line in report.lines}
+    assert by_name["guest-a"].cpu_us == pytest.approx(2_000_000.0)
+    assert by_name["guest-a"].packets == 1_000_000
+    assert by_name["guest-b"].cpu_us == pytest.approx(500_000.0)
+
+
+def test_report_sorted_by_amount(populated):
+    manager, *_ = populated
+    report = BillingReport.generate(manager, elapsed_us=10e6)
+    amounts = [line.amount for line in report.lines]
+    assert amounts == sorted(amounts, reverse=True)
+
+
+def test_customer_filter(populated):
+    manager, *_ = populated
+    report = BillingReport.generate(
+        manager, elapsed_us=10e6,
+        customer_filter=lambda c: c.name == "guest-a",
+    )
+    assert [line.name for line in report.lines] == ["guest-a"]
+
+
+def test_render_contains_capacity_footer(populated):
+    manager, *_ = populated
+    report = BillingReport.generate(
+        manager, elapsed_us=10e6, unaccounted_cpu_us=1e6
+    )
+    rendered = report.render()
+    assert "Billing report" in rendered
+    assert "capacity:" in rendered
+    assert "25.0% of machine CPU billed" in rendered
+    assert "10.0%" in rendered  # unaccounted
+
+
+def test_end_to_end_billing_from_live_host():
+    from repro import Host, SystemMode, ip_addr
+    from repro.apps.httpserver import EventDrivenServer
+    from repro.apps.webclient import HttpClient
+
+    host = Host(mode=SystemMode.RC, seed=73)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    EventDrivenServer(host.kernel, use_containers=True).install()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c")
+    client.start(at_us=2_000.0)
+    host.run(seconds=0.5)
+    report = BillingReport.generate(
+        host.kernel.containers,
+        elapsed_us=host.now,
+        unaccounted_cpu_us=host.kernel.cpu.accounting.unaccounted_cpu_us,
+    )
+    assert report.lines
+    assert report.total_billed_cpu_us() > 0
+    assert any(line.connections > 0 for line in report.lines)

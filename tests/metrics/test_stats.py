@@ -1,0 +1,83 @@
+"""Measurement helpers."""
+
+import pytest
+
+from repro.core.attributes import fixed_share_attrs
+from repro.core.operations import ContainerManager
+from repro.metrics.stats import (
+    LatencyRecorder,
+    Series,
+    ThroughputMeter,
+    UsageSampler,
+    mean,
+    percentile,
+)
+
+
+def test_mean_empty_and_values():
+    assert mean([]) == 0.0
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+def test_percentile_basics():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 100) == 40.0
+    assert percentile(values, 50) == pytest.approx(25.0)
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 90) == 7.0
+
+
+def test_percentile_validates_range():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_throughput_meter_window():
+    meter = ThroughputMeter()
+    meter.record(100.0)  # before start: ignored
+    meter.start(1_000_000.0)
+    for t in range(10):
+        meter.record(1_000_000.0 + t * 1_000.0)
+    meter.stop(2_000_000.0)
+    meter.record(3_000_000.0)  # after stop: ignored
+    assert meter.count == 10
+    assert meter.rate_per_second() == pytest.approx(10.0)
+
+
+def test_throughput_meter_without_stop_uses_now():
+    meter = ThroughputMeter()
+    meter.start(0.0)
+    meter.record(1.0)
+    assert meter.rate_per_second(now=500_000.0) == pytest.approx(2.0)
+
+
+def test_latency_recorder_window_filter():
+    recorder = LatencyRecorder()
+    recorder.start(1_000.0)
+    recorder.record(500.0, 2_000.0)   # started pre-window: dropped
+    recorder.record(1_500.0, 3_500.0)
+    assert recorder.samples == [2_000.0]
+    assert recorder.mean_ms() == pytest.approx(2.0)
+    assert recorder.percentile_ms(100) == pytest.approx(2.0)
+
+
+def test_usage_sampler_cpu_share():
+    manager = ContainerManager()
+    container = manager.create("c", attrs=fixed_share_attrs(0.5))
+    leaf = manager.create("leaf", parent=container)
+    sampler = UsageSampler()
+    sampler.watch(container)
+    leaf.usage.charge_cpu(100.0)  # pre-window usage
+    sampler.start(0.0)
+    leaf.usage.charge_cpu(250.0)
+    assert sampler.cpu_us(container, 1_000.0) == pytest.approx(250.0)
+    assert sampler.cpu_share(container, 1_000.0) == pytest.approx(0.25)
+
+
+def test_series_accessors():
+    series = Series("curve")
+    series.add(1.0, 10.0)
+    series.add(2.0, 20.0)
+    assert series.xs() == [1.0, 2.0]
+    assert series.ys() == [10.0, 20.0]

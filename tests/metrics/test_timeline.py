@@ -1,0 +1,85 @@
+"""Timeline recording from cpu.slice traces."""
+
+import pytest
+
+from repro import Host, SystemMode, ip_addr
+from repro.apps.httpserver import EventDrivenServer
+from repro.apps.webclient import HttpClient
+from repro.metrics.timeline import TimelineRecorder
+from repro.syscall import api
+
+
+def test_bucket_size_validated():
+    host = Host(mode=SystemMode.RC, seed=93)
+    with pytest.raises(ValueError):
+        TimelineRecorder(host.sim, bucket_us=0)
+
+
+def test_records_compute_slices():
+    host = Host(mode=SystemMode.RC, seed=93)
+    recorder = TimelineRecorder(host.sim)
+
+    def burn():
+        yield api.Compute(5_000.0)
+
+    host.kernel.spawn_process("burner", burn)
+    host.run(until_us=50_000.0)
+    assert recorder.share_of("proc:burner") > 0.9
+    activity = recorder.by_principal["proc:burner"]
+    assert activity.total_us == pytest.approx(5_000.0, abs=50.0)
+    assert activity.slices >= 5  # sliced by the 1 ms quantum
+
+
+def test_totals_match_cpu_accounting():
+    host = Host(mode=SystemMode.RC, seed=93)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    recorder = TimelineRecorder(host.sim)
+    EventDrivenServer(host.kernel, use_containers=True).install()
+    HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c").start(at_us=2_000.0)
+    host.run(seconds=0.2)
+    assert recorder.total_us == pytest.approx(
+        host.kernel.cpu.accounting.total_cpu_us, rel=1e-9
+    )
+    assert recorder.interrupt_us > 0
+
+
+def test_bucket_series_covers_run():
+    host = Host(mode=SystemMode.RC, seed=93)
+    recorder = TimelineRecorder(host.sim, bucket_us=10_000.0)
+
+    def burn():
+        for _ in range(10):
+            yield api.Compute(5_000.0)
+            yield api.Sleep(5_000.0)
+
+    host.kernel.spawn_process("burner", burn)
+    host.run(until_us=120_000.0)
+    series = recorder.bucket_series("proc:burner")
+    assert len(series) >= 5
+    assert sum(v for _, v in series) == pytest.approx(50_000.0, abs=200.0)
+
+
+def test_render_lists_top_principals():
+    host = Host(mode=SystemMode.RC, seed=93)
+    recorder = TimelineRecorder(host.sim)
+
+    def burn():
+        yield api.Compute(1_000.0)
+
+    host.kernel.spawn_process("one", burn)
+    host.kernel.spawn_process("two", burn)
+    host.run(until_us=50_000.0)
+    rendered = recorder.render()
+    assert "proc:one" in rendered
+    assert "proc:two" in rendered
+    assert "interrupt context" in rendered
+
+
+def test_no_tracing_cost_when_unattached():
+    """Without a recorder the trace bus stays inactive (cheap path)."""
+    host = Host(mode=SystemMode.RC, seed=93)
+    assert not host.sim.trace.active
+    recorder = TimelineRecorder(host.sim)
+    assert host.sim.trace.active
+    del recorder

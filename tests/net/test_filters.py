@@ -1,0 +1,133 @@
+"""The filtered sockaddr namespace: CIDR matching and demultiplexing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.filters import WILDCARD, AddrFilter, best_match
+from repro.net.packet import ip_addr
+
+
+class Holder:
+    """Filter carrier for best_match tests."""
+
+    def __init__(self, name, addr_filter):
+        self.name = name
+        self.addr_filter = addr_filter
+
+
+def test_wildcard_matches_everything():
+    assert WILDCARD.matches(0)
+    assert WILDCARD.matches(0xFFFFFFFF)
+    assert WILDCARD.matches(ip_addr(10, 1, 2, 3))
+
+
+def test_exact_host_filter():
+    f = AddrFilter(template=ip_addr(10, 0, 0, 5), prefix_len=32)
+    assert f.matches(ip_addr(10, 0, 0, 5))
+    assert not f.matches(ip_addr(10, 0, 0, 6))
+
+
+def test_subnet_filter():
+    f = AddrFilter(template=ip_addr(66, 6, 6, 0), prefix_len=24)
+    assert f.matches(ip_addr(66, 6, 6, 99))
+    assert not f.matches(ip_addr(66, 6, 7, 99))
+
+
+def test_negated_filter():
+    f = AddrFilter(template=ip_addr(66, 6, 6, 0), prefix_len=24, negate=True)
+    assert not f.matches(ip_addr(66, 6, 6, 99))
+    assert f.matches(ip_addr(10, 0, 0, 1))
+
+
+def test_mask_values():
+    assert AddrFilter(0, 0).mask == 0
+    assert AddrFilter(0, 8).mask == 0xFF000000
+    assert AddrFilter(0, 32).mask == 0xFFFFFFFF
+
+
+def test_invalid_prefix_rejected():
+    with pytest.raises(ValueError):
+        AddrFilter(template=0, prefix_len=33)
+    with pytest.raises(ValueError):
+        AddrFilter(template=0, prefix_len=-1)
+
+
+def test_best_match_prefers_longest_prefix():
+    wildcard = Holder("wild", None)
+    subnet = Holder("subnet", AddrFilter(ip_addr(10, 0, 0, 0), 24))
+    host = Holder("host", AddrFilter(ip_addr(10, 0, 0, 7), 32))
+    candidates = [wildcard, subnet, host]
+    assert best_match(candidates, ip_addr(10, 0, 0, 7)).name == "host"
+    assert best_match(candidates, ip_addr(10, 0, 0, 8)).name == "subnet"
+    assert best_match(candidates, ip_addr(99, 0, 0, 1)).name == "wild"
+
+
+def test_best_match_none_when_nothing_matches():
+    only = Holder("host", AddrFilter(ip_addr(10, 0, 0, 7), 32))
+    assert best_match([only], ip_addr(10, 0, 0, 8)) is None
+
+
+def test_best_match_tie_goes_to_bind_order():
+    a = Holder("first", None)
+    b = Holder("second", None)
+    assert best_match([a, b], 123).name == "first"
+
+
+def test_negated_filter_less_specific_than_positive():
+    positive = Holder("pos", AddrFilter(ip_addr(10, 0, 0, 0), 24))
+    negative = Holder("neg", AddrFilter(ip_addr(99, 0, 0, 0), 24, negate=True))
+    # Address inside the positive subnet: positive wins despite equal
+    # prefix lengths.
+    assert best_match([negative, positive], ip_addr(10, 0, 0, 1)).name == "pos"
+
+
+def test_str_rendering():
+    assert str(AddrFilter(ip_addr(10, 0, 0, 0), 24)) == "10.0.0.0/24"
+    assert str(AddrFilter(ip_addr(10, 0, 0, 0), 24, negate=True)) == "!10.0.0.0/24"
+
+
+# ---------------------------------------------------------------------------
+# Property tests against a reference implementation
+# ---------------------------------------------------------------------------
+
+
+def reference_matches(template: int, prefix_len: int, addr: int) -> bool:
+    """Reference via bit strings."""
+    if prefix_len == 0:
+        return True
+    tbits = format(template, "032b")[:prefix_len]
+    abits = format(addr, "032b")[:prefix_len]
+    return tbits == abits
+
+
+@given(
+    template=st.integers(0, 0xFFFFFFFF),
+    prefix_len=st.integers(0, 32),
+    addr=st.integers(0, 0xFFFFFFFF),
+)
+@settings(max_examples=300, deadline=None)
+def test_matches_agrees_with_reference(template, prefix_len, addr):
+    filt = AddrFilter(template=template, prefix_len=prefix_len)
+    assert filt.matches(addr) == reference_matches(template, prefix_len, addr)
+
+
+@given(
+    template=st.integers(0, 0xFFFFFFFF),
+    prefix_len=st.integers(0, 32),
+)
+@settings(max_examples=200, deadline=None)
+def test_template_always_matches_itself(template, prefix_len):
+    assert AddrFilter(template=template, prefix_len=prefix_len).matches(template)
+
+
+@given(
+    template=st.integers(0, 0xFFFFFFFF),
+    prefix_len=st.integers(0, 32),
+    addr=st.integers(0, 0xFFFFFFFF),
+)
+@settings(max_examples=200, deadline=None)
+def test_negation_is_complement(template, prefix_len, addr):
+    positive = AddrFilter(template=template, prefix_len=prefix_len)
+    negative = AddrFilter(template=template, prefix_len=prefix_len, negate=True)
+    assert positive.matches(addr) != negative.matches(addr)

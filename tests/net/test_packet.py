@@ -1,0 +1,33 @@
+"""Packets and addresses."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind, format_ip, ip_addr
+
+
+def test_ip_addr_roundtrip():
+    addr = ip_addr(192, 168, 1, 200)
+    assert format_ip(addr) == "192.168.1.200"
+
+
+def test_ip_addr_bounds():
+    with pytest.raises(ValueError):
+        ip_addr(256, 0, 0, 1)
+    with pytest.raises(ValueError):
+        ip_addr(0, 0, 0, -1)
+
+
+def test_ip_addr_structure():
+    assert ip_addr(1, 2, 3, 4) == (1 << 24) | (2 << 16) | (3 << 8) | 4
+
+
+def test_packet_sequence_increases():
+    a = Packet(kind=PacketKind.SYN, src_addr=1)
+    b = Packet(kind=PacketKind.SYN, src_addr=1)
+    assert b.seq > a.seq
+
+
+def test_packet_defaults():
+    packet = Packet(kind=PacketKind.DATA, src_addr=ip_addr(10, 0, 0, 1))
+    assert packet.dst_port == 80
+    assert packet.conn is None

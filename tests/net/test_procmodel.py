@@ -1,0 +1,125 @@
+"""Kernel network thread: queueing, priority order, overflow drops."""
+
+import pytest
+
+from repro import Host, SystemMode
+from repro.core.attributes import timeshare_attrs
+from repro.net.packet import Packet, PacketKind, ip_addr
+from repro.net.procmodel import KernelNetThread, protocol_cost
+
+
+@pytest.fixture
+def setup():
+    host = Host(mode=SystemMode.RC, seed=13)
+    process = host.kernel.spawn_process("p")
+    net_thread = host.kernel.net_threads[process.pid]
+    return host, process, net_thread
+
+
+def packet(i=0):
+    return Packet(kind=PacketKind.DATA, src_addr=ip_addr(9, 9, 9, i + 1))
+
+
+def test_enqueue_and_runnable(setup):
+    host, process, net_thread = setup
+    container = host.kernel.containers.create("c")
+    assert not net_thread.runnable
+    assert net_thread.enqueue(container, packet(), 10.0)
+    assert net_thread.runnable
+    assert net_thread.pending_packets() == 1
+
+
+def test_head_selected_by_container_priority(setup):
+    host, _process, net_thread = setup
+    low = host.kernel.containers.create("low", attrs=timeshare_attrs(priority=1))
+    high = host.kernel.containers.create("high", attrs=timeshare_attrs(priority=9))
+    p_low = packet(0)
+    p_high = packet(1)
+    net_thread.enqueue(low, p_low, 10.0)
+    net_thread.enqueue(high, p_high, 10.0)
+    assert net_thread.charge_container() is high
+    assert net_thread.advance(10.0)
+    container, completed = net_thread.take_completed()
+    assert container is high
+    assert completed is p_high
+
+
+def test_fifo_within_same_priority(setup):
+    host, _process, net_thread = setup
+    a = host.kernel.containers.create("a")
+    b = host.kernel.containers.create("b")
+    first = packet(0)
+    second = packet(1)
+    net_thread.enqueue(a, first, 5.0)
+    net_thread.enqueue(b, second, 5.0)
+    net_thread.advance(net_thread.work_remaining_us())
+    _container, completed = net_thread.take_completed()
+    assert completed is first
+
+
+def test_queue_overflow_drops(setup):
+    host, _process, net_thread = setup
+    net_thread.queue_limit = 3
+    container = host.kernel.containers.create("c")
+    results = [net_thread.enqueue(container, packet(i), 1.0) for i in range(5)]
+    assert results == [True, True, True, False, False]
+    assert net_thread.stats_dropped == 2
+    assert container.usage.packets_dropped == 2
+
+
+def test_partial_advance_keeps_head(setup):
+    host, _process, net_thread = setup
+    container = host.kernel.containers.create("c")
+    net_thread.enqueue(container, packet(), 10.0)
+    assert not net_thread.advance(4.0)
+    assert net_thread.work_remaining_us() == pytest.approx(6.0)
+    assert net_thread.advance(6.0)
+
+
+def test_head_sticks_despite_higher_priority_arrival(setup):
+    """Once protocol processing of a packet starts it completes, even if
+    higher-priority traffic arrives mid-packet."""
+    host, _process, net_thread = setup
+    low = host.kernel.containers.create("low", attrs=timeshare_attrs(priority=1))
+    high = host.kernel.containers.create("high", attrs=timeshare_attrs(priority=9))
+    low_packet = packet(0)
+    net_thread.enqueue(low, low_packet, 10.0)
+    net_thread.advance(5.0)  # started
+    net_thread.enqueue(high, packet(1), 10.0)
+    net_thread.advance(5.0)
+    _container, completed = net_thread.take_completed()
+    assert completed is low_packet
+
+
+def test_dead_container_queue_discarded(setup):
+    host, _process, net_thread = setup
+    manager = host.kernel.containers
+    doomed = manager.create("doomed")
+    net_thread.enqueue(doomed, packet(), 10.0)
+    manager.release(doomed)
+    assert net_thread.charge_container() is None
+    assert not net_thread.runnable
+
+
+def test_scheduler_containers_lists_pending(setup):
+    host, _process, net_thread = setup
+    a = host.kernel.containers.create("a")
+    b = host.kernel.containers.create("b")
+    net_thread.enqueue(a, packet(0), 1.0)
+    net_thread.enqueue(b, packet(1), 1.0)
+    names = {c.name for c in net_thread.scheduler_containers()}
+    assert names >= {"a"} or names >= {"b"}  # head may have been taken
+    assert net_thread.pending_packets() == 2
+
+
+def test_protocol_cost_per_kind():
+    host = Host(mode=SystemMode.RC, seed=13)
+    costs = host.kernel.costs
+    kernel = host.kernel
+    assert protocol_cost(kernel, Packet(kind=PacketKind.SYN, src_addr=1)) == costs.proto_syn
+    assert protocol_cost(kernel, Packet(kind=PacketKind.DATA, src_addr=1)) == costs.proto_rx_segment
+    assert protocol_cost(kernel, Packet(kind=PacketKind.FIN, src_addr=1)) == costs.proto_fin
+    assert (
+        protocol_cost(kernel, Packet(kind=PacketKind.HANDSHAKE_ACK, src_addr=1))
+        == costs.proto_established
+    )

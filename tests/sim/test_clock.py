@@ -1,0 +1,46 @@
+"""Clock invariants."""
+
+import pytest
+
+from repro.sim.clock import MILLISECOND, SECOND, Clock
+
+
+def test_starts_at_zero_by_default():
+    assert Clock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert Clock(start=5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        Clock(start=-1.0)
+
+
+def test_advance_forward():
+    clock = Clock()
+    clock.advance_to(10.5)
+    assert clock.now == 10.5
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = Clock(start=3.0)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_backwards_rejected():
+    clock = Clock(start=10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.999)
+
+
+def test_seconds_conversion():
+    clock = Clock(start=2_500_000.0)
+    assert clock.seconds() == pytest.approx(2.5)
+
+
+def test_unit_constants():
+    assert MILLISECOND == 1_000.0
+    assert SECOND == 1_000_000.0

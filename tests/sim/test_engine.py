@@ -1,0 +1,106 @@
+"""Simulation loop behaviour."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+
+
+def test_run_advances_clock_to_events():
+    sim = Simulation()
+    times = []
+    sim.at(10.0, lambda: times.append(sim.now))
+    sim.at(20.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [10.0, 20.0]
+    assert sim.now == 20.0
+
+
+def test_run_until_caps_clock():
+    sim = Simulation()
+    fired = []
+    sim.at(5.0, fired.append, "early")
+    sim.at(50.0, fired.append, "late")
+    sim.run(until=30.0)
+    assert fired == ["early"]
+    assert sim.now == 30.0
+    sim.run(until=60.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_until_with_empty_queue_reaches_horizon():
+    sim = Simulation()
+    sim.run(until=1_000.0)
+    assert sim.now == 1_000.0
+
+
+def test_after_schedules_relative():
+    sim = Simulation()
+    seen = []
+    sim.at(10.0, lambda: sim.after(5.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [15.0]
+
+
+def test_scheduling_into_past_rejected():
+    sim = Simulation()
+    sim.at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_stop_halts_dispatch():
+    sim = Simulation()
+    fired = []
+    sim.at(1.0, lambda: (fired.append("one"), sim.stop()))
+    sim.at(2.0, fired.append, "two")
+    sim.run()
+    assert fired == ["one"]
+
+
+def test_max_events_bound():
+    sim = Simulation()
+    for i in range(10):
+        sim.at(float(i + 1), lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_dispatched == 3
+
+
+def test_cancel_through_engine():
+    sim = Simulation()
+    fired = []
+    event = sim.at(1.0, fired.append, "no")
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_events_fire_in_causal_order_with_chaining():
+    sim = Simulation()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.after(0.0, lambda: order.append("chained"))
+
+    sim.at(1.0, first)
+    sim.at(1.0, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "chained"]
+
+
+def test_loop_not_reentrant():
+    sim = Simulation()
+
+    def nested():
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    sim.at(1.0, nested)
+    sim.run()

@@ -1,0 +1,79 @@
+"""Event queue ordering, cancellation, and tie-breaking."""
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(5.0, fired.append, "b")
+    queue.schedule(1.0, fired.append, "a")
+    queue.schedule(9.0, fired.append, "c")
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        event.callback(*event.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_schedule_order():
+    queue = EventQueue()
+    order = []
+    for label in ("first", "second", "third"):
+        queue.schedule(7.0, order.append, label)
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert order == ["first", "second", "third"]
+
+
+def test_len_counts_pending_only():
+    queue = EventQueue()
+    event = queue.schedule(1.0, lambda: None)
+    queue.schedule(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(event)
+    assert len(queue) == 1
+    queue.pop()
+    assert len(queue) == 0
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    fired = []
+    cancel_me = queue.schedule(1.0, fired.append, "cancelled")
+    queue.schedule(2.0, fired.append, "kept")
+    queue.cancel(cancel_me)
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert fired == ["kept"]
+
+
+def test_double_cancel_is_safe():
+    queue = EventQueue()
+    event = queue.schedule(1.0, lambda: None)
+    queue.cancel(event)
+    queue.cancel(event)
+    assert len(queue) == 0
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    early = queue.schedule(1.0, lambda: None)
+    queue.schedule(3.0, lambda: None)
+    queue.cancel(early)
+    assert queue.peek_time() == 3.0
+
+
+def test_pop_empty_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+
+
+def test_event_pending_flag():
+    queue = EventQueue()
+    event = queue.schedule(1.0, lambda: None)
+    assert event.pending
+    queue.pop()
+    assert not event.pending

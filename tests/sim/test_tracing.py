@@ -1,0 +1,60 @@
+"""Trace bus subscription and recording."""
+
+from repro.sim.tracing import TraceBus
+
+
+def test_inactive_bus_drops_records():
+    bus = TraceBus()
+    bus.publish(1.0, "net.drop", reason="test")  # must not raise
+    assert not bus.active
+
+
+def test_exact_subscription():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("net.drop", seen.append)
+    bus.publish(1.0, "net.drop", reason="x")
+    bus.publish(2.0, "sched.pick")
+    assert len(seen) == 1
+    assert seen[0].data["reason"] == "x"
+
+
+def test_prefix_subscription():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("net", seen.append)
+    bus.publish(1.0, "net.drop")
+    bus.publish(2.0, "net.enqueue")
+    bus.publish(3.0, "sched.pick")
+    assert [r.category for r in seen] == ["net.drop", "net.enqueue"]
+
+
+def test_wildcard_subscription():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("*", seen.append)
+    bus.publish(1.0, "a")
+    bus.publish(2.0, "b.c")
+    assert len(seen) == 2
+
+
+def test_recording_filters_by_category():
+    bus = TraceBus()
+    captured = bus.record(categories=["sched"])
+    bus.publish(1.0, "sched.pick", entity="t1")
+    bus.publish(2.0, "net.drop")
+    records = bus.stop_recording()
+    assert records is captured
+    assert [r.category for r in records] == ["sched.pick"]
+
+
+def test_recording_all():
+    bus = TraceBus()
+    bus.record()
+    bus.publish(1.0, "anything")
+    assert len(bus.stop_recording()) == 1
+
+
+def test_stop_recording_without_start():
+    bus = TraceBus()
+    assert bus.stop_recording() == []
