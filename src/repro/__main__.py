@@ -6,6 +6,7 @@ Usage::
     python -m repro table1               # one experiment
     python -m repro fig12 --full         # slower, larger windows
     python -m repro all                  # everything (fast windows)
+    python -m repro bench                # scheduler scalability sweep
 """
 
 from __future__ import annotations
@@ -88,8 +89,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list"],
-        help="which experiment to run",
+        choices=[*EXPERIMENTS, "all", "list", "bench"],
+        help="which experiment to run ('bench' runs the scheduler "
+        "scalability sweep and writes BENCH_scalability.json)",
     )
     parser.add_argument(
         "--full",
@@ -106,6 +108,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         for key, (description, _fn) in EXPERIMENTS.items():
             print(f"{key:10s} {description}")
+        print(f"{'bench':10s} Scheduler scalability sweep (10/100/1000)")
+        return 0
+
+    if args.experiment == "bench":
+        from repro.experiments import bench_scalability
+
+        result = bench_scalability.run(fast=not args.full)
+        path = bench_scalability.write_json(result)
+        if args.json:
+            import json
+
+            print(json.dumps(result, indent=2))
+        else:
+            print(bench_scalability.render(result))
+        print(f"[wrote {path}]", file=sys.stderr)
         return 0
 
     selected = (

@@ -32,13 +32,17 @@ DEFAULT_PRUNE_AGE_US = 100_000.0
 class SchedulerBinding:
     """The kernel-maintained container set for one thread."""
 
-    __slots__ = ("_members", "_last_bound")
+    __slots__ = ("_members", "_last_bound", "on_change")
 
     def __init__(self) -> None:
         #: cid -> container, in insertion order (dicts preserve order).
         self._members: dict[int, ResourceContainer] = {}
         #: cid -> last time (us) the thread was resource-bound to it.
         self._last_bound: dict[int, float] = {}
+        #: Optional callback fired when the member set changes, so an
+        #: index-maintaining scheduler can re-derive the thread's
+        #: combined priority without polling every pick.
+        self.on_change = None
 
     def __len__(self) -> int:
         return len(self._members)
@@ -52,8 +56,11 @@ class SchedulerBinding:
 
     def observe(self, container: ResourceContainer, now: float) -> None:
         """Record that the thread was resource-bound to ``container``."""
+        added = container.cid not in self._members
         self._members[container.cid] = container
         self._last_bound[container.cid] = now
+        if added and self.on_change is not None:
+            self.on_change()
 
     def prune(
         self,
@@ -80,6 +87,8 @@ class SchedulerBinding:
         for cid in stale:
             del self._members[cid]
             del self._last_bound[cid]
+        if stale and self.on_change is not None:
+            self.on_change()
         return len(stale)
 
     def reset_to(self, container: Optional[ResourceContainer], now: float) -> None:
@@ -88,6 +97,8 @@ class SchedulerBinding:
         self._last_bound.clear()
         if container is not None and container.alive:
             self.observe(container, now)
+        elif self.on_change is not None:
+            self.on_change()
 
     def combined_priority(self) -> int:
         """Scheduling priority for a multiplexed thread.

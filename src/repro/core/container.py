@@ -28,6 +28,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _container_ids = itertools.count(1)
 
+#: Global hierarchy mutation epoch.  Bumped whenever anything that the
+#: scheduler's derived caches depend on changes: a container's parent
+#: link (create/reparent/destroy-detach) or its attribute record
+#: (shares, priorities, limits).  Consumers (the scheduler's top-level
+#: and weight caches, :class:`repro.core.hierarchy.HierarchyCache`)
+#: compare the epoch against the one they last rebuilt at and flush on
+#: mismatch -- mutation stays O(1), revalidation is paid lazily by the
+#: reader.  The counter is process-global (shared by all simulated
+#: hosts): cross-host bumps only cause spurious cache flushes, never
+#: stale reads.
+_hierarchy_epoch = 0
+
+
+def hierarchy_epoch() -> int:
+    """Current value of the global hierarchy mutation epoch."""
+    return _hierarchy_epoch
+
+
+def bump_hierarchy_epoch() -> None:
+    """Invalidate every epoch-guarded hierarchy cache."""
+    global _hierarchy_epoch
+    _hierarchy_epoch += 1
+
 
 class ContainerState(enum.Enum):
     """Lifecycle state of a container."""
@@ -47,7 +70,7 @@ class ResourceContainer:
     __slots__ = (
         "cid",
         "name",
-        "attrs",
+        "_attrs",
         "parent",
         "children",
         "usage",
@@ -57,6 +80,7 @@ class ResourceContainer:
         "object_binding_refs",
         "sched_state",
         "window_usage_us",
+        "window_registry",
         "is_root",
         "acl",
     )
@@ -87,11 +111,30 @@ class ResourceContainer:
         #: CPU charged to this subtree in the current accounting window;
         #: maintained eagerly up the ancestor chain for cheap cap checks.
         self.window_usage_us = 0.0
+        #: On a hierarchy's topmost node only: list of descendants (and
+        #: itself) whose window accumulator went 0 -> positive since the
+        #: last window roll.  Lets the roll reset exactly the containers
+        #: that were charged instead of sweeping the whole tree.
+        self.window_registry = None
         self.is_root = is_root
         #: Lazily created access-control list (see repro.core.security).
         self.acl = None
         if parent is not None:
             self.set_parent(parent)
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    @property
+    def attrs(self) -> ContainerAttributes:
+        """The (immutable) attribute record; replacing it bumps the epoch."""
+        return self._attrs
+
+    @attrs.setter
+    def attrs(self, value: ContainerAttributes) -> None:
+        self._attrs = value
+        bump_hierarchy_epoch()
 
     # ------------------------------------------------------------------
     # Hierarchy
@@ -134,6 +177,22 @@ class ResourceContainer:
         self.parent = parent
         if parent is not None:
             parent.children.append(self)
+        bump_hierarchy_epoch()
+        if self.window_usage_us > 0.0:
+            # A charged subtree moved under a (possibly) new top: make
+            # sure the next window roll there still resets it.
+            top = self
+            while top.parent is not None:
+                top = top.parent
+            registry = top.window_registry
+            if registry is None:
+                registry = top.window_registry = []
+            stack = [self]
+            while stack:
+                node = stack.pop()
+                if node.window_usage_us > 0.0:
+                    registry.append(node)
+                    stack.extend(node.children)
 
     @property
     def is_leaf(self) -> bool:
@@ -208,10 +267,23 @@ class ResourceContainer:
         the whole subtree) are O(depth) reads.
         """
         self.usage.charge_cpu(amount_us, network=network, syscall=syscall)
-        node: Optional[ResourceContainer] = self
-        while node is not None:
+        node: ResourceContainer = self
+        fresh: Optional[list[ResourceContainer]] = None
+        while True:
+            if node.window_usage_us == 0.0 and amount_us > 0.0:
+                if fresh is None:
+                    fresh = [node]
+                else:
+                    fresh.append(node)
             node.window_usage_us += amount_us
+            if node.parent is None:
+                break
             node = node.parent
+        if fresh is not None:
+            registry = node.window_registry
+            if registry is None:
+                registry = node.window_registry = []
+            registry.extend(fresh)
 
     def reset_window(self) -> None:
         """Zero this container's window accumulator (scheduler epoch roll)."""

@@ -12,7 +12,11 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.core.attributes import SchedClass
-from repro.core.container import ContainerState, ResourceContainer
+from repro.core.container import (
+    ContainerState,
+    ResourceContainer,
+    hierarchy_epoch,
+)
 from repro.kernel.accounting import ResourceUsage
 from repro.kernel.errors import ContainerPolicyError
 
@@ -78,6 +82,61 @@ def effective_cpu_limit(container: ResourceContainer) -> Optional[float]:
         if limit is not None and (tightest is None or limit < tightest):
             tightest = limit
     return tightest
+
+
+class HierarchyCache:
+    """Memoized per-container hierarchy derivations, epoch-guarded.
+
+    Derivations that a scheduler needs on every pick/charge --
+    ``top_level_of`` (O(depth) parent walk) and the chain of ancestors
+    carrying a ``cpu_limit`` (O(depth) attribute walk) -- are pure
+    functions of the tree shape and attribute records, both of which
+    bump the global hierarchy epoch when they change.  The owner calls
+    :meth:`check` at its entry points (never mid-iteration); accessors
+    then serve O(1) dictionary hits until the next mutation.
+    """
+
+    __slots__ = ("_epoch", "_top_level", "_limit_chain")
+
+    def __init__(self) -> None:
+        self._epoch = hierarchy_epoch()
+        self._top_level: dict[int, ResourceContainer] = {}
+        self._limit_chain: dict[int, tuple[ResourceContainer, ...]] = {}
+
+    def check(self) -> bool:
+        """Flush if the hierarchy changed; True when a flush happened."""
+        epoch = hierarchy_epoch()
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._top_level.clear()
+            self._limit_chain.clear()
+            return True
+        return False
+
+    def top_level(self, container: ResourceContainer) -> ResourceContainer:
+        """Cached :func:`top_level_of`."""
+        got = self._top_level.get(container.cid)
+        if got is None:
+            got = self._top_level[container.cid] = top_level_of(container)
+        return got
+
+    def limit_chain(
+        self, container: ResourceContainer
+    ) -> tuple[ResourceContainer, ...]:
+        """The ancestors (self included) that carry a ``cpu_limit``.
+
+        Empty for an uncapped hierarchy, so cap checks cost nothing
+        there.
+        """
+        got = self._limit_chain.get(container.cid)
+        if got is None:
+            got = tuple(
+                node
+                for node in ancestors_and_self(container)
+                if node.attrs.cpu_limit is not None
+            )
+            self._limit_chain[container.cid] = got
+        return got
 
 
 def validate_hierarchy(root: ResourceContainer) -> None:

@@ -13,7 +13,11 @@ from typing import Callable, Optional
 
 from repro.core.attributes import ContainerAttributes, SchedClass
 from repro.core.binding import BindingManager
-from repro.core.container import ContainerState, ResourceContainer
+from repro.core.container import (
+    ContainerState,
+    ResourceContainer,
+    bump_hierarchy_epoch,
+)
 from repro.core.hierarchy import iter_subtree, subtree_usage
 from repro.kernel.accounting import ResourceUsage
 from repro.kernel.errors import ContainerPolicyError
@@ -104,6 +108,7 @@ class ContainerManager:
             # Detach without the set_parent() liveness checks.
             container.parent.children.remove(container)
             container.parent = None
+        bump_hierarchy_epoch()
         del self._by_id[container.cid]
         for hook in self.on_destroy:
             hook(container)
@@ -161,3 +166,5 @@ class ContainerManager:
         """Reset window accumulators across the hierarchy (epoch roll)."""
         for container in iter_subtree(self.root):
             container.reset_window()
+        if self.root.window_registry:
+            self.root.window_registry = []

@@ -1,0 +1,268 @@
+"""Scheduler scalability benchmark: the pick()/charge() hot paths.
+
+Two sweeps, each over growing container/entity counts:
+
+``microbench``
+    Drives :class:`ContainerScheduler` directly with a tight
+    pick→charge→window-roll loop (no kernel, no network), the purest
+    measure of selection cost.  Reports wall-clock microseconds per
+    pick and picks/second.
+
+``end_to_end``
+    Boots a full RC-mode kernel with N single-threaded CPU-bound
+    processes and runs the discrete-event loop for a fixed simulated
+    horizon.  Reports wall-clock seconds per simulated second and
+    simulation events/second -- the number every future perf PR is
+    measured against.
+
+``python -m repro bench`` runs both sweeps and writes
+``BENCH_scalability.json`` so the repo's perf trajectory is
+machine-readable; ``benchmarks/test_scalability.py`` (the ``perf``
+marker) fails if the 1000-entity point regresses more than 2x against
+the recorded numbers.
+
+``BEFORE_BASELINE`` holds the numbers measured at the commit *before*
+the O(log n) scheduler rework (linear-scan ``pick()``, uncached
+``group_weight()``), on the same machine that recorded the committed
+JSON -- the denominator of the headline speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+
+from repro.core.attributes import fixed_share_attrs, timeshare_attrs
+from repro.core.operations import ContainerManager
+from repro.sched.container_sched import ContainerScheduler
+
+#: Sweep points: (total leaf containers, label).  Each point uses 10
+#: top-level groups with leaves/10 leaf containers per group and one
+#: entity per leaf.
+SWEEP_POINTS = (10, 100, 1000)
+
+#: Picks per microbench point (kept constant so us/pick is comparable
+#: across points).
+MICRO_PICKS = 2000
+
+#: Simulated horizon per end-to-end point, microseconds.
+E2E_HORIZON_US = 1_000_000.0
+
+#: Numbers measured on the pre-optimisation scheduler (linear-scan
+#: pick, re-summing group_weight, full-tree window_roll) with this same
+#: harness.  Filled in by the optimisation PR; see module docstring.
+BEFORE_BASELINE: dict = {
+    "microbench": [
+        {"containers": 10, "us_per_pick": 37.971},
+        {"containers": 100, "us_per_pick": 329.710},
+        {"containers": 1000, "us_per_pick": 3061.060},
+    ],
+    "end_to_end": [
+        {"processes": 10, "wall_s_per_sim_s": 0.157884},
+        {"processes": 100, "wall_s_per_sim_s": 0.796186},
+        {"processes": 1000, "wall_s_per_sim_s": 7.511917},
+    ],
+}
+
+
+class BenchEntity:
+    """Minimal Schedulable with a fixed charge container.
+
+    Declares ``sched_push_notify`` so an index-maintaining scheduler may
+    trust it: its key (binding, priority) never changes and it never
+    leaves the runnable state without an ``on_wakeup`` call.
+    """
+
+    sched_push_notify = True
+
+    __slots__ = ("name", "container", "runnable", "sched_note_change")
+
+    def __init__(self, name, container) -> None:
+        self.name = name
+        self.container = container
+        self.runnable = True
+        self.sched_note_change = None
+
+    def charge_container(self):
+        return self.container
+
+    def scheduler_containers(self):
+        return [self.container]
+
+
+def build_hierarchy(leaves: int, groups: int = 10):
+    """A manager + scheduler + one entity per leaf container.
+
+    ``groups`` fixed-share top-level containers (when there are enough
+    leaves to warrant interior nodes) each hold ``leaves/groups``
+    time-share leaf containers; with fewer leaves than groups the
+    leaves sit directly under the root.
+    """
+    manager = ContainerManager()
+    sched = ContainerScheduler(manager.root, quantum_us=1_000.0, window_us=10_000.0)
+    entities = []
+    if leaves <= groups:
+        for i in range(leaves):
+            leaf = manager.create(f"leaf{i}", attrs=timeshare_attrs(weight=1.0 + i % 3))
+            entities.append(BenchEntity(f"e{i}", leaf))
+    else:
+        per_group = leaves // groups
+        for g in range(groups):
+            group = manager.create(
+                f"grp{g}", attrs=fixed_share_attrs(0.9 / groups)
+            )
+            for i in range(per_group):
+                leaf = manager.create(
+                    f"leaf{g}.{i}",
+                    attrs=timeshare_attrs(weight=1.0 + i % 3),
+                    parent=group,
+                )
+                entities.append(BenchEntity(f"e{g}.{i}", leaf))
+    for entity in entities:
+        sched.attach(entity)
+    return manager, sched, entities
+
+
+def run_pick_loop(sched, picks: int, quantum_us: float = 1_000.0) -> None:
+    """The hot loop: pick, charge the container, advance the stride."""
+    now = 0.0
+    next_roll = sched.window_us
+    for _ in range(picks):
+        entity = sched.pick(now)
+        container = entity.charge_container()
+        container.charge_cpu(quantum_us)
+        sched.charge(entity, container, quantum_us, now)
+        now += quantum_us
+        if now >= next_roll:
+            sched.window_roll(now)
+            next_roll += sched.window_us
+
+
+def microbench_point(leaves: int, picks: int = MICRO_PICKS) -> dict:
+    """Time the pick loop at one sweep point."""
+    _manager, sched, entities = build_hierarchy(leaves)
+    run_pick_loop(sched, min(200, picks))  # warm caches / JIT-free warmup
+    started = time.perf_counter()
+    run_pick_loop(sched, picks)
+    elapsed = time.perf_counter() - started
+    return {
+        "containers": leaves,
+        "entities": len(entities),
+        "picks": picks,
+        "wall_s": round(elapsed, 6),
+        "us_per_pick": round(elapsed * 1e6 / picks, 3),
+        "picks_per_sec": round(picks / elapsed, 1),
+    }
+
+
+def _spinner_body(compute_us: float):
+    """A CPU-bound thread body: compute forever."""
+    from repro.syscall import api
+
+    def body():
+        while True:
+            yield api.Compute(compute_us)
+
+    return body
+
+
+def end_to_end_point(processes: int, horizon_us: float = E2E_HORIZON_US) -> dict:
+    """Boot a full RC kernel with N CPU-bound processes and run it."""
+    from repro import Host, SystemMode
+
+    host = Host(mode=SystemMode.RC, seed=7)
+    body = _spinner_body(800.0)
+    for i in range(processes):
+        host.kernel.spawn_process(f"spin{i}", body)
+    started = time.perf_counter()
+    host.sim.run(until=horizon_us)
+    elapsed = time.perf_counter() - started
+    events = host.sim.events_dispatched
+    sim_seconds = horizon_us / 1e6
+    return {
+        "processes": processes,
+        "entities": processes * 2,  # one thread + one kernel net thread each
+        "sim_seconds": sim_seconds,
+        "wall_s": round(elapsed, 6),
+        "wall_s_per_sim_s": round(elapsed / sim_seconds, 6),
+        "events": events,
+        "events_per_sec": round(events / elapsed, 1),
+    }
+
+
+def run(fast: bool = True, points=SWEEP_POINTS) -> dict:
+    """Run both sweeps; returns the result document (JSON-ready)."""
+    micro = [microbench_point(n) for n in points]
+    e2e = [end_to_end_point(n) for n in points]
+    result = {
+        "benchmark": "scheduler-scalability",
+        "quantum_us": 1_000.0,
+        "window_us": 10_000.0,
+        "microbench": micro,
+        "end_to_end": e2e,
+    }
+    if BEFORE_BASELINE:
+        result["before"] = BEFORE_BASELINE
+        result["speedup"] = _speedups(BEFORE_BASELINE, result)
+    return result
+
+
+def _speedups(before: dict, after: dict) -> dict:
+    """Headline ratios at matching sweep points (before / after cost)."""
+    out: dict = {}
+    micro_before = {p["containers"]: p for p in before.get("microbench", ())}
+    for point in after["microbench"]:
+        base = micro_before.get(point["containers"])
+        if base and point["us_per_pick"] > 0:
+            out[f"microbench_pick_{point['containers']}"] = round(
+                base["us_per_pick"] / point["us_per_pick"], 2
+            )
+    e2e_before = {p["processes"]: p for p in before.get("end_to_end", ())}
+    for point in after["end_to_end"]:
+        base = e2e_before.get(point["processes"])
+        if base and point["wall_s_per_sim_s"] > 0:
+            out[f"end_to_end_{point['processes']}"] = round(
+                base["wall_s_per_sim_s"] / point["wall_s_per_sim_s"], 2
+            )
+    return out
+
+
+def render(result: dict) -> str:
+    """Human-readable table of one run() document."""
+    lines = ["scheduler scalability sweep", ""]
+    lines.append("  microbench (direct pick/charge loop)")
+    lines.append("    containers  entities   us/pick      picks/sec")
+    for p in result["microbench"]:
+        lines.append(
+            f"    {p['containers']:>10}  {p['entities']:>8}  {p['us_per_pick']:>8.3f}"
+            f"  {p['picks_per_sec']:>13,.0f}"
+        )
+    lines.append("")
+    lines.append("  end-to-end (RC kernel, CPU-bound processes)")
+    lines.append("    processes   entities   wall-s/sim-s    events/sec")
+    for p in result["end_to_end"]:
+        lines.append(
+            f"    {p['processes']:>9}  {p['entities']:>9}  {p['wall_s_per_sim_s']:>12.4f}"
+            f"  {p['events_per_sec']:>12,.0f}"
+        )
+    if "speedup" in result:
+        lines.append("")
+        lines.append("  speedup vs pre-optimisation baseline")
+        for key, ratio in result["speedup"].items():
+            lines.append(f"    {key:<28} {ratio:>6.2f}x")
+    return "\n".join(lines)
+
+
+def write_json(result: dict, path: str = "BENCH_scalability.json") -> str:
+    """Write the result document; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    doc = run()
+    print(render(doc))
+    print(f"\nwrote {write_json(doc)}")

@@ -56,6 +56,14 @@ class ExecPhase(enum.Enum):
 class Thread:
     """A kernel-schedulable thread.  Implements the Schedulable protocol."""
 
+    #: Contract with index-maintaining schedulers: a thread's scheduling
+    #: key only changes through notified channels -- wakeups go through
+    #: ``Scheduler.on_wakeup``, rebinds through the ``resource_binding``
+    #: setter, and binding-set changes through
+    #: ``SchedulerBinding.on_change`` -- so the scheduler may keep it in
+    #: an index instead of re-evaluating it every pick.
+    sched_push_notify = True
+
     def __init__(
         self,
         process: "Process",
@@ -68,8 +76,11 @@ class Thread:
         self.body = body
         self.name = name
         self.state = ThreadState.READY
+        #: Callback installed by the scheduler; fired when the thread's
+        #: scheduling key changes (rebind).  None when not scheduled.
+        self.sched_note_change = None
         #: Container charged for this thread's consumption (paper 4.2).
-        self.resource_binding: Optional[ResourceContainer] = resource_binding
+        self._resource_binding: Optional[ResourceContainer] = resource_binding
         #: Kernel-maintained multiplexing set (paper 4.3).
         self.scheduler_binding = SchedulerBinding()
         #: The syscall currently being executed, if any.
@@ -92,6 +103,18 @@ class Thread:
         self.started = False
 
     # -- Schedulable protocol -------------------------------------------
+
+    @property
+    def resource_binding(self) -> Optional[ResourceContainer]:
+        """Container charged for this thread's consumption (paper 4.2)."""
+        return self._resource_binding
+
+    @resource_binding.setter
+    def resource_binding(self, container: Optional[ResourceContainer]) -> None:
+        changed = container is not self._resource_binding
+        self._resource_binding = container
+        if changed and self.sched_note_change is not None:
+            self.sched_note_change()
 
     @property
     def runnable(self) -> bool:

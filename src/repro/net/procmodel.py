@@ -68,6 +68,12 @@ class KernelNetThread:
     appropriately while processing each packet."
     """
 
+    #: A net thread's scheduling key (charge container, priority) depends
+    #: on the head packet of its queues, which changes with every arrival
+    #: and completion -- there is no cheap notification channel, so the
+    #: scheduler must re-evaluate it on every pick (no index entry).
+    sched_push_notify = False
+
     def __init__(
         self,
         process: "Process",

@@ -26,14 +26,42 @@ container subtree that has consumed ``limit * window`` within the
 current window is *capped out*, and entities that would charge it are
 throttled until the window rolls.  This matches the prototype enforcing
 fixed shares at coarse timescales while keeping the simulation cheap.
+
+Data structures (see docs/ARCHITECTURE.md for the full discussion)
+------------------------------------------------------------------
+
+``pick()`` is index-driven, not scan-driven.  Entities that honour the
+push-notification contract (``sched_push_notify``; user threads and
+benchmark entities) live in per-``(priority, group)`` *ready buckets* --
+heaps ordered by the round-robin key ``(last-ran stamp, attach
+order)`` -- and, per priority layer, a *group heap* orders the
+non-empty buckets by ``(group pass, head stamp, head order)``.  A pick
+walks layers from the highest priority, pops lazily-invalidated heap
+entries until the top entry matches current state, and returns its
+bucket head: O(log) in entities instead of O(n * depth).
+
+Entities without the contract (kernel net threads, whose key follows
+their head packet; test fakes that flip ``runnable`` silently) are
+*volatile*: they are re-evaluated with the original linear logic every
+pick and compared against the indexed candidate under the exact same
+key, so behaviour is bit-for-bit identical to the old full scan.
+
+Stale index entries are never searched for: every mutation that could
+invalidate derived state (reparent, attribute replacement, container
+destruction) bumps the global hierarchy epoch (see
+:mod:`repro.core.container`), and the scheduler rebuilds its caches and
+index on the next entry point.  Bucket and heap entries are validated
+when they surface (lazy deletion), ineligible candidates (capped out or
+running on another core) are set aside and re-queued after the pick.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Optional
 
 from repro.core.container import ResourceContainer
-from repro.core.hierarchy import ancestors_and_self, top_level_of
+from repro.core.hierarchy import HierarchyCache
 from repro.sched.base import Schedulable, Scheduler
 from repro.sched.state import SchedulerNodeState
 
@@ -44,6 +72,11 @@ def _node_state(container: ResourceContainer) -> SchedulerNodeState:
         state = SchedulerNodeState()
         container.sched_state = state
     return state
+
+
+def _push_notify(entity: Schedulable) -> bool:
+    """True if the entity promises change notifications (indexable)."""
+    return bool(getattr(entity, "sched_push_notify", False))
 
 
 class ContainerScheduler(Scheduler):
@@ -71,32 +104,183 @@ class ContainerScheduler(Scheduler):
         self._attach_seq = 0
         self._order: dict[int, int] = {}
         self.window_rolls = 0
+        # -- indexed fast-path state (see module docstring) -------------
+        self._hcache = HierarchyCache()
+        #: gid -> memoized top-level weight (flushed with the epoch).
+        self._weights: dict[int, float] = {}
+        #: id(entity) -> entity, for every attached entity.
+        self._by_eid: dict[int, Schedulable] = {}
+        #: Entities without the push-notify contract, re-scanned per pick.
+        self._volatile: list[Schedulable] = []
+        #: id(entity) -> (priority, gkey, stamp) of its live bucket entry;
+        #: absent when the entity has no valid entry.  Bucket entries not
+        #: matching this are stale and dropped when they surface.
+        self._pos: dict[int, tuple] = {}
+        #: (priority, gkey) -> heap of (stamp, order, eid).  gkey is the
+        #: top-level group's cid, or None for charge-nobody entities.
+        self._buckets: dict[tuple, list] = {}
+        #: priority -> heap of (pass, head_stamp, head_order, gkey);
+        #: entries are snapshots, lazily corrected as they surface.
+        self._layer_heaps: dict[int, list] = {}
+        #: (priority, gkey) -> the group's single *live* heap entry.
+        #: Surfacing entries that don't match are dead and dropped, so
+        #: the heap stays O(groups) instead of accreting snapshots.
+        self._gpos: dict[tuple, tuple] = {}
+        #: gkey -> group container for entries in the index.
+        self._groups: dict[int, ResourceContainer] = {}
 
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
 
     def on_attach(self, entity: Schedulable) -> None:
-        self._last_ran[id(entity)] = 0
+        eid = id(entity)
+        self._last_ran[eid] = 0
         self._attach_seq += 1
-        self._order[id(entity)] = self._attach_seq
+        self._order[eid] = self._attach_seq
+        self._by_eid[eid] = entity
+        if _push_notify(entity):
+            self._install_hooks(entity)
+            self._sync_epoch()  # may already index us via a rebuild
+            if entity.runnable and self._pos.get(eid) is None:
+                self._index_insert(entity)
+        else:
+            self._volatile.append(entity)
 
     def detach(self, entity: Schedulable) -> None:
         super().detach(entity)
-        self._last_ran.pop(id(entity), None)
-        self._order.pop(id(entity), None)
+        eid = id(entity)
+        self._last_ran.pop(eid, None)
+        self._order.pop(eid, None)
+        self._by_eid.pop(eid, None)
+        self._pos.pop(eid, None)
+        if _push_notify(entity):
+            self._remove_hooks(entity)
+        else:
+            try:
+                self._volatile.remove(entity)
+            except ValueError:
+                pass
+
+    def _install_hooks(self, entity: Schedulable) -> None:
+        def note(entity=entity):
+            self._note_entity_change(entity)
+
+        if hasattr(entity, "sched_note_change"):
+            entity.sched_note_change = note
+        binding = getattr(entity, "scheduler_binding", None)
+        if binding is not None and hasattr(binding, "on_change"):
+            binding.on_change = note
+
+    def _remove_hooks(self, entity: Schedulable) -> None:
+        if getattr(entity, "sched_note_change", None) is not None:
+            entity.sched_note_change = None
+        binding = getattr(entity, "scheduler_binding", None)
+        if binding is not None and getattr(binding, "on_change", None) is not None:
+            binding.on_change = None
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    def _sync_epoch(self) -> None:
+        """Flush epoch-guarded caches and rebuild the ready index after a
+        hierarchy mutation (reparent, attribute change, destruction)."""
+        if self._hcache.check():
+            self._weights.clear()
+            self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        self._buckets.clear()
+        self._layer_heaps.clear()
+        self._gpos.clear()
+        self._pos.clear()
+        self._groups.clear()
+        for entity in self._entities:
+            if _push_notify(entity) and entity.runnable:
+                self._index_insert(entity)
+
+    def _entity_parts(self, entity: Schedulable):
+        """(priority, gkey, group) the entity currently schedules under."""
+        container = entity.charge_container()
+        if container is None:
+            return 1, None, None  # system work: normal layer, neutral pass
+        group = self._hcache.top_level(container)
+        return self._combined_priority(entity, container), group.cid, group
+
+    def _index_insert(self, entity: Schedulable) -> None:
+        eid = id(entity)
+        priority, gkey, group = self._entity_parts(entity)
+        bkey = (priority, gkey)
+        bucket = self._buckets.get(bkey)
+        if bucket is None:
+            bucket = self._buckets[bkey] = []
+        entry = (self._last_ran.get(eid, 0), self._order.get(eid, 0), eid)
+        heapq.heappush(bucket, entry)
+        self._pos[eid] = (priority, gkey, entry[0])
+        if gkey is not None:
+            self._groups[gkey] = group
+            if bucket[0] is entry:
+                # The bucket head improved: the group's snapshots in the
+                # layer heap understate nothing only if a fresh one is
+                # pushed (passes only grow; heads may shrink right here).
+                self._push_group_entry(priority, gkey, group, bucket)
+
+    def _push_group_entry(
+        self,
+        priority: int,
+        gkey: int,
+        group: ResourceContainer,
+        bucket: list,
+    ) -> None:
+        head = bucket[0]
+        entry = (_node_state(group).pass_value, head[0], head[1], gkey)
+        bkey = (priority, gkey)
+        if self._gpos.get(bkey) == entry:
+            return  # the live entry already says exactly this
+        self._gpos[bkey] = entry  # the previous live entry is now dead
+        heap = self._layer_heaps.get(priority)
+        if heap is None:
+            heap = self._layer_heaps[priority] = []
+        heapq.heappush(heap, entry)
+
+    def _note_entity_change(self, entity: Schedulable) -> None:
+        """An indexed entity's key changed (rebind / binding-set change)."""
+        eid = id(entity)
+        if eid not in self._order:
+            return
+        self._sync_epoch()
+        if not entity.runnable:
+            self._pos.pop(eid, None)
+            return
+        priority, gkey, _group = self._entity_parts(entity)
+        pos = self._pos.get(eid)
+        if pos is not None and pos[0] == priority and pos[1] == gkey:
+            return  # placement unchanged; the existing entry stands
+        self._index_insert(entity)
+
+    def on_wakeup(self, entity: Schedulable, now: float) -> None:
+        eid = id(entity)
+        if eid not in self._order or not _push_notify(entity):
+            return
+        self._sync_epoch()
+        if entity.runnable and self._pos.get(eid) is None:
+            self._index_insert(entity)
 
     # ------------------------------------------------------------------
     # Cap enforcement
     # ------------------------------------------------------------------
 
-    def capped_out(self, container: ResourceContainer) -> bool:
-        """True if the container or any ancestor exhausted its window cap."""
-        for node in ancestors_and_self(container):
-            limit = node.attrs.cpu_limit
-            if limit is not None and node.window_usage_us >= limit * self.window_us:
+    def _capped(self, container: ResourceContainer) -> bool:
+        for node in self._hcache.limit_chain(container):
+            if node.window_usage_us >= node.attrs.cpu_limit * self.window_us:
                 return True
         return False
+
+    def capped_out(self, container: ResourceContainer) -> bool:
+        """True if the container or any ancestor exhausted its window cap."""
+        self._sync_epoch()
+        return self._capped(container)
 
     def is_throttled(self, entity: Schedulable, now: float) -> bool:
         container = entity.charge_container()
@@ -110,34 +294,56 @@ class ContainerScheduler(Scheduler):
         container = entity.charge_container()
         if container is None:
             return float("inf")
+        self._sync_epoch()
         bound = float("inf")
-        for node in ancestors_and_self(container):
-            limit = node.attrs.cpu_limit
-            if limit is not None:
-                remaining = limit * self.window_us - node.window_usage_us
-                bound = min(bound, max(remaining, 0.0))
+        for node in self._hcache.limit_chain(container):
+            remaining = node.attrs.cpu_limit * self.window_us - node.window_usage_us
+            bound = min(bound, max(remaining, 0.0))
         return bound
 
     def window_roll(self, now: float) -> None:
-        """Reset window accumulators for the whole hierarchy."""
+        """Reset the window accumulators that were actually charged.
+
+        ``ResourceContainer.charge_cpu`` registers every container whose
+        accumulator left zero since the last roll, so an idle hierarchy
+        (or the idle bulk of a large one) costs nothing here.  Nodes
+        that were reparented out from under the root since they were
+        charged are skipped, exactly as the old full-tree sweep from
+        ``self.root`` never reached them.
+        """
         self.window_rolls += 1
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            node.reset_window()
-            stack.extend(node.children)
+        registry = self.root.window_registry
+        if registry:
+            root = self.root
+            for node in registry:
+                top = node
+                while top.parent is not None:
+                    top = top.parent
+                if top is root:
+                    node.reset_window()
+            registry.clear()
 
     # ------------------------------------------------------------------
     # Weights
     # ------------------------------------------------------------------
 
     def group_weight(self, group: ResourceContainer) -> float:
-        """Effective top-level weight of one child of the root.
+        """Effective top-level weight of one child of the root (memoized).
 
         Fixed-share groups weigh exactly their guaranteed share;
         time-share groups split the residual (1 - sum of fixed shares)
-        in proportion to their ``timeshare_weight``.
+        in proportion to their ``timeshare_weight``.  The sum over the
+        root's children is cached per group and flushed whenever the
+        hierarchy or any attribute record changes.
         """
+        self._sync_epoch()
+        weight = self._weights.get(group.cid)
+        if weight is None:
+            weight = self._compute_group_weight(group)
+            self._weights[group.cid] = weight
+        return weight
+
+    def _compute_group_weight(self, group: ResourceContainer) -> float:
         siblings = self.root.children
         fixed_total = sum(
             c.attrs.fixed_share
@@ -163,10 +369,15 @@ class ContainerScheduler(Scheduler):
     def pick(
         self, now: float, exclude: Optional[set] = None
     ) -> Optional[Schedulable]:
+        self._sync_epoch()
+        deferred: list[tuple] = []
         best: Optional[Schedulable] = None
         best_key: Optional[tuple] = None
         best_group: Optional[ResourceContainer] = None
-        for entity in self._entities:
+
+        # Volatile entities carry no notification contract: evaluate
+        # them with the original linear logic, under the original key.
+        for entity in self._volatile:
             if not entity.runnable:
                 continue
             if exclude is not None and id(entity) in exclude:
@@ -175,31 +386,189 @@ class ContainerScheduler(Scheduler):
             if container is None:
                 group = None
                 group_pass = self._group_vtime
-                priority = 1  # system work: normal layer, neutral pass
+                priority = 1
             else:
-                if self.capped_out(container):
+                if self._capped(container):
                     continue
-                group = top_level_of(container)
+                group = self._hcache.top_level(container)
                 group_pass = _node_state(group).pass_value
                 priority = self._combined_priority(entity, container)
-            stamp = self._last_ran.get(id(entity), 0)
-            # Strict priority layers first; stride over groups within a
-            # layer; least-recently-ran round-robin within a group.
-            key = (-priority, group_pass, stamp, self._order.get(id(entity), 0))
+            eid = id(entity)
+            key = (
+                -priority,
+                group_pass,
+                self._last_ran.get(eid, 0),
+                self._order.get(eid, 0),
+            )
             if best_key is None or key < best_key:
                 best_key = key
                 best = entity
                 best_group = group
-        if best is None:
-            return None
-        self._pick_seq += 1
-        self._last_ran[id(best)] = self._pick_seq
-        if best_group is not None:
-            state = _node_state(best_group)
-            # Clamp a long-idle group up to the global virtual time.
-            state.pass_value = max(state.pass_value, self._group_vtime)
-            self._group_vtime = state.pass_value
+
+        best_bkey: Optional[tuple] = None
+        candidate = self._indexed_candidate(exclude, deferred, best_key)
+        if candidate is not None:
+            key, entity, group, bkey = candidate
+            if best_key is None or key < best_key:
+                best_key = key
+                best = entity
+                best_group = group
+                best_bkey = bkey
+
+        if best is not None:
+            self._pick_seq += 1
+            self._last_ran[id(best)] = self._pick_seq
+            if best_bkey is not None:
+                bucket = self._buckets[best_bkey]
+                heapq.heappop(bucket)  # the validated head == best
+                self._pos.pop(id(best), None)
+            if best_group is not None:
+                state = _node_state(best_group)
+                # Clamp a long-idle group up to the global virtual time.
+                state.pass_value = max(state.pass_value, self._group_vtime)
+                self._group_vtime = state.pass_value
+            if best_bkey is not None:
+                self._index_insert(best)  # re-queue under the new stamp
+                priority, gkey = best_bkey
+                if gkey is not None:
+                    bucket = self._buckets.get(best_bkey)
+                    if bucket:
+                        self._push_group_entry(
+                            priority, gkey, self._groups[gkey], bucket
+                        )
+        self._requeue_deferred(deferred)
         return best
+
+    def _requeue_deferred(self, deferred: list) -> None:
+        """Put capped/excluded entities back; refresh displaced heads."""
+        if not deferred:
+            return
+        touched: dict[tuple, list] = {}
+        for bkey, entry in deferred:
+            bucket = self._buckets.get(bkey)
+            if bucket is None:
+                bucket = self._buckets[bkey] = []
+            heapq.heappush(bucket, entry)
+            touched[bkey] = bucket
+        for (priority, gkey), bucket in touched.items():
+            if gkey is not None and bucket:
+                group = self._groups.get(gkey)
+                if group is not None:
+                    self._push_group_entry(priority, gkey, group, bucket)
+
+    def _indexed_candidate(
+        self,
+        exclude: Optional[set],
+        deferred: list,
+        best_volatile_key: Optional[tuple],
+    ) -> Optional[tuple]:
+        """Best indexed entity as (key, entity, group, bkey), or None.
+
+        Walks priority layers highest-first and stops as soon as a layer
+        yields a candidate (strict layering) or the best volatile
+        candidate is known to outrank everything below.
+        """
+        priorities = set(self._layer_heaps)
+        if self._buckets.get((1, None)):
+            priorities.add(1)
+        for priority in sorted(priorities, reverse=True):
+            if best_volatile_key is not None and -best_volatile_key[0] > priority:
+                return None  # the volatile candidate strictly outranks the rest
+            found = self._layer_candidate(priority, exclude, deferred)
+            if priority == 1:
+                none_found = self._none_candidate(exclude, deferred)
+                if none_found is not None and (
+                    found is None or none_found[0] < found[0]
+                ):
+                    found = none_found
+            if found is not None:
+                return found
+            if best_volatile_key is not None and -best_volatile_key[0] == priority:
+                return None  # nothing indexed in the volatile's own layer
+        return None
+
+    def _layer_candidate(
+        self, priority: int, exclude: Optional[set], deferred: list
+    ) -> Optional[tuple]:
+        """Stride pick within one layer: the group with the smallest
+        (pass, head stamp, head order), via the lazy group heap."""
+        heap = self._layer_heaps.get(priority)
+        while heap:
+            entry = heap[0]
+            pass_value, head_stamp, head_order, gkey = entry
+            bkey = (priority, gkey)
+            if self._gpos.get(bkey) != entry:
+                heapq.heappop(heap)  # dead snapshot, superseded
+                continue
+            group = self._groups.get(gkey)
+            if group is None:
+                heapq.heappop(heap)
+                del self._gpos[bkey]
+                continue
+            head = self._effective_head(bkey, exclude, deferred)
+            if head is None:
+                heapq.heappop(heap)  # bucket empty or fully ineligible
+                del self._gpos[bkey]
+                continue
+            stamp, order, eid = head
+            current = (_node_state(group).pass_value, stamp, order)
+            if (pass_value, head_stamp, head_order) != current:
+                corrected = current + (gkey,)
+                self._gpos[bkey] = corrected
+                heapq.heapreplace(heap, corrected)
+                continue
+            key = (-priority, pass_value, stamp, order)
+            return (key, self._by_eid[eid], group, bkey)
+        return None
+
+    def _none_candidate(
+        self, exclude: Optional[set], deferred: list
+    ) -> Optional[tuple]:
+        """Candidate among charge-nobody entities (pseudo-group: the
+        global virtual time stands in for a pass value)."""
+        head = self._effective_head((1, None), exclude, deferred)
+        if head is None:
+            return None
+        stamp, order, eid = head
+        key = (-1, self._group_vtime, stamp, order)
+        return (key, self._by_eid[eid], None, (1, None))
+
+    def _effective_head(
+        self, bkey: tuple, exclude: Optional[set], deferred: list
+    ) -> Optional[tuple]:
+        """The bucket's best *eligible* entry, validating lazily.
+
+        Stale entries (superseded, detached, no longer runnable) are
+        dropped; eligible-but-barred ones (capped out, running on
+        another core) are set aside for :meth:`_requeue_deferred`.
+        """
+        bucket = self._buckets.get(bkey)
+        if bucket is None:
+            return None
+        priority, gkey = bkey
+        while bucket:
+            entry = bucket[0]
+            stamp, order, eid = entry
+            if self._pos.get(eid) != (priority, gkey, stamp):
+                heapq.heappop(bucket)
+                continue
+            entity = self._by_eid.get(eid)
+            if entity is None or not entity.runnable:
+                heapq.heappop(bucket)
+                self._pos.pop(eid, None)
+                continue
+            if exclude is not None and eid in exclude:
+                heapq.heappop(bucket)
+                deferred.append((bkey, entry))
+                continue
+            container = entity.charge_container()
+            if container is not None and self._capped(container):
+                heapq.heappop(bucket)
+                deferred.append((bkey, entry))
+                continue
+            return entry
+        del self._buckets[bkey]
+        return None
 
     def _combined_priority(
         self, entity: Schedulable, container: ResourceContainer
@@ -229,8 +598,12 @@ class ContainerScheduler(Scheduler):
     ) -> None:
         if amount_us <= 0.0 or container is None:
             return
-        group = top_level_of(container)
-        weight = self.group_weight(group)
+        self._sync_epoch()
+        group = self._hcache.top_level(container)
+        weight = self._weights.get(group.cid)
+        if weight is None:
+            weight = self._compute_group_weight(group)
+            self._weights[group.cid] = weight
         state = _node_state(group)
         state.pass_value += amount_us / max(weight, 1e-9)
 

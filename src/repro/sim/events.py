@@ -54,13 +54,31 @@ class Event:
         return f"Event(t={self.when:.3f}, seq={self.seq}, {name}, {state})"
 
 
+#: Compaction is considered only once at least this many cancelled
+#: entries sit in the heap; below it, rebuilding costs more than the
+#: dead weight.
+COMPACT_MIN_DEAD = 64
+
+
 class EventQueue:
-    """Deterministic priority queue of :class:`Event` objects."""
+    """Deterministic priority queue of :class:`Event` objects.
+
+    Cancellation is lazy (the heap skips dead entries on pop), which is
+    O(1) per cancel but lets timer-churn workloads -- preemption
+    cancelling every slice-completion event, clients rescheduling
+    timeouts -- grow the heap without bound and tax every push and pop.
+    When dead entries outnumber live ones (past a small floor) the heap
+    is rebuilt with only the live entries: O(live) per compaction,
+    amortised O(1) per cancel.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
         self._live = 0
+        #: Cancelled-but-still-heaped entries (fired ones leave on pop).
+        self._dead = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
         """Number of pending (not cancelled, not fired) events."""
@@ -81,6 +99,16 @@ class EventQueue:
         if event.pending:
             event.cancel()
             self._live -= 1
+            self._dead += 1
+            if self._dead > self._live and self._dead >= COMPACT_MIN_DEAD:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap with live entries only."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self.compactions += 1
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
@@ -103,3 +131,4 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
+            self._dead -= 1

@@ -10,6 +10,7 @@ seen by existing ones.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
@@ -28,10 +29,16 @@ class SeededRng:
         """Derive an independent child stream.
 
         The child's seed mixes the parent seed, the child name, and a
-        fork counter, so forks are reproducible and order-stable.
+        fork counter, so forks are reproducible and order-stable.  The
+        mix must not use :func:`hash` on strings: that is randomised
+        per process (PYTHONHASHSEED), which would make "seeded" runs
+        differ between processes.
         """
         self._fork_count += 1
-        child_seed = hash((self.seed, name, self._fork_count)) & 0x7FFF_FFFF_FFFF_FFFF
+        payload = f"{self.seed}|{self._fork_count}|{name}".encode()
+        child_seed = (
+            (zlib.crc32(payload) << 32) ^ zlib.adler32(payload[::-1])
+        ) & 0x7FFF_FFFF_FFFF_FFFF
         return SeededRng(child_seed, name=f"{self.name}/{name}")
 
     def uniform(self, low: float, high: float) -> float:

@@ -1,0 +1,185 @@
+"""Scheduler cache invalidation under hierarchy and attribute mutation.
+
+The indexed scheduler memoizes top-level groups, group weights, and
+limit chains, and keeps push-notify entities in ready queues keyed by
+(priority, group).  Every mutation channel -- reparenting, attribute
+replacement through the manager, rebinding, binding-set changes -- must
+be reflected in the very next ``pick()``/``group_weight()`` call, with
+no stale cache residue.
+"""
+
+import pytest
+
+from repro.core.attributes import fixed_share_attrs, timeshare_attrs
+from repro.core.operations import ContainerManager
+from repro.sched.container_sched import ContainerScheduler
+
+
+class NotifyEntity:
+    """Push-notify schedulable stub (exercises the indexed fast path)."""
+
+    sched_push_notify = True
+
+    def __init__(self, name, container):
+        self.name = name
+        self._container = container
+        self.runnable = True
+        self.sched_note_change = None
+
+    @property
+    def container(self):
+        return self._container
+
+    @container.setter
+    def container(self, value):
+        changed = value is not self._container
+        self._container = value
+        if changed and self.sched_note_change is not None:
+            self.sched_note_change()
+
+    def charge_container(self):
+        return self._container
+
+    def scheduler_containers(self):
+        return [self._container] if self._container else []
+
+
+@pytest.fixture
+def setup():
+    manager = ContainerManager()
+    sched = ContainerScheduler(manager.root, quantum_us=1000.0, window_us=10_000.0)
+    return manager, sched
+
+
+def drain(sched, steps, quantum=1000.0, start=0.0):
+    """Run the pick/charge loop; returns per-entity-name quanta counts."""
+    counts: dict[str, int] = {}
+    now = start
+    for _ in range(steps):
+        entity = sched.pick(now)
+        if entity is None:
+            now += quantum
+            continue
+        container = entity.charge_container()
+        if container is not None:
+            container.charge_cpu(quantum)
+        sched.charge(entity, container, quantum, now)
+        counts[entity.name] = counts.get(entity.name, 0) + 1
+        now += quantum
+    return counts
+
+
+def test_priority_change_reflected_in_next_pick(setup):
+    manager, sched = setup
+    high = manager.create("high", attrs=timeshare_attrs(priority=9))
+    low = manager.create("low", attrs=timeshare_attrs(priority=1))
+    a = NotifyEntity("a", high)
+    b = NotifyEntity("b", low)
+    sched.attach(a)
+    sched.attach(b)
+    assert sched.pick(0.0) is a
+    # Invert the priorities mid-run through the manager.
+    manager.set_attributes(high, timeshare_attrs(priority=1))
+    manager.set_attributes(low, timeshare_attrs(priority=9))
+    assert sched.pick(0.0) is b
+
+
+def test_share_change_shifts_allocation_mid_run(setup):
+    manager, sched = setup
+    big = manager.create("big", attrs=fixed_share_attrs(0.75))
+    small = manager.create("small", attrs=fixed_share_attrs(0.25))
+    a = NotifyEntity("a", big)
+    b = NotifyEntity("b", small)
+    sched.attach(a)
+    sched.attach(b)
+    first = drain(sched, 200)
+    assert first["a"] > first["b"]
+    # Swap the shares; the stride weights must re-resolve immediately.
+    manager.set_attributes(big, fixed_share_attrs(0.25))
+    manager.set_attributes(small, fixed_share_attrs(0.75))
+    second = drain(sched, 200, start=200_000.0)
+    assert second["b"] / (second["a"] + second["b"]) == pytest.approx(0.75, abs=0.08)
+
+
+def test_cpu_limit_added_mid_run_takes_effect(setup):
+    manager, sched = setup
+    c = manager.create("c", attrs=fixed_share_attrs(0.5))
+    entity = NotifyEntity("e", c)
+    sched.attach(entity)
+    c.charge_cpu(3_000.0)
+    assert not sched.capped_out(c)
+    assert sched.pick(0.0) is entity
+    # Impose a 30% window cap; the 30% already burned exhausts it.
+    manager.set_attributes(c, fixed_share_attrs(0.5, cpu_limit=0.3))
+    assert sched.capped_out(c)
+    assert sched.pick(0.0) is None
+    # Lifting the cap restores the entity without a window roll.
+    manager.set_attributes(c, fixed_share_attrs(0.5))
+    assert sched.pick(0.0) is entity
+
+
+def test_reparent_moves_entity_to_new_top_level_group(setup):
+    manager, sched = setup
+    strong = manager.create("strong", attrs=fixed_share_attrs(0.8))
+    weak = manager.create("weak", attrs=fixed_share_attrs(0.2))
+    leaf = manager.create("leaf", parent=weak)
+    mover = NotifyEntity("m", leaf)
+    rival = NotifyEntity("r", strong)
+    sched.attach(mover)
+    sched.attach(rival)
+    before = drain(sched, 200)
+    assert before["r"] > before["m"]  # charged to the 0.2 group
+    # Reparent the leaf under the strong group: both entities now draw
+    # from the same 0.8 container and must round-robin evenly.
+    manager.set_parent(leaf, strong)
+    after = drain(sched, 200, start=200_000.0)
+    assert after["m"] == pytest.approx(after["r"], abs=2)
+
+
+def test_reparent_under_capped_parent_throttles(setup):
+    manager, sched = setup
+    capped = manager.create("capped", attrs=fixed_share_attrs(0.3, cpu_limit=0.3))
+    free = manager.create("free", attrs=fixed_share_attrs(0.7))
+    leaf = manager.create("leaf", parent=free)
+    entity = NotifyEntity("e", leaf)
+    sched.attach(entity)
+    capped.charge_cpu(3_000.0)  # cap budget already spent
+    assert sched.pick(0.0) is entity  # not under the cap yet
+    manager.set_parent(leaf, capped)
+    # The cached limit chain must be rebuilt: leaf now inherits the cap.
+    assert sched.capped_out(leaf)
+    assert sched.pick(0.0) is None
+
+
+def test_rebind_changes_layer_immediately(setup):
+    manager, sched = setup
+    high = manager.create("high", attrs=timeshare_attrs(priority=9))
+    low = manager.create("low", attrs=timeshare_attrs(priority=1))
+    mid = manager.create("mid", attrs=timeshare_attrs(priority=5))
+    mover = NotifyEntity("m", low)
+    steady = NotifyEntity("s", mid)
+    sched.attach(mover)
+    sched.attach(steady)
+    assert sched.pick(0.0) is steady
+    mover.container = high  # fires sched_note_change
+    assert sched.pick(0.0) is mover
+
+
+def test_group_weight_re_resolves_after_share_change(setup):
+    """Regression: memoized weights must flush on attribute replacement."""
+    manager, sched = setup
+    fixed = manager.create("fixed", attrs=fixed_share_attrs(0.4))
+    ts = manager.create("ts", attrs=timeshare_attrs(weight=1.0))
+    assert sched.group_weight(fixed) == pytest.approx(0.4)
+    assert sched.group_weight(ts) == pytest.approx(0.6)
+    manager.set_attributes(fixed, fixed_share_attrs(0.1))
+    assert sched.group_weight(fixed) == pytest.approx(0.1)
+    assert sched.group_weight(ts) == pytest.approx(0.9)
+
+
+def test_group_weight_re_resolves_after_sibling_created(setup):
+    manager, sched = setup
+    ts1 = manager.create("ts1", attrs=timeshare_attrs(weight=1.0))
+    assert sched.group_weight(ts1) == pytest.approx(1.0)
+    manager.create("ts2", attrs=timeshare_attrs(weight=1.0))
+    assert sched.group_weight(ts1) == pytest.approx(0.5)
