@@ -12,6 +12,28 @@ from __future__ import annotations
 import pytest
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_sweep_cache(tmp_path_factory):
+    """Point the sweep cache at a per-session scratch directory.
+
+    Figure regenerations in this suite are *measurements*; serving them
+    from a previously populated ``.sweepcache/`` would time the cache,
+    not the simulator.
+    """
+    import os
+
+    from repro.experiments import sweep
+
+    scratch = tmp_path_factory.mktemp("sweepcache")
+    previous = os.environ.get(sweep.CACHE_DIR_ENV)
+    os.environ[sweep.CACHE_DIR_ENV] = str(scratch)
+    yield
+    if previous is None:
+        os.environ.pop(sweep.CACHE_DIR_ENV, None)
+    else:
+        os.environ[sweep.CACHE_DIR_ENV] = previous
+
+
 @pytest.fixture(autouse=True)
 def _benchmark_everything(benchmark):
     """Pull the ``benchmark`` fixture into every test's closure.

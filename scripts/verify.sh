@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 tests, perf smoke, and a parallel-sweep smoke.
+#
+# Usage: scripts/verify.sh
+#
+# Runs, in order:
+#   1. tier-1 unit/integration/property tests (the hard gate)
+#   2. the perf-marker scalability smoke vs BENCH_scalability.json
+#   3. a Figure 11 regeneration through the parallel sweep engine
+#      (--jobs 2); re-runs hit the content-addressed .sweepcache/
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo "== tier-2: perf smoke =="
+python -m pytest -m perf -q benchmarks/
+
+echo "== sweep smoke: fig11 --jobs 2 =="
+python -m repro fig11 --jobs 2
+
+echo "verify: OK"

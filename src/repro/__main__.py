@@ -5,8 +5,16 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro table1               # one experiment
     python -m repro fig12 --full         # slower, larger windows
-    python -m repro all                  # everything (fast windows)
+    python -m repro all --jobs 4         # everything, 4 worker processes
+    python -m repro fig11 --no-cache     # recompute even cached points
     python -m repro bench                # scheduler scalability sweep
+    python -m repro bench-sweep          # sweep-engine speedup benchmark
+
+Every figure harness expands into a grid of independent simulation
+points; ``--jobs N`` fans the grid out to N worker processes (output is
+byte-identical to a serial run) and finished points are cached by
+content under ``.sweepcache/`` so warm re-runs skip them (``--no-cache``
+bypasses the cache).
 """
 
 from __future__ import annotations
@@ -16,46 +24,48 @@ import sys
 import time
 
 
-def _run_table1(fast: bool):
+def _run_table1(fast: bool, jobs: int, cache: bool):
+    # Table 1 wall-clock micro-benchmarks its own Python implementation,
+    # so its numbers are machine-bound: never cached, never fanned out.
     from repro.experiments import table1_primitives
 
     return table1_primitives.run()
 
 
-def _run_baseline(fast: bool):
+def _run_baseline(fast: bool, jobs: int, cache: bool):
     from repro.experiments import baseline
 
-    return baseline.run(fast=fast)
+    return baseline.run(fast=fast, jobs=jobs, cache=cache)
 
 
-def _run_fig11(fast: bool):
+def _run_fig11(fast: bool, jobs: int, cache: bool):
     from repro.experiments import fig11_priority
 
-    return fig11_priority.run(fast=fast)
+    return fig11_priority.run(fast=fast, jobs=jobs, cache=cache)
 
 
-def _run_fig12(fast: bool):
+def _run_fig12(fast: bool, jobs: int, cache: bool):
     from repro.experiments import fig12_cgi
 
-    return fig12_cgi.run(fast=fast)
+    return fig12_cgi.run(fast=fast, jobs=jobs, cache=cache)
 
 
-def _run_fig14(fast: bool):
+def _run_fig14(fast: bool, jobs: int, cache: bool):
     from repro.experiments import fig14_synflood
 
-    return fig14_synflood.run(fast=fast)
+    return fig14_synflood.run(fast=fast, jobs=jobs, cache=cache)
 
 
-def _run_virtual(fast: bool):
+def _run_virtual(fast: bool, jobs: int, cache: bool):
     from repro.experiments import virtual_servers
 
-    return virtual_servers.run(fast=fast)
+    return virtual_servers.run(fast=fast, jobs=jobs, cache=cache)
 
 
-def _run_ablations(fast: bool):
+def _run_ablations(fast: bool, jobs: int, cache: bool):
     from repro.experiments import ablations
 
-    return ablations.run(fast=fast)
+    return ablations.run(fast=fast, jobs=jobs, cache=cache)
 
 
 def _render_any(result) -> str:
@@ -89,9 +99,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list", "bench"],
+        choices=[*EXPERIMENTS, "all", "list", "bench", "bench-sweep"],
         help="which experiment to run ('bench' runs the scheduler "
-        "scalability sweep and writes BENCH_scalability.json)",
+        "scalability sweep and writes BENCH_scalability.json; "
+        "'bench-sweep' benchmarks the parallel sweep engine and writes "
+        "BENCH_sweep.json)",
     )
     parser.add_argument(
         "--full",
@@ -103,12 +115,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit machine-readable JSON instead of text tables",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep grids (default 1: serial; "
+        "parallel output is byte-identical to serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-addressed result cache (.sweepcache/)",
+    )
     args = parser.parse_args(argv)
+    cache = not args.no_cache
 
     if args.experiment == "list":
         for key, (description, _fn) in EXPERIMENTS.items():
             print(f"{key:10s} {description}")
         print(f"{'bench':10s} Scheduler scalability sweep (10/100/1000)")
+        print(f"{'bench-sweep':10s} Parallel sweep engine / cache benchmark")
         return 0
 
     if args.experiment == "bench":
@@ -125,6 +152,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[wrote {path}]", file=sys.stderr)
         return 0
 
+    if args.experiment == "bench-sweep":
+        from repro.experiments import bench_sweep
+
+        result = bench_sweep.run(fast=not args.full, jobs=args.jobs or None)
+        path = bench_sweep.write_json(result)
+        if args.json:
+            import json
+
+            print(json.dumps(result, indent=2))
+        else:
+            print(bench_sweep.render(result))
+        print(f"[wrote {path}]", file=sys.stderr)
+        return 0
+
     selected = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
@@ -133,7 +174,7 @@ def main(argv: list[str] | None = None) -> int:
         if not args.json:
             print(f"== {description} ==")
         started = time.time()
-        result = runner(fast=not args.full)
+        result = runner(fast=not args.full, jobs=args.jobs, cache=cache)
         if args.json:
             from repro.experiments.export import result_to_json
 

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig11_priority,
     fig12_cgi,
     fig14_synflood,
+    sweep,
     table1_primitives,
     virtual_servers,
 )
@@ -32,18 +33,24 @@ __all__ = [
     "fig12_cgi",
     "fig14_synflood",
     "run_all",
+    "sweep",
     "table1_primitives",
     "virtual_servers",
 ]
 
 
-def run_all(fast: bool = True) -> dict:
-    """Run every experiment; ``fast`` shrinks windows for CI use."""
+def run_all(fast: bool = True, jobs: int = 1, cache: bool = True) -> dict:
+    """Run every experiment; ``fast`` shrinks windows for CI use.
+
+    ``jobs``/``cache`` reach each harness's sweep grid: points fan out
+    to ``jobs`` worker processes and finished points are served from the
+    content-addressed cache.
+    """
     return {
         "table1": table1_primitives.run(),
-        "baseline": baseline.run(fast=fast),
-        "fig11": fig11_priority.run(fast=fast),
-        "fig12_13": fig12_cgi.run(fast=fast),
-        "fig14": fig14_synflood.run(fast=fast),
-        "virtual_servers": virtual_servers.run(fast=fast),
+        "baseline": baseline.run(fast=fast, jobs=jobs, cache=cache),
+        "fig11": fig11_priority.run(fast=fast, jobs=jobs, cache=cache),
+        "fig12_13": fig12_cgi.run(fast=fast, jobs=jobs, cache=cache),
+        "fig14": fig14_synflood.run(fast=fast, jobs=jobs, cache=cache),
+        "virtual_servers": virtual_servers.run(fast=fast, jobs=jobs, cache=cache),
     }

@@ -25,6 +25,7 @@ from repro import SystemMode
 from repro.apps.httpserver import EventDrivenServer
 from repro.apps.synflood import SynFlooder
 from repro.core.attributes import timeshare_attrs
+from repro.experiments import sweep
 from repro.experiments.common import (
     FigureResult,
     make_host,
@@ -43,7 +44,36 @@ from repro.syscall import api
 # ---------------------------------------------------------------------------
 
 
-def run_livelock(fast: bool = True, rates=None) -> FigureResult:
+@sweep.point_runner("ablation.livelock")
+def livelock_point(mode: str, rate: float, measure_s: float,
+                   seed: int = 21) -> float:
+    """Useful req/s for one (processing model, overload rate) point."""
+    host = make_host(SystemMode[mode], seed=seed)
+    server = EventDrivenServer(host.kernel, use_containers=False)
+    server.install()
+    meter = ThroughputMeter()
+    server.stats.meter = meter
+    static_clients(host, 20, persistent=True)
+    if rate:
+        SynFlooder(
+            host.kernel, rate_per_sec=rate, batch=10,
+            rng=host.sim.rng.fork("overload"),
+        ).start(at_us=200_000.0)
+    host.run(until_us=host.sim.now + 500_000.0)
+    meter.start(host.sim.now)
+    host.run(until_us=host.sim.now + measure_s * 1e6)
+    meter.stop(host.sim.now)
+    return meter.rate_per_second()
+
+
+LIVELOCK_MODES = [
+    ("UNMODIFIED", "Unmodified (softirq)"),
+    ("LRP", "LRP (early discard)"),
+]
+
+
+def run_livelock(fast: bool = True, rates=None, jobs: int = 1,
+                 cache: bool = True) -> FigureResult:
     """Useful throughput vs. overload packet rate, SOFTIRQ vs. LRP.
 
     Clients use persistent connections: the overload (a port flood)
@@ -55,29 +85,20 @@ def run_livelock(fast: bool = True, rates=None) -> FigureResult:
     if rates is None:
         rates = [0, 5_000, 10_000, 15_000, 20_000]
     measure_s = 1.5 if fast else 4.0
+    grid = [
+        sweep.point(
+            "ablation.livelock", seed=21,
+            mode=mode, rate=float(rate), measure_s=measure_s,
+        )
+        for mode, _label in LIVELOCK_MODES
+        for rate in rates
+    ]
+    values = sweep.run_points(grid, jobs=jobs, cache=cache)
     series = []
-    for mode, label in (
-        (SystemMode.UNMODIFIED, "Unmodified (softirq)"),
-        (SystemMode.LRP, "LRP (early discard)"),
-    ):
+    for row, (_mode, label) in enumerate(LIVELOCK_MODES):
         curve = new_series(label)
-        for rate in rates:
-            host = make_host(mode, seed=21)
-            server = EventDrivenServer(host.kernel, use_containers=False)
-            server.install()
-            meter = ThroughputMeter()
-            server.stats.meter = meter
-            static_clients(host, 20, persistent=True)
-            if rate:
-                SynFlooder(
-                    host.kernel, rate_per_sec=rate, batch=10,
-                    rng=host.sim.rng.fork("overload"),
-                ).start(at_us=200_000.0)
-            host.run(until_us=host.sim.now + 500_000.0)
-            meter.start(host.sim.now)
-            host.run(until_us=host.sim.now + measure_s * 1e6)
-            meter.stop(host.sim.now)
-            curve.add(rate / 1000.0, meter.rate_per_second())
+        for col, rate in enumerate(rates):
+            curve.add(rate / 1000.0, values[row * len(rates) + col])
         series.append(curve)
     return FigureResult(
         title="Ablation: receive livelock (useful req/s vs overload kpkts/s)",
@@ -91,52 +112,72 @@ def run_livelock(fast: bool = True, rates=None) -> FigureResult:
 # ---------------------------------------------------------------------------
 
 
-def run_event_api(fast: bool = True, conn_counts=None) -> FigureResult:
+@sweep.point_runner("ablation.event_api")
+def event_api_point(event_api: str, count: int, measure_s: float,
+                    seed: int = 22) -> float:
+    """Req/s for one (event mechanism, connection count) point.
+
+    10 hot persistent connections drive the load; the rest are idle
+    keep-alive connections that select() must still scan.
+    """
+    hot = 10
+    host = make_host(SystemMode.RC, seed=seed)
+    server = EventDrivenServer(
+        host.kernel, use_containers=True, event_api=event_api
+    )
+    server.install()
+    meter = ThroughputMeter()
+    server.stats.meter = meter
+    static_clients(host, hot, persistent=True)
+    idle = max(0, count - hot)
+    # Idle keep-alive connections: connect once, then sit.  The
+    # connects are spread out so the setup burst does not
+    # overflow the per-class packet queue (which would be a
+    # different experiment).
+    static_clients(
+        host,
+        idle,
+        base_addr=ip_addr(10, 50, 0, 1),
+        persistent=True,
+        think_time_us=60_000_000.0,
+        timeout_us=120_000_000.0,
+        start_spread_us=2_000.0,
+        name_prefix="idle",
+    )
+    host.run(until_us=host.sim.now + max(1_500_000.0, idle * 2_500.0))
+    meter.start(host.sim.now)
+    host.run(until_us=host.sim.now + measure_s * 1e6)
+    meter.stop(host.sim.now)
+    return meter.rate_per_second()
+
+
+def run_event_api(fast: bool = True, conn_counts=None, jobs: int = 1,
+                  cache: bool = True) -> FigureResult:
     """Throughput vs. total connection count, most of them idle.
 
     This is the regime where select() hurts (and the regime busy
     servers actually live in): the kernel scans the entire descriptor
     set on every call even though only a handful are ready.  The
     scalable event API's cost is per-*event*, not per-descriptor.
-    10 hot persistent connections drive the load; the rest are idle
-    keep-alive connections.
     """
     if conn_counts is None:
         conn_counts = [10, 100, 250, 500] if fast else [10, 100, 250, 500, 750]
     measure_s = 1.0 if fast else 3.0
-    hot = 10
+    apis = [("select", "select()"), ("eventapi", "event API")]
+    grid = [
+        sweep.point(
+            "ablation.event_api", seed=22,
+            event_api=event_api, count=count, measure_s=measure_s,
+        )
+        for event_api, _label in apis
+        for count in conn_counts
+    ]
+    values = sweep.run_points(grid, jobs=jobs, cache=cache)
     series = []
-    for event_api, label in (("select", "select()"), ("eventapi", "event API")):
+    for row, (_api, label) in enumerate(apis):
         curve = new_series(label)
-        for count in conn_counts:
-            host = make_host(SystemMode.RC, seed=22)
-            server = EventDrivenServer(
-                host.kernel, use_containers=True, event_api=event_api
-            )
-            server.install()
-            meter = ThroughputMeter()
-            server.stats.meter = meter
-            static_clients(host, hot, persistent=True)
-            idle = max(0, count - hot)
-            # Idle keep-alive connections: connect once, then sit.  The
-            # connects are spread out so the setup burst does not
-            # overflow the per-class packet queue (which would be a
-            # different experiment).
-            static_clients(
-                host,
-                idle,
-                base_addr=ip_addr(10, 50, 0, 1),
-                persistent=True,
-                think_time_us=60_000_000.0,
-                timeout_us=120_000_000.0,
-                start_spread_us=2_000.0,
-                name_prefix="idle",
-            )
-            host.run(until_us=host.sim.now + max(1_500_000.0, idle * 2_500.0))
-            meter.start(host.sim.now)
-            host.run(until_us=host.sim.now + measure_s * 1e6)
-            meter.stop(host.sim.now)
-            curve.add(count, meter.rate_per_second())
+        for col, count in enumerate(conn_counts):
+            curve.add(count, values[row * len(conn_counts) + col])
         series.append(curve)
     return FigureResult(
         title="Ablation: select() linear scan vs scalable event API (req/s)",
@@ -165,7 +206,36 @@ class PruningResult:
         )
 
 
-def run_pruning(fast: bool = True, n_containers: int = 40) -> PruningResult:
+@sweep.point_runner("ablation.pruning")
+def pruning_point(pruned: bool, n_containers: int, run_s: float,
+                  seed: int = 23) -> int:
+    """Final scheduler-binding set size with pruning on or off."""
+    config = KernelConfig(mode=SystemMode.RC)
+    if not pruned:
+        config.prune_age_us = 1e12  # effectively never prune
+    host = make_host(SystemMode.RC, seed=seed, config=config)
+
+    def rotator():
+        fds = []
+        for index in range(n_containers):
+            fds.append((yield api.ContainerCreate(f"class-{index}")))
+        # Serve every class once (the busy phase)...
+        for fd in fds:
+            yield api.ContainerBindThread(fd)
+            yield api.Compute(200.0)
+        # ...then settle on a single class for a long time.
+        yield api.ContainerBindThread(fds[0])
+        while True:
+            yield api.Compute(1_000.0)
+
+    process = host.kernel.spawn_process("rotator", rotator)
+    host.run(until_us=host.sim.now + run_s * 1e6)
+    thread = process.live_threads()[0]
+    return len(thread.scheduler_binding)
+
+
+def run_pruning(fast: bool = True, n_containers: int = 40, jobs: int = 1,
+                cache: bool = True) -> PruningResult:
     """Max scheduler-binding size of a multiplexing thread, pruning on/off.
 
     A thread rotates its resource binding over ``n_containers`` live
@@ -175,32 +245,19 @@ def run_pruning(fast: bool = True, n_containers: int = 40) -> PruningResult:
     container ever served stays in the set and keeps distorting the
     thread's combined scheduling parameters.
     """
-    sizes = {}
-    for pruned in (True, False):
-        config = KernelConfig(mode=SystemMode.RC)
-        if not pruned:
-            config.prune_age_us = 1e12  # effectively never prune
-        host = make_host(SystemMode.RC, seed=23, config=config)
-
-        def rotator():
-            fds = []
-            for index in range(n_containers):
-                fds.append((yield api.ContainerCreate(f"class-{index}")))
-            # Serve every class once (the busy phase)...
-            for fd in fds:
-                yield api.ContainerBindThread(fd)
-                yield api.Compute(200.0)
-            # ...then settle on a single class for a long time.
-            yield api.ContainerBindThread(fds[0])
-            while True:
-                yield api.Compute(1_000.0)
-
-        process = host.kernel.spawn_process("rotator", rotator)
-        host.run(until_us=host.sim.now + (1.0 if fast else 3.0) * 1e6)
-        thread = process.live_threads()[0]
-        sizes[pruned] = len(thread.scheduler_binding)
+    run_s = 1.0 if fast else 3.0
+    grid = [
+        sweep.point(
+            "ablation.pruning", seed=23,
+            pruned=pruned, n_containers=n_containers, run_s=run_s,
+        )
+        for pruned in (True, False)
+    ]
+    with_pruning, without_pruning = sweep.run_points(
+        grid, jobs=jobs, cache=cache
+    )
     return PruningResult(
-        max_with_pruning=sizes[True], max_without_pruning=sizes[False]
+        max_with_pruning=with_pruning, max_without_pruning=without_pruning
     )
 
 
@@ -230,37 +287,45 @@ def _spin_forever():
         yield api.Compute(10_000.0)
 
 
-def run_scheduler_policies(fast: bool = True) -> list:
+@sweep.point_runner("ablation.policy")
+def policy_point(policy: str, seconds: float, seed: int = 24) -> float:
+    """Observed major share for a 3:1 split under one scheduler policy."""
+    config = KernelConfig(mode=SystemMode.RC)
+    if policy == "lottery":
+        config.scheduler_factory = lambda kernel: LotteryScheduler(
+            kernel.sim.rng.fork("lottery")
+        )
+    host = make_host(SystemMode.RC, seed=seed, config=config)
+    kernel = host.kernel
+    major = kernel.spawn_process(
+        "major", _spin_forever, container_attrs=timeshare_attrs(weight=3.0)
+    )
+    minor = kernel.spawn_process(
+        "minor", _spin_forever, container_attrs=timeshare_attrs(weight=1.0)
+    )
+    if policy == "lottery":
+        LotteryScheduler.set_tickets(major.default_container, 300)
+        LotteryScheduler.set_tickets(minor.default_container, 100)
+    host.run(seconds=seconds)
+    major_cpu = major.default_container.usage.cpu_us
+    minor_cpu = minor.default_container.usage.cpu_us
+    return major_cpu / max(major_cpu + minor_cpu, 1e-9)
+
+
+def run_scheduler_policies(fast: bool = True, jobs: int = 1,
+                           cache: bool = True) -> list:
     """3:1 CPU split under the container (stride) and lottery policies."""
     seconds = 3.0 if fast else 10.0
-    results = []
-    for policy in ("stride", "lottery"):
-        config = KernelConfig(mode=SystemMode.RC)
-        if policy == "lottery":
-            config.scheduler_factory = lambda kernel: LotteryScheduler(
-                kernel.sim.rng.fork("lottery")
-            )
-        host = make_host(SystemMode.RC, seed=24, config=config)
-        kernel = host.kernel
-        major = kernel.spawn_process(
-            "major", _spin_forever, container_attrs=timeshare_attrs(weight=3.0)
-        )
-        minor = kernel.spawn_process(
-            "minor", _spin_forever, container_attrs=timeshare_attrs(weight=1.0)
-        )
-        if policy == "lottery":
-            LotteryScheduler.set_tickets(major.default_container, 300)
-            LotteryScheduler.set_tickets(minor.default_container, 100)
-        host.run(seconds=seconds)
-        major_cpu = major.default_container.usage.cpu_us
-        minor_cpu = minor.default_container.usage.cpu_us
-        results.append(
-            ShareAccuracy(
-                policy=policy,
-                observed_major=major_cpu / max(major_cpu + minor_cpu, 1e-9),
-            )
-        )
-    return results
+    policies = ("stride", "lottery")
+    grid = [
+        sweep.point("ablation.policy", seed=24, policy=policy, seconds=seconds)
+        for policy in policies
+    ]
+    values = sweep.run_points(grid, jobs=jobs, cache=cache)
+    return [
+        ShareAccuracy(policy=policy, observed_major=value)
+        for policy, value in zip(policies, values)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -268,7 +333,40 @@ def run_scheduler_policies(fast: bool = True) -> list:
 # ---------------------------------------------------------------------------
 
 
-def run_cgi_mechanisms(fast: bool = True) -> FigureResult:
+#: mechanism key -> CgiPolicy keyword overrides.
+CGI_MECHANISMS = [
+    ("fork", dict()),
+    ("fastcgi", dict(persistent_workers=2)),
+    ("inprocess", dict(in_process=True)),
+]
+
+
+@sweep.point_runner("ablation.cgi_mech")
+def cgi_mechanism_point(mechanism: str, measure_s: float,
+                        seed: int = 26) -> float:
+    """Static req/s under CGI load for one dispatch mechanism."""
+    from repro.apps.httpserver import CgiPolicy, EventDrivenServer
+    from repro.experiments.common import cgi_clients
+
+    kwargs = dict(CGI_MECHANISMS)[mechanism]
+    cgi_burst_us = 200_000.0  # shorter bursts than Fig. 12 for runtime
+    host = make_host(SystemMode.RC, seed=seed)
+    cgi = CgiPolicy(cpu_us=cgi_burst_us, cpu_limit=0.3, **kwargs)
+    server = EventDrivenServer(host.kernel, use_containers=True, cgi=cgi)
+    server.install()
+    meter = ThroughputMeter()
+    server.stats.meter = meter
+    static_clients(host, 25)
+    cgi_clients(host, 2)
+    host.run(until_us=host.sim.now + 1_000_000.0)
+    meter.start(host.sim.now)
+    host.run(until_us=host.sim.now + measure_s * 1e6)
+    meter.stop(host.sim.now)
+    return meter.rate_per_second()
+
+
+def run_cgi_mechanisms(fast: bool = True, jobs: int = 1,
+                       cache: bool = True) -> FigureResult:
     """Static throughput under CGI load, per dispatch mechanism.
 
     Section 2 names three ways to run dynamic handlers: fork-per-request
@@ -279,34 +377,18 @@ def run_cgi_mechanisms(fast: bool = True) -> FigureResult:
     even though its *accounting* is equally correct -- protection and
     resource management are separate axes, the paper's whole thesis.
     """
-    from repro.apps.httpserver import CgiPolicy, EventDrivenServer
-
     measure_s = 4.0 if fast else 10.0
-    cgi_burst_us = 200_000.0  # shorter bursts than Fig. 12 for runtime
-    mechanisms = [
-        ("fork CGI", dict()),
-        ("persistent (FastCGI)", dict(persistent_workers=2)),
-        ("in-process module", dict(in_process=True)),
-    ]
-    curve = new_series("static req/s under CGI load")
-    for label, kwargs in mechanisms:
-        host = make_host(SystemMode.RC, seed=26)
-        cgi = CgiPolicy(cpu_us=cgi_burst_us, cpu_limit=0.3, **kwargs)
-        server = EventDrivenServer(
-            host.kernel, use_containers=True, cgi=cgi
+    grid = [
+        sweep.point(
+            "ablation.cgi_mech", seed=26,
+            mechanism=mechanism, measure_s=measure_s,
         )
-        server.install()
-        meter = ThroughputMeter()
-        server.stats.meter = meter
-        static_clients(host, 25)
-        from repro.experiments.common import cgi_clients
-
-        cgi_clients(host, 2)
-        host.run(until_us=host.sim.now + 1_000_000.0)
-        meter.start(host.sim.now)
-        host.run(until_us=host.sim.now + measure_s * 1e6)
-        meter.stop(host.sim.now)
-        curve.add(mechanisms.index((label, kwargs)), meter.rate_per_second())
+        for mechanism, _kwargs in CGI_MECHANISMS
+    ]
+    values = sweep.run_points(grid, jobs=jobs, cache=cache)
+    curve = new_series("static req/s under CGI load")
+    for index, value in enumerate(values):
+        curve.add(index, value)
     result = FigureResult(
         title="Ablation: CGI dispatch mechanisms (static req/s; "
         "0=fork, 1=FastCGI, 2=in-process)",
@@ -321,7 +403,27 @@ def run_cgi_mechanisms(fast: bool = True) -> FigureResult:
 # ---------------------------------------------------------------------------
 
 
-def run_smp_scaling(fast: bool = True, cpu_counts=None) -> FigureResult:
+@sweep.point_runner("ablation.smp")
+def smp_point(n_cpus: int, measure_s: float, seed: int = 25) -> float:
+    """Multi-threaded server req/s at one processor count."""
+    from repro.apps.httpserver import MultiThreadedServer
+
+    config = KernelConfig(mode=SystemMode.RC, n_cpus=n_cpus)
+    host = make_host(SystemMode.RC, seed=seed, config=config)
+    server = MultiThreadedServer(host.kernel, n_threads=4 * n_cpus)
+    server.install()
+    meter = ThroughputMeter()
+    server.stats.meter = meter
+    static_clients(host, 30 * n_cpus)
+    host.run(until_us=host.sim.now + 500_000.0)
+    meter.start(host.sim.now)
+    host.run(until_us=host.sim.now + measure_s * 1e6)
+    meter.stop(host.sim.now)
+    return meter.rate_per_second()
+
+
+def run_smp_scaling(fast: bool = True, cpu_counts=None, jobs: int = 1,
+                    cache: bool = True) -> FigureResult:
     """Thread-pool server throughput vs. processor count.
 
     The paper's experiments are uniprocessor; this ablation exercises
@@ -332,25 +434,17 @@ def run_smp_scaling(fast: bool = True, cpu_counts=None) -> FigureResult:
     (section 5.1), which caps this workload near 5,000 req/s regardless
     of further cores.  A faithful scaling limit, not a simulator
     artefact."""
-    from repro.apps.httpserver import MultiThreadedServer
-
     if cpu_counts is None:
         cpu_counts = [1, 2, 4]
     measure_s = 1.0 if fast else 3.0
+    grid = [
+        sweep.point("ablation.smp", seed=25, n_cpus=n_cpus, measure_s=measure_s)
+        for n_cpus in cpu_counts
+    ]
+    values = sweep.run_points(grid, jobs=jobs, cache=cache)
     curve = new_series("MT server throughput")
-    for n_cpus in cpu_counts:
-        config = KernelConfig(mode=SystemMode.RC, n_cpus=n_cpus)
-        host = make_host(SystemMode.RC, seed=25, config=config)
-        server = MultiThreadedServer(host.kernel, n_threads=4 * n_cpus)
-        server.install()
-        meter = ThroughputMeter()
-        server.stats.meter = meter
-        static_clients(host, 30 * n_cpus)
-        host.run(until_us=host.sim.now + 500_000.0)
-        meter.start(host.sim.now)
-        host.run(until_us=host.sim.now + measure_s * 1e6)
-        meter.stop(host.sim.now)
-        curve.add(n_cpus, meter.rate_per_second())
+    for n_cpus, value in zip(cpu_counts, values):
+        curve.add(n_cpus, value)
     return FigureResult(
         title="Ablation: SMP scaling (req/s vs processors)",
         x_label="CPUs",
@@ -358,15 +452,17 @@ def run_smp_scaling(fast: bool = True, cpu_counts=None) -> FigureResult:
     )
 
 
-def run(fast: bool = True) -> dict:
+def run(fast: bool = True, jobs: int = 1, cache: bool = True) -> dict:
     """Run every ablation."""
     return {
-        "livelock": run_livelock(fast=fast),
-        "event_api": run_event_api(fast=fast),
-        "pruning": run_pruning(fast=fast),
-        "scheduler_policies": run_scheduler_policies(fast=fast),
-        "cgi_mechanisms": run_cgi_mechanisms(fast=fast),
-        "smp": run_smp_scaling(fast=fast),
+        "livelock": run_livelock(fast=fast, jobs=jobs, cache=cache),
+        "event_api": run_event_api(fast=fast, jobs=jobs, cache=cache),
+        "pruning": run_pruning(fast=fast, jobs=jobs, cache=cache),
+        "scheduler_policies": run_scheduler_policies(
+            fast=fast, jobs=jobs, cache=cache
+        ),
+        "cgi_mechanisms": run_cgi_mechanisms(fast=fast, jobs=jobs, cache=cache),
+        "smp": run_smp_scaling(fast=fast, jobs=jobs, cache=cache),
     }
 
 

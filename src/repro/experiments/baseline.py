@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro import SystemMode
 from repro.apps.httpserver import EventDrivenServer
+from repro.experiments import sweep
 from repro.experiments.common import make_host, measure_window, static_clients
 
 #: Paper-reported baselines (requests/second).
@@ -46,10 +47,12 @@ class BaselineResult:
         return "\n".join(lines)
 
 
+@sweep.point_runner("baseline")
 def _throughput(persistent: bool, use_containers: bool,
-                warmup_s: float, measure_s: float, clients: int) -> float:
+                warmup_s: float, measure_s: float, clients: int,
+                seed: int = 3) -> float:
     mode = SystemMode.RC if use_containers else SystemMode.UNMODIFIED
-    host = make_host(mode, seed=3)
+    host = make_host(mode, seed=seed)
     server = EventDrivenServer(
         host.kernel, use_containers=use_containers, event_api="select"
     )
@@ -62,15 +65,38 @@ def _throughput(persistent: bool, use_containers: bool,
     return measure_window(host, meter, warmup_s, measure_s)
 
 
-def run(fast: bool = True) -> BaselineResult:
-    """Measure the three baseline configurations."""
+def grid(fast: bool = True) -> list:
+    """The three baseline configurations as a point grid."""
     warmup_s = 0.3 if fast else 1.0
     measure_s = 1.0 if fast else 4.0
     clients = 24
+    return [
+        sweep.point(
+            "baseline",
+            seed=3,
+            persistent=persistent,
+            use_containers=use_containers,
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+            clients=clients,
+        )
+        for persistent, use_containers in (
+            (False, False),
+            (True, False),
+            (False, True),
+        )
+    ]
+
+
+def run(fast: bool = True, jobs: int = 1, cache: bool = True) -> BaselineResult:
+    """Measure the three baseline configurations."""
+    conn, persistent, with_containers = sweep.run_points(
+        grid(fast=fast), jobs=jobs, cache=cache
+    )
     return BaselineResult(
-        conn_per_request=_throughput(False, False, warmup_s, measure_s, clients),
-        persistent=_throughput(True, False, warmup_s, measure_s, clients),
-        with_containers=_throughput(False, True, warmup_s, measure_s, clients),
+        conn_per_request=conn,
+        persistent=persistent,
+        with_containers=with_containers,
     )
 
 

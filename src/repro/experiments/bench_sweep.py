@@ -1,0 +1,156 @@
+"""Sweep-engine benchmark: parallel fan-out and cache-hit timings.
+
+Measures the same grid of real simulation points (Figure 11's
+configuration x load matrix) four ways:
+
+``serial``
+    One point at a time, in-process, cache bypassed -- the cost every
+    ``python -m repro`` invocation paid before the sweep engine.
+
+``parallel``
+    The same grid fanned out to a worker pool (``jobs`` processes),
+    cache bypassed.  The result list must be byte-identical to the
+    serial one; the benchmark verifies this and records it.
+
+``cold_cache``
+    Parallel again, but populating a fresh content-addressed cache
+    (measures the cache-write overhead on a cold run).
+
+``warm_cache``
+    The same sweep immediately re-run against the populated cache:
+    every point must be a hit, and the wall clock is pure cache-load
+    cost.
+
+``python -m repro bench-sweep`` runs all four and writes
+``BENCH_sweep.json`` so the speedup trajectory is machine-readable.
+The recorded ``parallel_speedup`` is hardware-bound (it cannot exceed
+the machine's core count and ``cpu_count`` is recorded next to it);
+``warm_fraction`` -- warm wall clock over cold wall clock -- is the
+cache's figure of merit and should sit well under 0.10 on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+
+from repro.experiments import fig11_priority, sweep
+
+#: Fast-mode benchmark grid: a subset of Figure 11's load axis, all
+#: three configurations (9 points).  ``--full`` uses the figure's
+#: complete fast-mode grid (24 points).
+FAST_LOADS = [0, 5, 10]
+
+
+def bench_grid(fast: bool = True) -> list:
+    """The benchmark workload: Figure 11 points."""
+    return fig11_priority.grid(fast=True, points=FAST_LOADS if fast else None)
+
+
+def run(fast: bool = True, jobs: "int | None" = None) -> dict:
+    """Run the four phases; returns the result document (JSON-ready)."""
+    import time
+
+    if not jobs or jobs < 1:
+        jobs = os.cpu_count() or 1
+    grid = bench_grid(fast=fast)
+
+    started = time.perf_counter()
+    serial_stats = sweep.SweepStats()
+    serial_results = sweep.run_points(
+        grid, jobs=1, cache=False, stats=serial_stats
+    )
+
+    parallel_stats = sweep.SweepStats()
+    parallel_results = sweep.run_points(
+        grid, jobs=jobs, cache=False, stats=parallel_stats
+    )
+
+    scratch = tempfile.mkdtemp(prefix="repro-benchsweep-")
+    try:
+        cold_stats = sweep.SweepStats()
+        cold_results = sweep.run_points(
+            grid, jobs=jobs, cache=True, cache_dir=scratch, stats=cold_stats
+        )
+        warm_stats = sweep.SweepStats()
+        warm_results = sweep.run_points(
+            grid, jobs=jobs, cache=True, cache_dir=scratch, stats=warm_stats
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    serial_wall = serial_stats.wall_s
+    parallel_wall = parallel_stats.wall_s
+    warm_wall = warm_stats.wall_s
+    cold_wall = cold_stats.wall_s
+    return {
+        "benchmark": "sweep-engine",
+        "grid": "fig11",
+        "points": len(grid),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "phases": {
+            "serial": {"wall_s": round(serial_wall, 6)},
+            "parallel": {
+                "wall_s": round(parallel_wall, 6),
+                "identical_to_serial": parallel_results == serial_results,
+            },
+            "cold_cache": {
+                "wall_s": round(cold_wall, 6),
+                "cache_hits": cold_stats.cache_hits,
+                "identical_to_serial": cold_results == serial_results,
+            },
+            "warm_cache": {
+                "wall_s": round(warm_wall, 6),
+                "cache_hits": warm_stats.cache_hits,
+                "all_hits": warm_stats.cache_hits == len(grid),
+                "identical_to_serial": warm_results == serial_results,
+            },
+        },
+        "parallel_speedup": round(serial_wall / max(parallel_wall, 1e-9), 2),
+        "warm_fraction": round(warm_wall / max(cold_wall, 1e-9), 4),
+        "warm_speedup_vs_serial": round(serial_wall / max(warm_wall, 1e-9), 1),
+        "total_wall_s": round(time.perf_counter() - started, 3),
+    }
+
+
+def render(result: dict) -> str:
+    """Human-readable table of one run() document."""
+    phases = result["phases"]
+    lines = [
+        "sweep engine benchmark "
+        f"({result['points']} fig11 points, jobs={result['jobs']}, "
+        f"cpu_count={result['cpu_count']})",
+        "",
+        f"  serial (no cache)      {phases['serial']['wall_s']:>10.3f} s",
+        f"  parallel (no cache)    {phases['parallel']['wall_s']:>10.3f} s"
+        f"   identical={phases['parallel']['identical_to_serial']}",
+        f"  cold cache (parallel)  {phases['cold_cache']['wall_s']:>10.3f} s"
+        f"   hits={phases['cold_cache']['cache_hits']}",
+        f"  warm cache             {phases['warm_cache']['wall_s']:>10.3f} s"
+        f"   hits={phases['warm_cache']['cache_hits']}"
+        f"   identical={phases['warm_cache']['identical_to_serial']}",
+        "",
+        f"  parallel speedup        {result['parallel_speedup']:.2f}x"
+        " (bounded by cpu_count)",
+        f"  warm/cold fraction      {result['warm_fraction']:.4f}"
+        " (target < 0.10)",
+        f"  warm speedup vs serial  {result['warm_speedup_vs_serial']:.0f}x",
+    ]
+    return "\n".join(lines)
+
+
+def write_json(result: dict, path: str = "BENCH_sweep.json") -> str:
+    """Write the result document; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    doc = run()
+    print(render(doc))
+    print(f"\nwrote {write_json(doc)}")

@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro import SystemMode
 from repro.apps.httpserver import EventDrivenServer, ListenSpec
 from repro.apps.webclient import HttpClient
+from repro.experiments import sweep
 from repro.experiments.common import (
     FigureResult,
     STATIC_PATH,
@@ -44,6 +45,7 @@ LOW_PRIORITY = 1
 THINK_US = 2_000.0
 
 
+@sweep.point_runner("fig11")
 def _run_point(config: str, n_low: int, warmup_s: float, measure_s: float,
                seed: int = 11) -> float:
     """Mean Thigh (ms) for one (configuration, load) point."""
@@ -99,22 +101,45 @@ def _run_point(config: str, n_low: int, warmup_s: float, measure_s: float,
     return high.mean_latency_ms()
 
 
-def run(fast: bool = True, points=None) -> FigureResult:
-    """Regenerate Figure 11."""
+CONFIGS = [
+    ("nocontainers", "Without containers"),
+    ("select", "With containers/select()"),
+    ("eventapi", "With containers/new event API"),
+]
+
+
+def grid(fast: bool = True, points=None) -> list:
+    """Figure 11's point grid (one point per configuration x load)."""
     if points is None:
         points = [0, 5, 10, 15, 20, 25, 30, 35] if fast else list(range(0, 36, 3))
     warmup_s = 0.3 if fast else 1.0
     measure_s = 1.0 if fast else 3.0
-    configs = [
-        ("nocontainers", "Without containers"),
-        ("select", "With containers/select()"),
-        ("eventapi", "With containers/new event API"),
+    return [
+        sweep.point(
+            "fig11",
+            seed=11,
+            config=config,
+            n_low=n_low,
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+        )
+        for config, _label in CONFIGS
+        for n_low in points
     ]
+
+
+def run(fast: bool = True, points=None, jobs: int = 1,
+        cache: bool = True) -> FigureResult:
+    """Regenerate Figure 11."""
+    grid_points = grid(fast=fast, points=points)
+    values = sweep.run_points(grid_points, jobs=jobs, cache=cache)
+    per_config = len(grid_points) // len(CONFIGS)
     series = []
-    for config, label in configs:
+    for row, (_config, label) in enumerate(CONFIGS):
         curve = new_series(label)
-        for n_low in points:
-            curve.add(n_low, _run_point(config, n_low, warmup_s, measure_s))
+        for col in range(per_config):
+            pt = grid_points[row * per_config + col]
+            curve.add(dict(pt.params)["n_low"], values[row * per_config + col])
         series.append(curve)
     return FigureResult(
         title="Fig. 11: high-priority client response time (ms)",

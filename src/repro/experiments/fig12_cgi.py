@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro import SystemMode
 from repro.apps.httpserver import CgiPolicy, EventDrivenServer
+from repro.experiments import sweep
 from repro.experiments.common import (
     CpuShareTracker,
     FigureResult,
@@ -53,6 +54,15 @@ class CgiExperimentResult:
         return self.fig12.render() + "\n\n" + self.fig13.render()
 
 
+@sweep.point_runner("fig12")
+def run_system_point(system: str, n_cgi: int, warmup_s: float,
+                     measure_s: float, seed: int = 12):
+    """(static req/s, CGI CPU share) for one named-system point."""
+    row = next(row for row in SYSTEMS if row[0] == system)
+    _key, _label, mode, limit = row
+    return _run_point(mode, limit, n_cgi, warmup_s, measure_s, seed=seed)
+
+
 def _run_point(mode: SystemMode, cgi_limit, n_cgi: int,
                warmup_s: float, measure_s: float, seed: int = 12):
     """(static req/s, CGI CPU share) for one point."""
@@ -79,21 +89,41 @@ def _run_point(mode: SystemMode, cgi_limit, n_cgi: int,
     return meter.rate_per_second(), tracker.window_share(host.sim.now)
 
 
-def run(fast: bool = True, points=None) -> CgiExperimentResult:
-    """Regenerate Figures 12 and 13."""
+def grid(fast: bool = True, points=None) -> list:
+    """Figures 12/13's point grid (one point per system x CGI load)."""
     if points is None:
         points = [0, 1, 2, 3, 4, 5]
     warmup_s = 4.0 if fast else 6.0
     measure_s = 8.0 if fast else 20.0
+    return [
+        sweep.point(
+            "fig12",
+            seed=12,
+            system=key,
+            n_cgi=n_cgi,
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+        )
+        for key, _label, _mode, _limit in SYSTEMS
+        for n_cgi in points
+    ]
+
+
+def run(fast: bool = True, points=None, jobs: int = 1,
+        cache: bool = True) -> CgiExperimentResult:
+    """Regenerate Figures 12 and 13."""
+    grid_points = grid(fast=fast, points=points)
+    values = sweep.run_points(grid_points, jobs=jobs, cache=cache)
+    per_system = len(grid_points) // len(SYSTEMS)
     throughput_series = []
     share_series = []
-    for _key, label, mode, limit in SYSTEMS:
+    for row, (_key, label, _mode, _limit) in enumerate(SYSTEMS):
         tp_curve = new_series(label)
         sh_curve = new_series(label)
-        for n_cgi in points:
-            throughput, share = _run_point(
-                mode, limit, n_cgi, warmup_s, measure_s
-            )
+        for col in range(per_system):
+            pt = grid_points[row * per_system + col]
+            throughput, share = values[row * per_system + col]
+            n_cgi = dict(pt.params)["n_cgi"]
             tp_curve.add(n_cgi, throughput)
             sh_curve.add(n_cgi, share * 100.0)
         throughput_series.append(tp_curve)

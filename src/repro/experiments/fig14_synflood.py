@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro import SystemMode
 from repro.apps.httpserver import EventDrivenServer, ListenSpec, SynFloodDefense
 from repro.apps.synflood import SynFlooder
+from repro.experiments import sweep
 from repro.experiments.common import (
     FigureResult,
     make_host,
@@ -28,6 +29,7 @@ from repro.experiments.common import (
 from repro.metrics.stats import ThroughputMeter
 
 
+@sweep.point_runner("fig14")
 def _run_point(defended: bool, syn_rate: float,
                warmup_s: float, measure_s: float, seed: int = 14) -> float:
     """Useful static throughput (req/s) under one flood rate."""
@@ -67,23 +69,39 @@ def _run_point(defended: bool, syn_rate: float,
     return meter.rate_per_second()
 
 
-def run(fast: bool = True, rates=None) -> FigureResult:
-    """Regenerate Figure 14."""
+def grid(fast: bool = True, rates=None) -> list:
+    """Figure 14's point grid (defended and unmodified at each rate)."""
     if rates is None:
         rates = [0, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000]
         if not fast:
             rates = sorted(set(rates + [2_000, 5_000, 15_000]))
     warmup_s = 2.0
     measure_s = 3.0 if fast else 6.0
+    return [
+        sweep.point(
+            "fig14",
+            seed=14,
+            defended=defended,
+            syn_rate=float(rate),
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+        )
+        for rate in rates
+        for defended in (True, False)
+    ]
+
+
+def run(fast: bool = True, rates=None, jobs: int = 1,
+        cache: bool = True) -> FigureResult:
+    """Regenerate Figure 14."""
+    grid_points = grid(fast=fast, rates=rates)
+    values = sweep.run_points(grid_points, jobs=jobs, cache=cache)
     defended_curve = new_series("With Resource Containers")
     unmodified_curve = new_series("Unmodified System")
-    for rate in rates:
-        defended_curve.add(
-            rate / 1000.0, _run_point(True, rate, warmup_s, measure_s)
-        )
-        unmodified_curve.add(
-            rate / 1000.0, _run_point(False, rate, warmup_s, measure_s)
-        )
+    for pt, value in zip(grid_points, values):
+        params = dict(pt.params)
+        curve = defended_curve if params["defended"] else unmodified_curve
+        curve.add(params["syn_rate"] / 1000.0, value)
     return FigureResult(
         title="Fig. 14: throughput under SYN flood (req/s)",
         x_label="kSYN/s",

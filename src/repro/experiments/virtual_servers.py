@@ -19,6 +19,7 @@ from repro import SystemMode, fixed_share_attrs
 from repro.apps.httpserver import CgiPolicy, EventDrivenServer
 from repro.apps.webclient import HttpClient
 from repro.core.hierarchy import subtree_usage
+from repro.experiments import sweep
 from repro.experiments.common import (
     CGI_PATH,
     STATIC_PATH,
@@ -72,8 +73,22 @@ class VirtualServerResult:
         return "\n".join(lines)
 
 
-def run(fast: bool = True, seed: int = 58) -> VirtualServerResult:
-    """Run the three-guest isolation experiment."""
+def grid(fast: bool = True, seed: int = 58) -> list:
+    """The experiment as a (single-point) grid: one full guest run."""
+    return [sweep.point("virtual", seed=seed, fast=fast)]
+
+
+def run(fast: bool = True, seed: int = 58, jobs: int = 1,
+        cache: bool = True) -> VirtualServerResult:
+    """Run the three-guest isolation experiment (via the sweep engine)."""
+    return sweep.run_points(
+        grid(fast=fast, seed=seed), jobs=jobs, cache=cache
+    )[0]
+
+
+@sweep.point_runner("virtual")
+def run_guest_point(fast: bool = True, seed: int = 58) -> VirtualServerResult:
+    """One complete three-guest run (the grid's only point)."""
     warmup_s = 2.0
     measure_s = 6.0 if fast else 20.0
     host = make_host(SystemMode.RC, seed=seed)

@@ -98,15 +98,14 @@ class Simulation:
                     break
                 if max_events is not None and dispatched_this_run >= max_events:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                # Fused peek+pop: one queue operation per dispatched
+                # event instead of a peek_time()/pop() pair.
+                event, next_time = self.queue.pop_due(until)
+                if event is None:
+                    if next_time is not None:
+                        # Bound hit: the head event is beyond the horizon.
+                        self.clock.advance_to(until)
                     break
-                if until is not None and next_time > until:
-                    self.clock.advance_to(until)
-                    break
-                event = self.queue.pop()
-                if event is None:  # pragma: no cover - raced cancellation
-                    continue
                 self.clock.advance_to(event.when)
                 event.callback(*event.args)
                 self._events_dispatched += 1

@@ -117,6 +117,32 @@ class EventQueue:
             return None
         return self._heap[0].when
 
+    def pop_due(self, until: Optional[float] = None) -> "tuple[Optional[Event], Optional[float]]":
+        """Fused peek+pop: one dead-entry sweep and one root inspection.
+
+        Returns ``(event, next_time)``:
+
+        * ``(event, event.when)`` -- the next pending event, popped, when
+          it is due at or before ``until`` (or ``until`` is None);
+        * ``(None, head_time)`` -- the bound was hit; the head event stays
+          queued and fires at ``head_time``;
+        * ``(None, None)`` -- the queue is empty.
+
+        The simulation loop calls this once per dispatched event where it
+        previously paid ``peek_time()`` + ``pop()`` -- two ``_drop_dead``
+        sweeps and two heap-root reads per event.
+        """
+        self._drop_dead()
+        if not self._heap:
+            return None, None
+        head = self._heap[0]
+        if until is not None and head.when > until:
+            return None, head.when
+        heapq.heappop(self._heap)
+        head.fired = True
+        self._live -= 1
+        return head, head.when
+
     def pop(self) -> Optional[Event]:
         """Remove and return the next pending event, or None when empty."""
         self._drop_dead()

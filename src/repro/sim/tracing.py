@@ -32,12 +32,24 @@ class TraceRecord:
 
 
 class TraceBus:
-    """Publish/subscribe hub for trace records."""
+    """Publish/subscribe hub for trace records.
+
+    ``publish`` is on the hot path of every instrumented subsystem, so
+    the matched handler list for each category is memoized: the
+    ``startswith`` scan over subscriber keys runs once per distinct
+    category, not once per publish.  ``subscribe`` invalidates the memo
+    (categories are few, handlers subscribe rarely, publishes are
+    millions).
+    """
 
     def __init__(self) -> None:
         self._subscribers: dict[str, list[Callable[[TraceRecord], None]]] = {}
         self._recording: list[TraceRecord] | None = None
         self._record_categories: set[str] | None = None
+        #: category -> flat tuple of handlers whose key matches it.
+        self._match_cache: dict[str, tuple] = {}
+        #: category -> whether the active recording captures it.
+        self._record_match_cache: dict[str, bool] = {}
 
     @property
     def active(self) -> bool:
@@ -54,6 +66,7 @@ class TraceBus:
         receives ``"net.drop"``).
         """
         self._subscribers.setdefault(category, []).append(handler)
+        self._match_cache.clear()
 
     def record(self, categories: Iterable[str] | None = None) -> list[TraceRecord]:
         """Start recording matching records into a list, and return it.
@@ -64,6 +77,7 @@ class TraceBus:
         """
         self._recording = []
         self._record_categories = set(categories) if categories is not None else None
+        self._record_match_cache.clear()
         return self._recording
 
     def stop_recording(self) -> list[TraceRecord]:
@@ -71,6 +85,7 @@ class TraceBus:
         captured = self._recording or []
         self._recording = None
         self._record_categories = None
+        self._record_match_cache.clear()
         return captured
 
     def publish(self, time: float, category: str, **data: Any) -> None:
@@ -80,15 +95,33 @@ class TraceBus:
         record = TraceRecord(time=time, category=category, data=data)
         if self._recording is not None and self._matches_recording(category):
             self._recording.append(record)
+        handlers = self._match_cache.get(category)
+        if handlers is None:
+            handlers = self._matched_handlers(category)
+            self._match_cache[category] = handlers
+        for handler in handlers:
+            handler(record)
+
+    def _matched_handlers(self, category: str) -> tuple:
+        """Handlers whose subscription key matches ``category``.
+
+        Subscription (hence registration) order is preserved within and
+        across keys, matching the pre-memoization dispatch order.
+        """
+        matched = []
         for key, handlers in self._subscribers.items():
             if key == "*" or category == key or category.startswith(key + "."):
-                for handler in handlers:
-                    handler(record)
+                matched.extend(handlers)
+        return tuple(matched)
 
     def _matches_recording(self, category: str) -> bool:
         if self._record_categories is None:
             return True
-        return any(
-            category == key or category.startswith(key + ".")
-            for key in self._record_categories
-        )
+        cached = self._record_match_cache.get(category)
+        if cached is None:
+            cached = any(
+                category == key or category.startswith(key + ".")
+                for key in self._record_categories
+            )
+            self._record_match_cache[category] = cached
+        return cached

@@ -5,7 +5,18 @@ from __future__ import annotations
 import pytest
 
 from repro import Host, SystemMode
+from repro.experiments import sweep
 from repro.sim.engine import Simulation
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_sweep_cache(tmp_path, monkeypatch):
+    """Keep sweep-cache traffic out of the repo's .sweepcache/.
+
+    Every test gets a private scratch cache, so tests neither depend on
+    nor pollute previously computed points.
+    """
+    monkeypatch.setenv(sweep.CACHE_DIR_ENV, str(tmp_path / "sweepcache"))
 
 
 @pytest.fixture

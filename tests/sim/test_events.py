@@ -77,3 +77,52 @@ def test_event_pending_flag():
     assert event.pending
     queue.pop()
     assert not event.pending
+
+
+def test_pop_due_empty_queue():
+    queue = EventQueue()
+    assert queue.pop_due() == (None, None)
+    assert queue.pop_due(until=5.0) == (None, None)
+
+
+def test_pop_due_pops_events_at_or_before_bound():
+    queue = EventQueue()
+    queue.schedule(1.0, lambda: None)
+    queue.schedule(5.0, lambda: None)
+    event, when = queue.pop_due(until=5.0)
+    assert event is not None and when == 1.0 and event.fired
+    event, when = queue.pop_due(until=5.0)
+    assert event is not None and when == 5.0
+    assert queue.pop_due(until=5.0) == (None, None)
+
+
+def test_pop_due_leaves_head_beyond_bound():
+    queue = EventQueue()
+    queue.schedule(7.0, lambda: None)
+    event, when = queue.pop_due(until=5.0)
+    assert event is None and when == 7.0
+    assert len(queue) == 1  # still pending
+    event, when = queue.pop_due(until=10.0)
+    assert event is not None and when == 7.0
+
+
+def test_pop_due_skips_cancelled_head():
+    queue = EventQueue()
+    dead = queue.schedule(1.0, lambda: None)
+    queue.schedule(3.0, lambda: None)
+    queue.cancel(dead)
+    event, when = queue.pop_due(until=10.0)
+    assert event is not None and when == 3.0
+
+
+def test_pop_due_without_bound_pops_everything_in_order():
+    queue = EventQueue()
+    queue.schedule(2.0, lambda: None)
+    queue.schedule(1.0, lambda: None)
+    times = []
+    while True:
+        event, when = queue.pop_due()
+        if event is None:
+            break
+        times.append(when)
+    assert times == [1.0, 2.0]

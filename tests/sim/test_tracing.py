@@ -58,3 +58,52 @@ def test_recording_all():
 def test_stop_recording_without_start():
     bus = TraceBus()
     assert bus.stop_recording() == []
+
+
+def test_publish_memoizes_matched_handlers():
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("net", seen.append)
+    bus.publish(1.0, "net.drop")
+    assert "net.drop" in bus._match_cache
+    assert bus._match_cache["net.drop"] == (seen.append,)
+    # Non-matching categories memoize an empty handler tuple too.
+    bus.publish(2.0, "sched.pick")
+    assert bus._match_cache["sched.pick"] == ()
+    assert [r.category for r in seen] == ["net.drop"]
+
+
+def test_subscribe_invalidates_match_cache():
+    bus = TraceBus()
+    first, second = [], []
+    bus.subscribe("net", first.append)
+    bus.publish(1.0, "net.drop")  # memoizes net.drop -> (first.append,)
+    bus.subscribe("net.drop", second.append)
+    bus.publish(2.0, "net.drop")
+    assert len(first) == 2
+    assert len(second) == 1  # the late subscriber sees post-subscribe records
+
+
+def test_memoized_dispatch_preserves_subscription_order():
+    bus = TraceBus()
+    order = []
+    bus.subscribe("net", lambda r: order.append("prefix"))
+    bus.subscribe("*", lambda r: order.append("wildcard"))
+    bus.subscribe("net.drop", lambda r: order.append("exact"))
+    bus.publish(1.0, "net.drop")
+    bus.publish(2.0, "net.drop")  # second publish runs through the memo
+    assert order == ["prefix", "wildcard", "exact"] * 2
+
+
+def test_recording_category_match_is_memoized_and_reset():
+    bus = TraceBus()
+    bus.record(categories=["sched"])
+    bus.publish(1.0, "sched.pick")
+    bus.publish(2.0, "net.drop")
+    assert bus._record_match_cache == {"sched.pick": True, "net.drop": False}
+    records = bus.stop_recording()
+    assert [r.category for r in records] == ["sched.pick"]
+    # A new recording with different categories must not reuse the memo.
+    bus.record(categories=["net"])
+    bus.publish(3.0, "net.drop")
+    assert [r.category for r in bus.stop_recording()] == ["net.drop"]
