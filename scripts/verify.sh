@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 tests, perf smoke, and a parallel-sweep smoke.
+# Repo verification: determinism lint, tier-1 tests, perf smoke, and a
+# parallel-sweep smoke.
 #
 # Usage: scripts/verify.sh
 #
 # Runs, in order:
+#   0. the determinism lint (static gate: no wall clocks, global RNG,
+#      OS entropy, hash(), or bare-set iteration in src/repro)
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -12,6 +15,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-0: determinism lint =="
+python -m repro lint
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

@@ -70,12 +70,13 @@ class Host:
         seed: int = 0,
         costs: CostModel = DEFAULT_COSTS,
         config: "KernelConfig | None" = None,
+        sanitize: bool = False,
     ) -> None:
         if config is None:
             config = KernelConfig(mode=mode)
         elif config.mode is not mode:
             config.mode = mode
-        self.sim = Simulation(seed=seed)
+        self.sim = Simulation(seed=seed, sanitize=sanitize)
         self.kernel = Kernel(self.sim, costs=costs, config=config)
 
     @property

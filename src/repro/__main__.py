@@ -9,6 +9,10 @@ Usage::
     python -m repro fig11 --no-cache     # recompute even cached points
     python -m repro bench                # scheduler scalability sweep
     python -m repro bench-sweep          # sweep-engine speedup benchmark
+    python -m repro lint                 # determinism lint of src/repro
+    python -m repro lint --rules         # the lint rule catalogue
+    python -m repro sanitize fig11       # run fig11 under the
+                                         # charging-conservation sanitizer
 
 Every figure harness expands into a grid of independent simulation
 points; ``--jobs N`` fans the grid out to N worker processes (output is
@@ -20,6 +24,7 @@ bypasses the cache).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -81,6 +86,51 @@ def _render_any(result) -> str:
     return str(result)
 
 
+def _run_sanitize(args) -> int:
+    """Run one experiment with every kernel under the conservation
+    sanitizer; report per-host summaries and any violations."""
+    from repro.analysis import sanitizer
+
+    target = args.target
+    if target is None or target not in EXPERIMENTS:
+        print(
+            "sanitize: pick an experiment, one of: "
+            + ", ".join(EXPERIMENTS),
+            file=sys.stderr,
+        )
+        return 2
+    description, runner = EXPERIMENTS[target]
+    print(f"== sanitized run: {description} ==")
+    previous = os.environ.get(sanitizer.SANITIZE_ENV)
+    os.environ[sanitizer.SANITIZE_ENV] = "1"
+    try:
+        # Serial and cache-bypassing on purpose: every point must
+        # actually execute in *this* process so the kernels it builds
+        # register their sanitizers where we can drain them.
+        result = runner(fast=not args.full, jobs=1, cache=False)
+    finally:
+        if previous is None:
+            del os.environ[sanitizer.SANITIZE_ENV]
+        else:
+            os.environ[sanitizer.SANITIZE_ENV] = previous
+    print(_render_any(result))
+    total = 0
+    checkers = sanitizer.drain_installed()
+    for checker in checkers:
+        violations = checker.finish()
+        total += len(violations)
+        if violations:
+            print(checker.summary(), file=sys.stderr)
+            for violation in violations:
+                print("  " + violation.render(), file=sys.stderr)
+    slices = sum(c.slices_checked for c in checkers)
+    print(
+        f"sanitize: {len(checkers)} host(s), {slices} slices checked, "
+        f"{total} conservation violation(s)"
+    )
+    return 0 if total == 0 else 1
+
+
 EXPERIMENTS = {
     "table1": ("Table 1: container primitive costs", _run_table1),
     "baseline": ("Section 5.3/5.4: baseline throughput", _run_baseline),
@@ -99,11 +149,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list", "bench", "bench-sweep"],
+        choices=[
+            *EXPERIMENTS, "all", "list", "bench", "bench-sweep",
+            "lint", "sanitize",
+        ],
         help="which experiment to run ('bench' runs the scheduler "
         "scalability sweep and writes BENCH_scalability.json; "
         "'bench-sweep' benchmarks the parallel sweep engine and writes "
-        "BENCH_sweep.json)",
+        "BENCH_sweep.json; 'lint' runs the determinism lint over the "
+        "repro source tree; 'sanitize <experiment>' re-runs an "
+        "experiment with the charging-conservation sanitizer enabled)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment to check (only with 'sanitize')",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with 'lint': rewrite the grandfathered-violation baseline "
+        "from the current tree",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="with 'lint': print the rule catalogue and exit",
     )
     parser.add_argument(
         "--full",
@@ -137,6 +209,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'bench':10s} Scheduler scalability sweep (10/100/1000)")
         print(f"{'bench-sweep':10s} Parallel sweep engine / cache benchmark")
         return 0
+
+    if args.experiment == "lint":
+        from repro.analysis.lint import run_lint
+
+        return run_lint(
+            update_baseline=args.update_baseline, show_rules=args.rules
+        )
+
+    if args.experiment == "sanitize":
+        return _run_sanitize(args)
 
     if args.experiment == "bench":
         from repro.experiments import bench_scalability
@@ -173,7 +255,10 @@ def main(argv: list[str] | None = None) -> int:
         description, runner = EXPERIMENTS[key]
         if not args.json:
             print(f"== {description} ==")
-        started = time.time()
+        # perf_counter, not time.time(): this is host-side progress
+        # reporting (never simulation state), but time.time() jumps
+        # under NTP/DST adjustments while perf_counter is monotonic.
+        started = time.perf_counter()  # det: allow[DET101]
         result = runner(fast=not args.full, jobs=args.jobs, cache=cache)
         if args.json:
             from repro.experiments.export import result_to_json
@@ -181,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
             print(result_to_json({key: result}))
         else:
             print(_render_any(result))
-            print(f"[{key}: {time.time() - started:.1f}s wall]\n")
+            print(f"[{key}: {time.perf_counter() - started:.1f}s wall]\n")
     return 0
 
 

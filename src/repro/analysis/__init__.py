@@ -1,0 +1,29 @@
+"""Static and runtime verification of the reproduction's invariants.
+
+Two coordinated passes keep the repo's flagship properties honest:
+
+* :mod:`repro.analysis.lint` -- an AST-based **determinism lint** over
+  the ``repro`` source tree.  The sweep engine's content-addressed cache
+  (PR 2) and the seeded trace-digest tests (PR 1) are only sound if a
+  simulation run is a pure function of (source tree, params, seed).  Any
+  wall-clock read, global-RNG draw, ``hash()``-derived value, or
+  hash-ordered set iteration that reaches simulation state silently
+  breaks that contract; the lint makes those patterns build failures.
+
+* :mod:`repro.analysis.sanitizer` -- an opt-in runtime
+  **charging-conservation sanitizer**.  The paper's central claim is
+  that every unit of kernel work is charged to exactly one explicit
+  resource principal; the sanitizer hooks the CPU dispatcher's single
+  accounting choke point and asserts, at every slice and at end of run,
+  that charged CPU + unaccounted interrupt time equals busy CPU time,
+  that no ledger goes negative, that no charge lands on a destroyed
+  container, and that scheduler-side charges reconcile with container
+  ledgers.
+
+Both run from the CLI: ``python -m repro lint`` and
+``python -m repro sanitize <experiment>``.
+"""
+
+from repro.analysis.rules import RULES, Rule
+
+__all__ = ["RULES", "Rule"]

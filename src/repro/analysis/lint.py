@@ -1,0 +1,564 @@
+"""AST-based determinism lint over the ``repro`` source tree.
+
+The checker walks every ``*.py`` file under the installed package and
+flags source patterns that can make a simulation run depend on anything
+other than (source tree, parameters, seed) -- the exact identity the
+sweep cache and the trace-digest tests rely on.  See
+:mod:`repro.analysis.rules` for the catalogue and the rationale behind
+each rule.
+
+Three suppression mechanisms, from narrowest to widest:
+
+* **Inline pragma** -- ``# det: allow[DET101]`` on the flagged line.
+  The rule id is mandatory, so a waiver always names what it waives.
+* **Per-file allowlist** -- :data:`FILE_ALLOWLIST` maps package-relative
+  paths to the rules that whole file may use, with a reason.  Bench
+  harnesses legitimately read ``perf_counter`` (they *measure* the
+  host); ``sim/rng.py`` legitimately wraps ``random.Random``.
+* **Committed baseline** -- grandfathered violations recorded in
+  ``lint_baseline.json`` are reported but do not fail the build; any
+  violation *not* in the baseline does.  The baseline is keyed by
+  (path, rule, source-line text), not line numbers, so unrelated edits
+  do not churn it.  ``python -m repro lint --update-baseline`` rewrites
+  it from the current tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.rules import RULES
+
+#: ``# det: allow[DET101]`` (optionally with trailing prose).
+_PRAGMA_RE = re.compile(r"#\s*det:\s*allow\[(DET\d+)\]")
+
+#: Default committed baseline, next to this module.
+BASELINE_PATH = Path(__file__).resolve().parent / "lint_baseline.json"
+
+#: Per-file waivers: package-relative path -> {rule id -> reason}.
+#: A file listed here may violate exactly the named rules; everything
+#: else in it is still checked.
+FILE_ALLOWLIST: dict[str, dict[str, str]] = {
+    "__main__.py": {
+        "DET101": "host-side progress reporting: wall time of a whole "
+        "experiment run is printed to the operator, never enters "
+        "simulation state",
+    },
+    "sim/rng.py": {
+        "DET102": "the sanctioned home of randomness: wraps "
+        "random.Random(seed) behind the forkable SeededRng tree",
+    },
+    "experiments/sweep.py": {
+        "DET101": "perf_counter timestamps the engine's wall-clock "
+        "stats (SweepStats.wall_s), which are reporting, not results",
+    },
+    "experiments/table1_primitives.py": {
+        "DET101": "Table 1 *is* a wall-clock microbenchmark of the "
+        "Python implementation; its numbers are machine-bound by design "
+        "and are never cached",
+    },
+    "experiments/bench_scalability.py": {
+        "DET101": "bench harness: measures host wall time of scheduler "
+        "operations; results go to BENCH_scalability.json, not the cache",
+    },
+    "experiments/bench_sweep.py": {
+        "DET101": "bench harness: measures cold/warm sweep wall time; "
+        "results go to BENCH_sweep.json, not the cache",
+    },
+}
+
+# -- call-name tables -------------------------------------------------------
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ENTROPY_CALLS = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.randbits",
+    "secrets.choice",
+}
+
+#: Builtins whose call realises a bare set's (hash-salted) order.
+_ORDER_REALISING = {"list", "tuple", "enumerate", "iter", "next", "reversed"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, with enough context to fix or baseline it."""
+
+    path: str  # package-relative, forward slashes
+    rule: str
+    line: int
+    col: int
+    message: str
+    code: str  # stripped source line, the baseline fingerprint payload
+
+    def fingerprint(self) -> tuple:
+        """Line-number-free identity used for baseline matching."""
+        return (self.path, self.rule, self.code)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}\n    {self.code}"
+        )
+
+
+class _ScopeSets(ast.NodeVisitor):
+    """Collect, per function/module scope, local names that can only be
+    bare sets (every binding is a set display/comprehension/constructor).
+
+    Deliberately conservative: a single non-set binding, a parameter, or
+    a loop-target binding disqualifies the name.
+    """
+
+    def __init__(self) -> None:
+        #: scope node -> set of definitely-set-typed local names.
+        self.scopes: dict[ast.AST, set[str]] = {}
+        self._set_bound: dict[ast.AST, set[str]] = {}
+        self._other_bound: dict[ast.AST, set[str]] = {}
+        self._stack: list[ast.AST] = []
+
+    def _bind(self, name: str, is_set: bool) -> None:
+        scope = self._stack[-1]
+        (self._set_bound if is_set else self._other_bound)[scope].add(name)
+
+    def _enter(self, node: ast.AST) -> None:
+        self._stack.append(node)
+        self._set_bound[node] = set()
+        self._other_bound[node] = set()
+
+    def _leave(self, node: ast.AST) -> None:
+        self._stack.pop()
+        self.scopes[node] = self._set_bound[node] - self._other_bound[node]
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._enter(node)
+        self.generic_visit(node)
+        self._leave(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node)
+        for arg in _all_args(node.args):
+            self._bind(arg, is_set=False)
+        self.generic_visit(node)
+        self._leave(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_bare_set(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._bind(target.id, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._bind(node.target.id, _is_bare_set(node.value))
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        for name_node in ast.walk(node.target):
+            if isinstance(name_node, ast.Name):
+                self._bind(name_node.id, is_set=False)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            if item.optional_vars is not None:
+                for name_node in ast.walk(item.optional_vars):
+                    if isinstance(name_node, ast.Name):
+                        self._bind(name_node.id, is_set=False)
+        self.generic_visit(node)
+
+
+def _all_args(args: ast.arguments) -> list[str]:
+    out = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        out.append(args.vararg.arg)
+    if args.kwarg:
+        out.append(args.kwarg.arg)
+    return out
+
+
+def _is_bare_set(node: ast.AST) -> bool:
+    """Syntactically-certain set expressions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(
+        self,
+        rel: str,
+        lines: Sequence[str],
+        allowed: frozenset,
+        pragmas: dict[int, set],
+        set_scopes: dict[ast.AST, set],
+    ) -> None:
+        self.rel = rel
+        self.lines = lines
+        self.allowed = allowed
+        self.pragmas = pragmas
+        self.set_scopes = set_scopes
+        self.violations: list[Violation] = []
+        #: alias -> dotted module/name it stands for.
+        self.aliases: dict[str, str] = {}
+        self._scope_stack: list[ast.AST] = []
+
+    # -- reporting ---------------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in self.allowed:
+            return
+        line = getattr(node, "lineno", 0)
+        if rule in self.pragmas.get(line, ()):
+            return
+        code = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.violations.append(
+            Violation(
+                path=self.rel,
+                rule=rule,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                code=code,
+            )
+        )
+
+    # -- import tracking ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            self.generic_visit(node)
+            return
+        if node.module == "random" or node.module.startswith("random."):
+            self._flag(
+                node,
+                "DET102",
+                "import from the global `random` module; draw from the "
+                "simulation's SeededRng (sim/rng.py) instead",
+            )
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = (
+                f"{node.module}.{alias.name}"
+            )
+        self.generic_visit(node)
+
+    # -- name resolution ---------------------------------------------------
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``node`` to a dotted name through import aliases."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- scope-aware set lookups -------------------------------------------
+
+    def _in_scope_set_name(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Name):
+            return False
+        for scope in reversed(self._scope_stack):
+            names = self.set_scopes.get(scope, ())
+            if node.id in names:
+                return True
+        return False
+
+    def _is_set_valued(self, node: ast.AST) -> bool:
+        return _is_bare_set(node) or self._in_scope_set_name(node)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scope_stack.append(node)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope_stack.append(node)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- the rules ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            self._flag(
+                node,
+                "DET101",
+                f"wall-clock call {dotted}(); simulated time is "
+                "Simulation.now -- host time may only appear in "
+                "allowlisted bench/reporting files",
+            )
+        elif dotted in _ENTROPY_CALLS:
+            self._flag(
+                node,
+                "DET103",
+                f"OS entropy via {dotted}(); derive values from the "
+                "seeded RNG tree so runs are reproducible",
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and node.func.id not in self.aliases
+        ):
+            self._flag(
+                node,
+                "DET104",
+                "builtin hash() is salted per process (PYTHONHASHSEED); "
+                "use zlib.crc32/hashlib for stable digests",
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_REALISING
+            and node.args
+            and self._is_set_valued(node.args[0])
+        ):
+            self._flag(
+                node,
+                "DET105",
+                f"{node.func.id}() over a bare set realises hash-salted "
+                "order; wrap the set in sorted(...)",
+            )
+        if dotted is not None and (
+            dotted == "random" or dotted.startswith("random.")
+        ):
+            self._flag(
+                node,
+                "DET102",
+                f"global-random call {dotted}(); draw from the "
+                "simulation's SeededRng (sim/rng.py) instead",
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_valued(node.iter):
+            self._flag(
+                node,
+                "DET105",
+                "for-loop over a bare set iterates in hash-salted order; "
+                "wrap the set in sorted(...)",
+            )
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_set_valued(gen.iter):
+                self._flag(
+                    gen.iter,
+                    "DET105",
+                    "comprehension over a bare set iterates in "
+                    "hash-salted order; wrap the set in sorted(...)",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+
+# ---------------------------------------------------------------------------
+# Driving
+# ---------------------------------------------------------------------------
+
+
+def _pragmas(lines: Sequence[str]) -> dict[int, set]:
+    """line number -> rule ids waived on that line."""
+    out: dict[int, set] = {}
+    for index, line in enumerate(lines, start=1):
+        for match in _PRAGMA_RE.finditer(line):
+            out.setdefault(index, set()).add(match.group(1))
+    return out
+
+
+def lint_source(
+    source: str, rel: str, allowed: Iterable[str] = ()
+) -> list[Violation]:
+    """Lint one file's source text; ``rel`` names it in findings."""
+    tree = ast.parse(source, filename=rel)
+    lines = source.splitlines()
+    scoper = _ScopeSets()
+    scoper.visit(tree)
+    linter = _Linter(
+        rel=rel,
+        lines=lines,
+        allowed=frozenset(allowed),
+        pragmas=_pragmas(lines),
+        set_scopes=scoper.scopes,
+    )
+    linter.visit(tree)
+    linter.violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return linter.violations
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (the lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_tree(
+    root: "Path | None" = None,
+    allowlist: "dict[str, dict[str, str]] | None" = None,
+) -> list[Violation]:
+    """Lint every ``*.py`` under ``root`` (default: the repro package)."""
+    if root is None:
+        root = package_root()
+    if allowlist is None:
+        allowlist = FILE_ALLOWLIST
+    violations: list[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        allowed = allowlist.get(rel, {})
+        violations.extend(
+            lint_source(path.read_text(encoding="utf-8"), rel, allowed)
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: "Path | None" = None) -> Counter:
+    """Multiset of grandfathered fingerprints (missing file = empty)."""
+    if path is None:
+        path = BASELINE_PATH
+    try:
+        entries = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return Counter()
+    return Counter(
+        (e["path"], e["rule"], e["code"]) for e in entries
+    )
+
+
+def write_baseline(
+    violations: Sequence[Violation], path: "Path | None" = None
+) -> Path:
+    """Persist the given violations as the new grandfathered baseline."""
+    if path is None:
+        path = BASELINE_PATH
+    entries = [
+        {"path": v.path, "rule": v.rule, "code": v.code}
+        for v in sorted(violations, key=lambda v: (v.path, v.line))
+    ]
+    Path(path).write_text(
+        json.dumps(entries, indent=2) + "\n", encoding="utf-8"
+    )
+    return Path(path)
+
+
+def split_by_baseline(
+    violations: Sequence[Violation], baseline: Counter
+) -> "tuple[list[Violation], list[Violation]]":
+    """(new, grandfathered): baseline entries absorb matching violations
+    one-for-one, so a *second* occurrence of a grandfathered pattern is
+    still new."""
+    budget = Counter(baseline)
+    new: list[Violation] = []
+    old: list[Violation] = []
+    for violation in violations:
+        fp = violation.fingerprint()
+        if budget[fp] > 0:
+            budget[fp] -= 1
+            old.append(violation)
+        else:
+            new.append(violation)
+    return new, old
+
+
+# ---------------------------------------------------------------------------
+# CLI entry (dispatched from repro.__main__)
+# ---------------------------------------------------------------------------
+
+
+def run_lint(
+    update_baseline: bool = False,
+    show_rules: bool = False,
+    root: "Path | None" = None,
+    baseline_path: "Path | None" = None,
+) -> int:
+    """Run the tree lint; print findings; return a process exit code."""
+    from repro.analysis.rules import describe
+
+    if show_rules:
+        for rule_id in sorted(RULES):
+            print(describe(rule_id))
+            print()
+        return 0
+    violations = lint_tree(root=root)
+    if update_baseline:
+        path = write_baseline(violations, baseline_path)
+        print(f"lint: baseline updated ({len(violations)} entries) -> {path}")
+        return 0
+    new, grandfathered = split_by_baseline(
+        violations, load_baseline(baseline_path)
+    )
+    for violation in new:
+        print(violation.render())
+    if grandfathered:
+        print(
+            f"lint: {len(grandfathered)} grandfathered violation(s) "
+            "tracked in the baseline (fix and --update-baseline to retire)"
+        )
+    if new:
+        print(
+            f"lint: {len(new)} new violation(s); see "
+            "`python -m repro lint --rules` for the catalogue, "
+            "suppress a line with `# det: allow[<RULE>]` only with a "
+            "reviewed reason"
+        )
+        return 1
+    print("lint: OK (no new determinism violations)")
+    return 0

@@ -1,0 +1,120 @@
+"""The determinism-lint rule catalogue.
+
+Each rule documents *what breaks* when it is violated, because every
+suppression (inline pragma or per-file allowlist entry) must name the
+rule id it is waiving -- a reviewer reading ``# det: allow[DET101]``
+should be able to look the id up here and decide whether the waiver is
+justified.
+
+The three artifacts a violation can poison:
+
+* **cache keys** -- the sweep engine (PR 2) addresses results by
+  SHA-256(source tree, experiment, params, seed).  A result that also
+  depends on hidden inputs (wall clock, OS entropy, interpreter hash
+  seed) makes the cache serve values that a recomputation would not
+  reproduce, which turns "warm runs are byte-identical" into a lie.
+* **trace digests** -- the seeded trace-digest tests (PR 1) assert that
+  a run's event history is bit-identical across processes and across
+  scheduler implementations.  Nondeterministic ordering or timing shifts
+  the digest even when aggregate results look fine.
+* **ledgers** -- charging amounts derived from host time (instead of
+  simulated time) break the conservation invariant the sanitizer
+  enforces: charged + unaccounted no longer equals busy CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: id, short name, and the rationale for enforcing it."""
+
+    id: str
+    name: str
+    #: What the rule flags.
+    flags: str
+    #: Which artifact a violation poisons, and how.
+    breaks: str
+
+
+RULES: dict[str, Rule] = {
+    rule.id: rule
+    for rule in [
+        Rule(
+            id="DET101",
+            name="wall-clock",
+            flags="calls to time.time/monotonic/perf_counter/process_time "
+            "(and *_ns variants) or datetime.now/utcnow/today",
+            # Host time is not an input of the simulation: any value read
+            # from it differs between runs and between machines.
+            breaks="cache keys and ledgers: a result or charge derived "
+            "from host time cannot be reproduced from (tree, params, "
+            "seed), so cached sweep points go stale-but-served and "
+            "conservation checks see phantom time.  Simulated time is "
+            "Simulation.now; host-side *reporting* (bench harnesses, "
+            "progress wall-clocks) is the one legitimate use and must be "
+            "allowlisted per file.",
+        ),
+        Rule(
+            id="DET102",
+            name="global-random",
+            flags="any use of the module-level `random` module (imports "
+            "from it, attribute access on it) outside sim/rng.py",
+            # random.* draws from one process-global Mersenne Twister,
+            # seeded from OS entropy at import; any consumer perturbs
+            # every other consumer's stream.
+            breaks="cache keys and trace digests: draws outside the "
+            "forkable SeededRng tree are unseeded (differ per process) "
+            "and unordered (adding a consumer shifts every later draw). "
+            "All randomness must flow through sim/rng.py's SeededRng, "
+            "whose fork() streams are stable by construction.",
+        ),
+        Rule(
+            id="DET103",
+            name="os-entropy",
+            flags="os.urandom, uuid.uuid1/uuid4, and the secrets module",
+            breaks="cache keys and trace digests: OS entropy is "
+            "different on every call, so anything it reaches (ids, "
+            "seeds, tie-breakers) differs between the run that populated "
+            "the cache and the run that would verify it.",
+        ),
+        Rule(
+            id="DET104",
+            name="builtin-hash",
+            flags="calls to the builtin hash()",
+            # str/bytes hashing is salted per process (PYTHONHASHSEED).
+            breaks="cache keys, trace digests, and ledgers: hash() of a "
+            "string differs between processes, so using it for ordering, "
+            "bucketing, or seeding makes parallel sweep workers disagree "
+            "with serial runs.  Use zlib.crc32/adler32 (see "
+            "SeededRng.fork) or hashlib for stable digests.",
+        ),
+        Rule(
+            id="DET105",
+            name="set-iteration",
+            flags="iterating a bare set/frozenset (literal, set() call, "
+            "set comprehension, or a local name only ever bound to one) "
+            "in a for loop, comprehension, or list()/tuple()/enumerate()",
+            # Set iteration order follows the salted string hash for str
+            # members and id()-derived hashes for objects.
+            breaks="trace digests and cache keys: set order can differ "
+            "between processes, so any set-ordered walk that reaches "
+            "scheduling decisions or trace output desynchronises "
+            "parallel sweep workers from serial runs.  Wrap the set in "
+            "sorted() with a deterministic key, or keep an ordered "
+            "container (dict preserves insertion order).",
+        ),
+    ]
+}
+
+
+def describe(rule_id: str) -> str:
+    """One-paragraph human description of a rule (CLI `lint --rules`)."""
+    rule = RULES[rule_id]
+    return (
+        f"{rule.id} ({rule.name})\n"
+        f"  flags:  {rule.flags}\n"
+        f"  breaks: {rule.breaks}"
+    )

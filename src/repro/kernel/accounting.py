@@ -55,6 +55,39 @@ class ResourceUsage:
         if self.memory_bytes > self.memory_peak_bytes:
             self.memory_peak_bytes = self.memory_bytes
 
+    def validate(self) -> list[str]:
+        """Integrity problems in this ledger (empty when consistent).
+
+        Used by the charging-conservation sanitizer
+        (:mod:`repro.analysis.sanitizer`): the charge methods above
+        reject bad deltas at the door, but a ledger can still be
+        corrupted by direct field writes, so the sanitizer re-checks the
+        stock as well as the flow.
+        """
+        problems = []
+        for name in ("cpu_us", "cpu_network_us", "cpu_syscall_us"):
+            if getattr(self, name) < 0:
+                problems.append(f"{name} is negative ({getattr(self, name)})")
+        if self.memory_bytes < 0:
+            problems.append(f"memory_bytes is negative ({self.memory_bytes})")
+        if self.memory_peak_bytes < self.memory_bytes:
+            problems.append(
+                f"memory_peak_bytes ({self.memory_peak_bytes}) below "
+                f"current memory_bytes ({self.memory_bytes})"
+            )
+        # network/syscall contexts are disjoint subsets of cpu_us.
+        subset = self.cpu_network_us + self.cpu_syscall_us
+        if subset > self.cpu_us + 1e-6 * max(1.0, self.cpu_us):
+            problems.append(
+                f"sub-ledgers exceed total: network+syscall={subset} "
+                f"> cpu_us={self.cpu_us}"
+            )
+        for name in ("packets_received", "packets_dropped", "syscalls",
+                     "connections_accepted"):
+            if getattr(self, name) < 0:
+                problems.append(f"{name} is negative ({getattr(self, name)})")
+        return problems
+
     def snapshot(self) -> "ResourceUsage":
         """An independent copy of the current ledger."""
         return ResourceUsage(

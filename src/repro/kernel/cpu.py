@@ -105,6 +105,11 @@ class CPU:
         #: Entities currently occupying a core (excluded from pick()).
         self._running_ids: set[int] = set()
         self._dispatch_scheduled = False
+        #: Optional observational conservation checker
+        #: (:class:`repro.analysis.sanitizer.ChargingSanitizer`); called
+        #: from :meth:`_account` after every booking.  None in normal
+        #: runs, so the hook costs one attribute test per slice.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Work submission
@@ -303,6 +308,8 @@ class CPU:
             )
         else:
             self.accounting.unaccounted_cpu_us += amount_us
+        if self.sanitizer is not None:
+            self.sanitizer.on_slice(run, amount_us, interrupt=interrupt)
 
     # ------------------------------------------------------------------
     # Helpers

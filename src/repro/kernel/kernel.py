@@ -137,6 +137,16 @@ class Kernel:
         self.stats_early_drops = 0
         self.stats_softirq_drops = 0
         self._syn_notify_last: dict[tuple[int, int], float] = {}
+        # Opt-in conservation checking: Simulation(sanitize=True) or the
+        # REPRO_SANITIZE env var (the latter reaches kernels built deep
+        # inside experiment point runners and sweep workers).  Local
+        # import: the analysis layer is optional instrumentation, not a
+        # kernel dependency.
+        self.sanitizer = None
+        from repro.analysis import sanitizer as _sanitizer
+
+        if getattr(sim, "sanitize", False) or _sanitizer.env_enabled():
+            self.sanitizer = _sanitizer.ChargingSanitizer(self).install()
         self._start_timers()
 
     # ------------------------------------------------------------------

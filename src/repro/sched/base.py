@@ -62,6 +62,21 @@ class Scheduler(abc.ABC):
 
     def __init__(self) -> None:
         self._entities: list[Schedulable] = []
+        #: Cumulative CPU this scheduler has been told about via
+        #: :meth:`charge` (positive amounts against a real container).
+        #: The charging-conservation sanitizer reconciles this against
+        #: the container ledgers at end of run: a policy that drops or
+        #: double-counts a charge skews shares/caps even when the
+        #: ledgers themselves look right.  Implementations must call
+        #: :meth:`note_charge` from their ``charge``.
+        self.charged_us_total = 0.0
+
+    def note_charge(
+        self, container: Optional[ResourceContainer], amount_us: float
+    ) -> None:
+        """Record one charge in the reconciliation counter."""
+        if container is not None and amount_us > 0.0:
+            self.charged_us_total += amount_us
 
     # -- membership ------------------------------------------------------
 

@@ -598,6 +598,7 @@ class ContainerScheduler(Scheduler):
     ) -> None:
         if amount_us <= 0.0 or container is None:
             return
+        self.note_charge(container, amount_us)
         self._sync_epoch()
         group = self._hcache.top_level(container)
         weight = self._weights.get(group.cid)

@@ -76,4 +76,6 @@ class LotteryScheduler(Scheduler):
         amount_us: float,
         now: float,
     ) -> None:
-        """Lottery scheduling is memoryless; charges carry no state."""
+        """Lottery scheduling is memoryless; only the sanitizer's
+        reconciliation counter records the charge."""
+        self.note_charge(container, amount_us)

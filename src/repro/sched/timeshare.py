@@ -87,6 +87,7 @@ class UnixTimeshareScheduler(Scheduler):
     ) -> None:
         if amount_us <= 0.0:
             return
+        self.note_charge(container, amount_us)
         self.decayed_usage(entity, now)  # fold in pending decay first
         key = id(entity)
         if key in self._usage:

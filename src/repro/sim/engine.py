@@ -25,13 +25,25 @@ class Simulation:
     Args:
         seed: seed for the root RNG; identical seeds give identical runs.
         trace: optionally share a pre-built trace bus.
+        sanitize: ask kernels built on this simulation to install the
+            charging-conservation sanitizer
+            (:mod:`repro.analysis.sanitizer`).  Purely observational --
+            a sanitized run is byte-identical to an unsanitized one.
+            The ``REPRO_SANITIZE`` environment variable enables it
+            globally (kernels check both).
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[TraceBus] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[TraceBus] = None,
+        sanitize: bool = False,
+    ) -> None:
         self.clock = Clock()
         self.queue = EventQueue()
         self.rng = SeededRng(seed)
         self.trace = trace if trace is not None else TraceBus()
+        self.sanitize = bool(sanitize)
         self._events_dispatched = 0
         self._running = False
         self._stop_requested = False

@@ -1,0 +1,270 @@
+"""Determinism lint: seeded rule fixtures, suppression mechanics, and
+the clean-tree gate (`python -m repro lint` must exit 0 on HEAD)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint
+from repro.analysis.rules import RULES, describe
+
+# ---------------------------------------------------------------------------
+# Rule fixtures: each snippet must trigger exactly its rule.
+# ---------------------------------------------------------------------------
+
+TRIGGER_FIXTURES = [
+    # DET101: wall clocks, through every import spelling.
+    ("DET101", "import time\n\ndef f():\n    return time.time()\n"),
+    ("DET101", "import time as t\n\ndef f():\n    return t.monotonic()\n"),
+    (
+        "DET101",
+        "from time import perf_counter\n\ndef f():\n"
+        "    return perf_counter()\n",
+    ),
+    (
+        "DET101",
+        "from time import perf_counter as pc\n\ndef f():\n"
+        "    return pc()\n",
+    ),
+    (
+        "DET101",
+        "from datetime import datetime\n\ndef f():\n"
+        "    return datetime.now()\n",
+    ),
+    (
+        "DET101",
+        "import datetime\n\ndef f():\n"
+        "    return datetime.datetime.utcnow()\n",
+    ),
+    # DET102: the global random module.
+    ("DET102", "import random\n\ndef f():\n    return random.random()\n"),
+    ("DET102", "import random\n\ndef f():\n    return random.Random(1)\n"),
+    ("DET102", "from random import choice\n"),
+    # DET103: OS entropy.
+    ("DET103", "import os\n\ndef f():\n    return os.urandom(16)\n"),
+    ("DET103", "import uuid\n\ndef f():\n    return uuid.uuid4()\n"),
+    (
+        "DET103",
+        "import secrets\n\ndef f():\n    return secrets.token_hex(8)\n",
+    ),
+    # DET104: salted builtin hash.
+    ("DET104", "def f(name):\n    return hash(name) % 64\n"),
+    # DET105: hash-ordered set iteration.
+    ("DET105", "def f():\n    for x in {1, 2, 3}:\n        print(x)\n"),
+    (
+        "DET105",
+        "def f(items):\n    s = set(items)\n"
+        "    for x in s:\n        print(x)\n",
+    ),
+    ("DET105", "def f(items):\n    return [x for x in set(items)]\n"),
+    ("DET105", "def f(items):\n    return list({i + 1 for i in items})\n"),
+    (
+        "DET105",
+        "SEEN = {'a', 'b'}\n\ndef f():\n"
+        "    return tuple(SEEN)\n",
+    ),
+]
+
+CLEAN_FIXTURES = [
+    # Simulated time is the deterministic clock.
+    "def f(sim):\n    return sim.now\n",
+    # Seeded RNG use is the sanctioned pattern.
+    "def f(rng):\n    return rng.uniform(0.0, 1.0)\n",
+    # sorted() launders set order deterministically.
+    "def f(items):\n    s = set(items)\n    return sorted(s)\n",
+    "def f(items):\n    for x in sorted(set(items)):\n        print(x)\n",
+    # Membership tests never observe ordering.
+    "def f(items, x):\n    s = set(items)\n    return x in s\n",
+    # A name rebound to a sorted list is no longer a bare set.
+    "def f(items):\n    s = set(items)\n    s = sorted(s)\n"
+    "    return [x for x in s]\n",
+    # hashlib digests are stable, unlike hash().
+    "import hashlib\n\ndef f(data):\n"
+    "    return hashlib.sha256(data).hexdigest()\n",
+    # dict iteration is insertion-ordered, hence deterministic.
+    "def f(mapping):\n    return [k for k in mapping]\n",
+]
+
+
+@pytest.mark.parametrize("rule,source", TRIGGER_FIXTURES)
+def test_fixture_triggers_its_rule(rule, source):
+    violations = lint.lint_source(source, "fixture.py")
+    assert [v.rule for v in violations] == [rule], (
+        f"expected exactly one {rule} for:\n{source}\n"
+        f"got: {[(v.rule, v.message) for v in violations]}"
+    )
+
+
+@pytest.mark.parametrize("source", CLEAN_FIXTURES)
+def test_clean_fixture_passes(source):
+    assert lint.lint_source(source, "fixture.py") == []
+
+
+def test_every_rule_has_a_trigger_fixture():
+    covered = {rule for rule, _src in TRIGGER_FIXTURES}
+    assert covered == set(RULES), "each catalogued rule needs a fixture"
+
+
+def test_rule_catalogue_names_what_breaks():
+    for rule_id in RULES:
+        text = describe(rule_id)
+        assert rule_id in text
+        # Rationale must tie the rule to a concrete artifact.
+        assert any(
+            word in text for word in ("cache", "digest", "ledger")
+        ), f"{rule_id} rationale names no protected artifact"
+
+
+# ---------------------------------------------------------------------------
+# Suppression mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_inline_pragma_requires_matching_rule_id():
+    flagged = "import time\n\ndef f():\n    return time.time()\n"
+    waived = flagged.replace(
+        "time.time()", "time.time()  # det: allow[DET101]"
+    )
+    wrong_id = flagged.replace(
+        "time.time()", "time.time()  # det: allow[DET104]"
+    )
+    assert lint.lint_source(flagged, "x.py") != []
+    assert lint.lint_source(waived, "x.py") == []
+    # A pragma naming the wrong rule waives nothing.
+    assert [v.rule for v in lint.lint_source(wrong_id, "x.py")] == ["DET101"]
+
+
+def test_file_allowlist_waives_only_named_rules():
+    source = (
+        "import time\nimport random\n\n"
+        "def f():\n    return time.time() + random.random()\n"
+    )
+    only_wall = lint.lint_source(source, "bench.py", allowed={"DET101"})
+    assert [v.rule for v in only_wall] == ["DET102"]
+
+
+def test_allowlist_entries_all_name_reasons():
+    for path, rules in lint.FILE_ALLOWLIST.items():
+        for rule_id, reason in rules.items():
+            assert rule_id in RULES, f"{path} allowlists unknown {rule_id}"
+            assert len(reason) > 10, f"{path}:{rule_id} needs a real reason"
+
+
+# ---------------------------------------------------------------------------
+# Baseline mechanics
+# ---------------------------------------------------------------------------
+
+
+def _tree(tmp_path: Path, files: dict) -> Path:
+    root = tmp_path / "pkg"
+    root.mkdir()
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def test_baseline_grandfathers_existing_violations(tmp_path):
+    root = _tree(
+        tmp_path,
+        {"old.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    violations = lint.lint_tree(root=root, allowlist={})
+    assert len(violations) == 1
+    baseline_path = tmp_path / "baseline.json"
+    lint.write_baseline(violations, baseline_path)
+    baseline = lint.load_baseline(baseline_path)
+    new, grandfathered = lint.split_by_baseline(violations, baseline)
+    assert new == [] and len(grandfathered) == 1
+
+
+def test_baseline_does_not_absorb_new_violations(tmp_path):
+    root = _tree(
+        tmp_path,
+        {"old.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    baseline_path = tmp_path / "baseline.json"
+    lint.write_baseline(
+        lint.lint_tree(root=root, allowlist={}), baseline_path
+    )
+    # A *second* copy of the same pattern is a new violation: baseline
+    # entries absorb matches one-for-one.
+    (root / "old.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n\n"
+        "def g():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    violations = lint.lint_tree(root=root, allowlist={})
+    new, grandfathered = lint.split_by_baseline(
+        violations, lint.load_baseline(baseline_path)
+    )
+    assert len(grandfathered) == 1 and len(new) == 1
+
+
+def test_baseline_survives_line_shifts(tmp_path):
+    root = _tree(
+        tmp_path,
+        {"old.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    baseline_path = tmp_path / "baseline.json"
+    lint.write_baseline(
+        lint.lint_tree(root=root, allowlist={}), baseline_path
+    )
+    # Unrelated edits above the violation must not churn the baseline.
+    (root / "old.py").write_text(
+        "import time\n\nPADDING = 1\n\n\ndef f():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    new, grandfathered = lint.split_by_baseline(
+        lint.lint_tree(root=root, allowlist={}),
+        lint.load_baseline(baseline_path),
+    )
+    assert new == [] and len(grandfathered) == 1
+
+
+def test_missing_baseline_file_is_empty():
+    assert lint.load_baseline(Path("/nonexistent/baseline.json")) == {}
+
+
+# ---------------------------------------------------------------------------
+# The clean-tree gate
+# ---------------------------------------------------------------------------
+
+
+def test_head_tree_is_clean_in_process():
+    """No new violations in the tree as imported (library-level gate)."""
+    new, _grandfathered = lint.split_by_baseline(
+        lint.lint_tree(), lint.load_baseline()
+    )
+    assert new == [], "\n".join(v.render() for v in new)
+
+
+def test_cli_lint_exits_zero_on_head():
+    """`python -m repro lint` is the CI entry point; it must pass."""
+    env = dict(os.environ)
+    src = str(Path(lint.__file__).resolve().parents[3])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "lint: OK" in proc.stdout
+
+
+def test_cli_lint_fails_on_violating_tree(tmp_path):
+    """Exit is non-zero when a violation fixture is in the linted tree."""
+    root = _tree(
+        tmp_path,
+        {"bad.py": "import random\n\ndef f():\n    return random.random()\n"},
+    )
+    code = lint.run_lint(root=root, baseline_path=tmp_path / "none.json")
+    assert code == 1

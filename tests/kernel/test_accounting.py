@@ -54,6 +54,58 @@ def test_addition_is_elementwise():
     assert total.syscalls == 1
 
 
+def test_validate_clean_ledger():
+    usage = ResourceUsage()
+    usage.charge_cpu(10.0, network=True)
+    usage.charge_cpu(4.0, syscall=True)
+    usage.charge_memory(100)
+    usage.charge_memory(-40)
+    assert usage.validate() == []
+
+
+def test_validate_catches_negative_cpu_fields():
+    for name in ("cpu_us", "cpu_network_us", "cpu_syscall_us"):
+        usage = ResourceUsage()
+        setattr(usage, name, -1.0)
+        assert any(name in p for p in usage.validate())
+
+
+def test_validate_catches_negative_memory():
+    usage = ResourceUsage()
+    usage.memory_bytes = -5
+    problems = usage.validate()
+    assert any("memory_bytes" in p for p in problems)
+
+
+def test_validate_catches_peak_below_current():
+    usage = ResourceUsage()
+    usage.memory_bytes = 100
+    usage.memory_peak_bytes = 50
+    assert any("memory_peak_bytes" in p for p in usage.validate())
+
+
+def test_validate_catches_subledger_overflow():
+    usage = ResourceUsage(cpu_us=10.0, cpu_network_us=8.0, cpu_syscall_us=5.0)
+    assert any("sub-ledgers exceed total" in p for p in usage.validate())
+
+
+def test_validate_tolerates_float_slop():
+    """Disjoint sub-ledgers summing to cpu_us within float tolerance are
+    fine -- validate() must not cry wolf on healthy accumulation."""
+    usage = ResourceUsage()
+    for _ in range(1000):
+        usage.charge_cpu(0.1, network=True)
+    for _ in range(1000):
+        usage.charge_cpu(0.1, syscall=True)
+    assert usage.validate() == []
+
+
+def test_validate_catches_negative_counts():
+    usage = ResourceUsage()
+    usage.packets_dropped = -1
+    assert any("packets_dropped" in p for p in usage.validate())
+
+
 def test_utilization():
     acct = SystemAccounting(total_cpu_us=500_000.0)
     assert acct.utilization(1_000_000.0) == pytest.approx(0.5)
