@@ -7,6 +7,9 @@
 # Runs, in order:
 #   0. the determinism lint (static gate: no wall clocks, global RNG,
 #      OS entropy, hash(), or bare-set iteration in src/repro)
+#   0b. trace determinism: a traced fig11 smoke run twice must export
+#      byte-identical artifacts, and the Chrome trace must be
+#      schema-valid JSON
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -18,6 +21,35 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-0: determinism lint =="
 python -m repro lint
+
+echo "== tier-0b: trace determinism =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+python -m repro trace fig11 --smoke --trace-out "$TRACE_TMP/run1" >/dev/null
+python -m repro trace fig11 --smoke --trace-out "$TRACE_TMP/run2" >/dev/null
+for artifact in trace.jsonl trace-events.json flame.txt metrics.json; do
+  cmp "$TRACE_TMP/run1/$artifact" "$TRACE_TMP/run2/$artifact" \
+    || { echo "trace determinism FAILED: $artifact differs"; exit 1; }
+done
+python - "$TRACE_TMP/run1" <<'PYEOF'
+import json, pathlib, sys
+out = pathlib.Path(sys.argv[1])
+from repro.obs.export import validate_chrome_trace
+document = json.loads((out / "trace-events.json").read_text())
+problems = validate_chrome_trace(document)
+for line in (out / "trace.jsonl").read_text().splitlines():
+    record = json.loads(line)
+    if record.get("type") not in ("slice", "span"):
+        problems.append(f"jsonl record of unknown type: {record}")
+json.loads((out / "metrics.json").read_text())
+if problems:
+    print("trace schema FAILED:")
+    for problem in problems[:10]:
+        print(" ", problem)
+    raise SystemExit(1)
+print(f"trace determinism OK ({len(document['traceEvents'])} events, "
+      "byte-identical across runs)")
+PYEOF
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

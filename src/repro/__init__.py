@@ -71,13 +71,20 @@ class Host:
         costs: CostModel = DEFAULT_COSTS,
         config: "KernelConfig | None" = None,
         sanitize: bool = False,
+        observe: bool = False,
     ) -> None:
         if config is None:
             config = KernelConfig(mode=mode)
         elif config.mode is not mode:
             config.mode = mode
-        self.sim = Simulation(seed=seed, sanitize=sanitize)
+        self.sim = Simulation(seed=seed, sanitize=sanitize, observe=observe)
         self.kernel = Kernel(self.sim, costs=costs, config=config)
+
+    @property
+    def observability(self):
+        """The attached :class:`repro.obs.Observability` (None unless
+        constructed with ``observe=True`` or ``REPRO_TRACE``)."""
+        return self.sim.observability
 
     @property
     def now(self) -> float:

@@ -13,6 +13,9 @@ Usage::
     python -m repro lint --rules         # the lint rule catalogue
     python -m repro sanitize fig11       # run fig11 under the
                                          # charging-conservation sanitizer
+    python -m repro trace fig11 --smoke  # trace one tiny fig11 point and
+                                         # export JSONL/Chrome-trace/flame
+    python -m repro report               # summarize a trace export dir
 
 Every figure harness expands into a grid of independent simulation
 points; ``--jobs N`` fans the grid out to N worker processes (output is
@@ -131,6 +134,135 @@ def _run_sanitize(args) -> int:
     return 0 if total == 0 else 1
 
 
+def _run_trace(args) -> int:
+    """Run one experiment with observability attached to every host it
+    builds; export the traces and report a summary."""
+    import json
+
+    from repro.obs import observe, validate_chrome_trace
+
+    target = args.target
+    if target is None or target not in EXPERIMENTS:
+        print(
+            "trace: pick an experiment, one of: " + ", ".join(EXPERIMENTS),
+            file=sys.stderr,
+        )
+        return 2
+    outdir = args.trace_out or observe.default_outdir()
+    description, runner = EXPERIMENTS[target]
+    previous = os.environ.get(observe.TRACE_ENV)
+    os.environ[observe.TRACE_ENV] = "1"
+    try:
+        # Serial and cache-bypassing for the same reason as sanitize:
+        # every point must execute in *this* process so the hosts it
+        # builds register their observabilities where we can drain them.
+        if args.smoke:
+            if target != "fig11":
+                print("trace: --smoke supports only fig11", file=sys.stderr)
+                return 2
+            from repro.experiments import fig11_priority
+
+            print("== traced smoke point: fig11 (select, n_low=5) ==")
+            value = fig11_priority.run_traced()
+            print(f"mean Thigh: {value:.3f} ms")
+        else:
+            print(f"== traced run: {description} ==")
+            result = runner(fast=not args.full, jobs=1, cache=False)
+            print(_render_any(result))
+    finally:
+        if previous is None:
+            del os.environ[observe.TRACE_ENV]
+        else:
+            os.environ[observe.TRACE_ENV] = previous
+    observabilities = observe.drain_installed()
+    if not observabilities:
+        print("trace: no hosts were observed", file=sys.stderr)
+        return 1
+    problems = 0
+    for index, obs in enumerate(observabilities):
+        # One subdirectory per observed host, in construction order
+        # (a single-host run exports directly into outdir).
+        hostdir = (
+            outdir if len(observabilities) == 1
+            else os.path.join(outdir, f"host-{index:03d}")
+        )
+        paths = obs.export(hostdir)
+        print(f"\n-- host {index}: {obs.summary()}")
+        for path in paths:
+            print(f"   [wrote {path}]")
+        with open(os.path.join(hostdir, "trace-events.json")) as handle:
+            document = json.load(handle)
+        for problem in validate_chrome_trace(document):
+            problems += 1
+            print(f"trace: schema problem: {problem}", file=sys.stderr)
+    print(
+        f"\ntrace: {len(observabilities)} host(s) exported to {outdir}, "
+        f"{problems} schema problem(s)"
+    )
+    return 0 if problems == 0 else 1
+
+
+def _run_report(args) -> int:
+    """Summarize a previously written trace export directory."""
+    import json
+
+    from repro.obs import observe
+
+    outdir = args.trace_out or observe.default_outdir()
+    jsonl_path = os.path.join(outdir, "trace.jsonl")
+    if not os.path.exists(jsonl_path):
+        print(
+            f"report: no trace.jsonl under {outdir!r} "
+            "(run `python -m repro trace <experiment>` first, or pass "
+            "--trace-out / set REPRO_TRACE_OUT)",
+            file=sys.stderr,
+        )
+        return 2
+    slices = 0
+    slice_us = 0.0
+    by_triple: dict = {}
+    spans = 0
+    requests_done = 0
+    with open(jsonl_path) as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record["type"] == "slice":
+                slices += 1
+                slice_us += record["duration_us"]
+                key = (
+                    record["container"], record["subsystem"], record["phase"]
+                )
+                by_triple[key] = by_triple.get(key, 0.0) + record["duration_us"]
+            elif record["type"] == "span":
+                spans += 1
+                if record["name"] == "request" and record["end_us"] is not None:
+                    requests_done += 1
+    print(
+        f"report: {outdir}: {slices} slice(s) "
+        f"({slice_us / 1e3:.1f} ms attributed), {spans} span(s), "
+        f"{requests_done} completed request(s)"
+    )
+    print(f"\n{'container':28s}{'subsystem':12s}{'phase':18s}{'ms':>10s}")
+    for (container, subsystem, phase), amount in sorted(
+        by_triple.items(), key=lambda kv: (-kv[1], kv[0])
+    )[:20]:
+        print(
+            f"{container:28s}{subsystem:12s}{phase:18s}{amount / 1e3:>10.2f}"
+        )
+    metrics_path = os.path.join(outdir, "metrics.json")
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as handle:
+            metrics = json.load(handle)
+        print(f"\n{len(metrics)} metric(s); non-zero counters:")
+        for entry in metrics:
+            if entry["kind"] == "counter" and entry["value"]:
+                print(
+                    f"  {entry['container']:28s}{entry['subsystem']:8s}"
+                    f"{entry['name']:24s}{entry['value']:>14g}"
+                )
+    return 0
+
+
 EXPERIMENTS = {
     "table1": ("Table 1: container primitive costs", _run_table1),
     "baseline": ("Section 5.3/5.4: baseline throughput", _run_baseline),
@@ -151,20 +283,36 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             *EXPERIMENTS, "all", "list", "bench", "bench-sweep",
-            "lint", "sanitize",
+            "lint", "sanitize", "trace", "report",
         ],
         help="which experiment to run ('bench' runs the scheduler "
         "scalability sweep and writes BENCH_scalability.json; "
         "'bench-sweep' benchmarks the parallel sweep engine and writes "
         "BENCH_sweep.json; 'lint' runs the determinism lint over the "
         "repro source tree; 'sanitize <experiment>' re-runs an "
-        "experiment with the charging-conservation sanitizer enabled)",
+        "experiment with the charging-conservation sanitizer enabled; "
+        "'trace <experiment>' re-runs one with observability attached "
+        "and exports JSONL/Chrome-trace/flamegraph files; 'report' "
+        "summarizes a trace export directory)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="experiment to check (only with 'sanitize')",
+        help="experiment to check (only with 'sanitize' / 'trace')",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="with 'trace'/'report': export directory (default: "
+        "$REPRO_TRACE_OUT or .traceout)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with 'trace fig11': trace one tiny point instead of the "
+        "whole figure grid (the determinism verify gate uses this)",
     )
     parser.add_argument(
         "--update-baseline",
@@ -219,6 +367,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "sanitize":
         return _run_sanitize(args)
+
+    if args.experiment == "trace":
+        return _run_trace(args)
+
+    if args.experiment == "report":
+        return _run_report(args)
 
     if args.experiment == "bench":
         from repro.experiments import bench_scalability

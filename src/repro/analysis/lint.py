@@ -21,6 +21,13 @@ Three suppression mechanisms, from narrowest to widest:
   (path, rule, source-line text), not line numbers, so unrelated edits
   do not churn it.  ``python -m repro lint --update-baseline`` rewrites
   it from the current tree.
+
+One carve-out overrides all three: :data:`UNWAIVABLE` names rules that
+certain subtrees may *never* violate, pragma or no pragma.  The
+observability layer (``obs/``) exists to prove runs are byte-identical,
+so a wall clock anywhere under it is always a build failure -- an
+inline waiver is ignored, the allowlist cannot name it, and
+``--update-baseline`` refuses to grandfather it.
 """
 
 from __future__ import annotations
@@ -72,6 +79,23 @@ FILE_ALLOWLIST: dict[str, dict[str, str]] = {
         "results go to BENCH_sweep.json, not the cache",
     },
 }
+
+#: Subtree prefix -> rules no suppression mechanism can waive there.
+#: The exporters promise byte-identical output for a given (tree,
+#: params, seed); a wall-clock read anywhere under ``obs/`` would break
+#: that silently, so DET101 is absolute in that subtree.
+UNWAIVABLE: dict[str, tuple] = {
+    "obs/": ("DET101",),
+}
+
+
+def unwaivable_rules(rel: str) -> frozenset:
+    """Rules that cannot be waived for the package-relative path."""
+    rules: set = set()
+    for prefix, rule_ids in UNWAIVABLE.items():
+        if rel.startswith(prefix):
+            rules.update(rule_ids)
+    return frozenset(rules)
 
 # -- call-name tables -------------------------------------------------------
 
@@ -228,11 +252,13 @@ class _Linter(ast.NodeVisitor):
         allowed: frozenset,
         pragmas: dict[int, set],
         set_scopes: dict[ast.AST, set],
+        unwaivable: frozenset = frozenset(),
     ) -> None:
         self.rel = rel
         self.lines = lines
         self.allowed = allowed
         self.pragmas = pragmas
+        self.unwaivable = unwaivable
         self.set_scopes = set_scopes
         self.violations: list[Violation] = []
         #: alias -> dotted module/name it stands for.
@@ -242,11 +268,12 @@ class _Linter(ast.NodeVisitor):
     # -- reporting ---------------------------------------------------------
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
-        if rule in self.allowed:
-            return
         line = getattr(node, "lineno", 0)
-        if rule in self.pragmas.get(line, ()):
-            return
+        if rule not in self.unwaivable:
+            if rule in self.allowed:
+                return
+            if rule in self.pragmas.get(line, ()):
+                return
         code = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
         self.violations.append(
             Violation(
@@ -422,7 +449,11 @@ def _pragmas(lines: Sequence[str]) -> dict[int, set]:
 def lint_source(
     source: str, rel: str, allowed: Iterable[str] = ()
 ) -> list[Violation]:
-    """Lint one file's source text; ``rel`` names it in findings."""
+    """Lint one file's source text; ``rel`` names it in findings.
+
+    Rules that are :func:`unwaivable_rules` for ``rel`` ignore both
+    ``allowed`` and inline pragmas.
+    """
     tree = ast.parse(source, filename=rel)
     lines = source.splitlines()
     scoper = _ScopeSets()
@@ -433,6 +464,7 @@ def lint_source(
         allowed=frozenset(allowed),
         pragmas=_pragmas(lines),
         set_scopes=scoper.scopes,
+        unwaivable=unwaivable_rules(rel),
     )
     linter.visit(tree)
     linter.violations.sort(key=lambda v: (v.line, v.col, v.rule))
@@ -504,13 +536,17 @@ def split_by_baseline(
 ) -> "tuple[list[Violation], list[Violation]]":
     """(new, grandfathered): baseline entries absorb matching violations
     one-for-one, so a *second* occurrence of a grandfathered pattern is
-    still new."""
+    still new.  Unwaivable violations are always new, even when a stale
+    (hand-edited) baseline lists their fingerprint."""
     budget = Counter(baseline)
     new: list[Violation] = []
     old: list[Violation] = []
     for violation in violations:
         fp = violation.fingerprint()
-        if budget[fp] > 0:
+        if (
+            violation.rule not in unwaivable_rules(violation.path)
+            and budget[fp] > 0
+        ):
             budget[fp] -= 1
             old.append(violation)
         else:
@@ -539,8 +575,19 @@ def run_lint(
         return 0
     violations = lint_tree(root=root)
     if update_baseline:
-        path = write_baseline(violations, baseline_path)
-        print(f"lint: baseline updated ({len(violations)} entries) -> {path}")
+        fixable = [
+            v for v in violations
+            if v.rule not in unwaivable_rules(v.path)
+        ]
+        path = write_baseline(fixable, baseline_path)
+        print(f"lint: baseline updated ({len(fixable)} entries) -> {path}")
+        refused = len(violations) - len(fixable)
+        if refused:
+            print(
+                f"lint: refused to grandfather {refused} unwaivable "
+                "violation(s); they must be fixed"
+            )
+            return 1
         return 0
     new, grandfathered = split_by_baseline(
         violations, load_baseline(baseline_path)

@@ -213,11 +213,29 @@ class EventDrivenServer:
         if not isinstance(message, HttpRequest):
             yield from self._close_conn(fd)
             return
+        trace = self.kernel.sim.trace
+        if trace.active:
+            trace.publish(
+                self.kernel.sim.now,
+                "app.request",
+                event="start",
+                req=message.request_id,
+                container=self._class_container_name(info),
+                server=self.name,
+            )
         yield api.Compute(self.kernel.costs.app_request_parse)
         if self.cgi is not None and self.cgi.matches(message.path):
             yield from self.cgi.handle(self, fd, info, message)
-            return
-        yield from self._serve_static(fd, info, message)
+        else:
+            yield from self._serve_static(fd, info, message)
+        if trace.active:
+            trace.publish(
+                self.kernel.sim.now,
+                "app.request",
+                event="end",
+                req=message.request_id,
+                container=self._class_container_name(info),
+            )
 
     def _serve_static(self, fd: int, info: ConnInfo, message: HttpRequest):
         try:
@@ -231,6 +249,14 @@ class EventDrivenServer:
         self.stats.count_static(self.kernel.sim.now)
         if not message.persistent:
             yield from self._close_conn(fd)
+
+    def _class_container_name(self, info: ConnInfo) -> Optional[str]:
+        """Name of the class container this connection is charged to
+        (matches the container created in ``_open_listener``), or None
+        when the server runs without containers."""
+        if self.use_containers and info.container_fd is not None:
+            return f"{self.name}:class:{info.spec.name}"
+        return None
 
     def _close_conn(self, fd: int):
         if fd in self._conns:

@@ -189,6 +189,14 @@ class HttpClient:
         latency = self.sim.now - request.issued_at
         self.latencies_us.append(latency)
         self.stats_completed += 1
+        if self.sim.trace.active:
+            self.sim.trace.publish(
+                self.sim.now,
+                "client.complete",
+                req=request.request_id,
+                client=self.name,
+                latency_us=latency,
+            )
         if self.on_complete is not None:
             self.on_complete(self, request, latency)
         self.current = None

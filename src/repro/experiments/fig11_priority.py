@@ -34,6 +34,7 @@ from repro.experiments.common import (
 )
 from repro.net.filters import AddrFilter
 from repro.net.packet import ip_addr
+from repro.obs.registry import MetricsRegistry
 
 #: The premium client's address; the filtered socket matches it /32.
 HIGH_ADDR = ip_addr(10, 9, 9, 9)
@@ -79,6 +80,17 @@ def _run_point(config: str, n_low: int, warmup_s: float, measure_s: float,
         classifier=classifier,
     )
     server.install()
+    # Latency measurement goes through the metrics registry: the
+    # premium client's completions feed a histogram whose exact
+    # sum/count makes the mean float-identical to averaging the raw
+    # sample list in arrival order.
+    registry = MetricsRegistry()
+
+    def record_latency(_client, _request, latency_us: float) -> None:
+        registry.histogram("premium", "client", "latency_us").observe(
+            latency_us
+        )
+
     high = HttpClient(
         host.kernel,
         src_addr=HIGH_ADDR,
@@ -86,6 +98,7 @@ def _run_point(config: str, n_low: int, warmup_s: float, measure_s: float,
         path=STATIC_PATH,
         think_time_us=THINK_US,
         rng=host.sim.rng.fork("premium"),
+        on_complete=record_latency,
     )
     high.start(at_us=500.0)
     static_clients(
@@ -96,9 +109,12 @@ def _run_point(config: str, n_low: int, warmup_s: float, measure_s: float,
         name_prefix="low",
     )
     host.run(until_us=host.sim.now + warmup_s * 1e6)
-    high.latencies_us.clear()
+    # Restart the measurement window: drop warm-up samples.
+    registry.reset()
     host.run(until_us=host.sim.now + measure_s * 1e6)
-    return high.mean_latency_ms()
+    histogram = registry.get("premium", "client", "latency_us")
+    mean_us = histogram.mean() if histogram is not None else None
+    return mean_us / 1000.0 if mean_us is not None else 0.0
 
 
 CONFIGS = [
@@ -145,6 +161,20 @@ def run(fast: bool = True, points=None, jobs: int = 1,
         title="Fig. 11: high-priority client response time (ms)",
         x_label="low-prio clients",
         series=series,
+    )
+
+
+def run_traced(n_low: int = 5, config: str = "select") -> float:
+    """One tiny fig11 point, sized for tracing.
+
+    Used by ``python -m repro trace fig11 --smoke`` and the
+    trace-determinism verify gate: small enough that the full export is
+    cheap, busy enough that every span category appears.  Runs the
+    regular point runner in-process (observability attaches via the
+    ``REPRO_TRACE`` environment variable the trace CLI sets).
+    """
+    return _run_point(
+        config=config, n_low=n_low, warmup_s=0.05, measure_s=0.2, seed=11
     )
 
 

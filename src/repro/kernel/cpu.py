@@ -217,6 +217,16 @@ class CPU:
                 self.accounting.context_switches += 1
             planned = slice_work + switch_cost
             charge = entity.charge_container()
+            if self.sim.trace.active:
+                self.sim.trace.publish(
+                    now,
+                    "sched.dispatch",
+                    core=core.index,
+                    entity=getattr(entity, "name", ""),
+                    container=charge.name if charge is not None else None,
+                    planned_us=planned,
+                    switch_us=switch_cost,
+                )
             event = self.sim.after(planned, self._finish_slice, core)
             core.current = _RunSlice(
                 kind="entity",
@@ -276,6 +286,16 @@ class CPU:
         self.sim.cancel(run.event)
         self._running_ids.discard(id(run.entity))
         elapsed = now - run.start
+        if self.sim.trace.active:
+            self.sim.trace.publish(
+                now,
+                "sched.preempt",
+                core=core.index,
+                entity=getattr(run.entity, "name", ""),
+                container=run.charge.name if run.charge is not None else None,
+                ran_us=elapsed,
+                planned_us=run.planned_us,
+            )
         if elapsed > EPSILON:
             self._account(run, elapsed, interrupt=False)
             self.kernel.scheduler.charge(run.entity, run.charge, elapsed, now)
@@ -299,6 +319,7 @@ class CPU:
                 charge=run.charge.name if run.charge is not None else None,
                 network=run.charge_network or interrupt,
                 entity=getattr(run.entity, "name", run.job.note if run.job else ""),
+                phase=self._phase_of(run),
             )
         if run.charge is not None:
             run.charge.charge_cpu(
@@ -314,6 +335,20 @@ class CPU:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _phase_of(run: _RunSlice) -> str:
+        """Finest deterministic label for what this slice was doing.
+
+        Only computed when tracing is active -- never on the hot path of
+        an unobserved run.
+        """
+        if run.kind != "entity":
+            return run.job.note or run.kind if run.job else run.kind
+        phase = getattr(run.entity, "profile_phase", None)
+        if phase is not None:
+            return phase()
+        return run.kind
 
     def _switch_cost(self, previous: object, entity: object) -> float:
         """Process switches pay the full cost; kernel-thread and

@@ -147,6 +147,18 @@ class Kernel:
 
         if getattr(sim, "sanitize", False) or _sanitizer.env_enabled():
             self.sanitizer = _sanitizer.ChargingSanitizer(self).install()
+        # Give the scheduler the trace bus so policy charges can be
+        # observed; the bus stays inactive unless something subscribes.
+        self.scheduler.trace = sim.trace
+        # Opt-in observability: Simulation(observe=True) or REPRO_TRACE.
+        # Same local-import/env pattern as the sanitizer above.
+        self.observability = getattr(sim, "observability", None)
+        if self.observability is None:
+            from repro.obs import observe as _observe
+
+            if getattr(sim, "observe", False) or _observe.env_enabled():
+                self.observability = _observe.Observability(sim)
+                sim.observability = self.observability
         self._start_timers()
 
     # ------------------------------------------------------------------
@@ -377,6 +389,8 @@ class Kernel:
 
     def net_input(self, packet: Packet) -> None:
         """A packet arrived at the NIC: post the hardware interrupt."""
+        if self.sim.trace.active:
+            self._publish_arrival(packet)
         mode = self.config.mode.net_mode
         if mode is NetMode.SOFTIRQ:
             job = InterruptJob(
@@ -404,6 +418,9 @@ class Kernel:
         """
         if not packets:
             return
+        if self.sim.trace.active:
+            for packet in packets:
+                self._publish_arrival(packet)
         mode = self.config.mode.net_mode
         count = len(packets)
         if mode is NetMode.SOFTIRQ:
@@ -451,12 +468,30 @@ class Kernel:
             self.stats_softirq_drops += 1
             self._note_input_drop(packet)
 
+    def _publish_arrival(self, packet: Packet) -> None:
+        """Trace one NIC arrival (only called when tracing is active)."""
+        payload = packet.payload
+        self.sim.trace.publish(
+            self.sim.now,
+            "net.arrival",
+            seq=packet.seq,
+            kind=packet.kind.value,
+            req=getattr(payload, "request_id", None),
+            client=getattr(payload, "client_name", None),
+        )
+
     def _early_demux(self, packet: Packet) -> None:
         """LRP/RC: find the destination and queue for scheduled
         processing; discard unmatched or overflowing traffic early."""
         process, container, endpoint = self.stack.demux_packet(packet)
+        trace = self.sim.trace
         if process is None or not process.alive:
             self.stats_early_drops += 1
+            if trace.active:
+                trace.publish(
+                    self.sim.now, "net.demux", seq=packet.seq,
+                    container=None, dropped=True,
+                )
             return
         queue_key = None
         if self.config.mode.net_mode is NetMode.LRP:
@@ -468,7 +503,19 @@ class Kernel:
         net_thread = self.net_threads.get(process.pid)
         if net_thread is None:
             self.stats_early_drops += 1
+            if trace.active:
+                trace.publish(
+                    self.sim.now, "net.demux", seq=packet.seq,
+                    container=container.name if container is not None else None,
+                    dropped=True,
+                )
             return
+        if trace.active:
+            trace.publish(
+                self.sim.now, "net.demux", seq=packet.seq,
+                container=container.name if container is not None else None,
+                dropped=False,
+            )
         cost = protocol_cost(self, packet)
         if not net_thread.enqueue(container, packet, cost, queue_key=queue_key):
             self._note_input_drop(packet)

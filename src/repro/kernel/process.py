@@ -141,6 +141,15 @@ class Thread:
             return True
         return False
 
+    def profile_phase(self) -> str:
+        """Profiler label: the in-flight syscall's type, or ``run``.
+
+        Only called when tracing is active (see ``CPU._phase_of``).
+        """
+        if self.pending_op is not None:
+            return type(self.pending_op).__name__
+        return "run"
+
     # -- blocking ----------------------------------------------------------
 
     def park(self) -> None:

@@ -11,18 +11,24 @@ from repro.kernel.accounting import ResourceUsage
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty sequence."""
+    """Arithmetic mean.  Raises ValueError on an empty sequence: an
+    empty window has no mean, and silently reporting 0.0 would make a
+    measurement bug look like a perfect latency figure.  Callers with a
+    meaningful empty-window default handle it explicitly (see
+    :meth:`LatencyRecorder.mean_ms`)."""
     if not values:
-        return 0.0
+        raise ValueError("mean of an empty sequence")
     return sum(values) / len(values)
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Linear-interpolation percentile; 0.0 for an empty sequence."""
-    if not values:
-        return 0.0
+    """Linear-interpolation percentile (NIST/numpy ``linear`` method).
+    Raises ValueError on an empty sequence or an out-of-range ``pct``,
+    in that argument-checking order."""
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"percentile must be 0..100, got {pct}")
+    if not values:
+        raise ValueError("percentile of an empty sequence")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -94,11 +100,17 @@ class LatencyRecorder:
         self.samples.append(completed_at - started_at)
 
     def mean_ms(self) -> float:
-        """Mean latency in milliseconds."""
+        """Mean latency in milliseconds (0.0 when no samples landed in
+        the window -- figure tables render an idle cell as zero)."""
+        if not self.samples:
+            return 0.0
         return mean(self.samples) / 1000.0
 
     def percentile_ms(self, pct: float) -> float:
-        """Percentile latency in milliseconds."""
+        """Percentile latency in milliseconds (0.0 when no samples
+        landed in the window)."""
+        if not self.samples:
+            return 0.0
         return percentile(self.samples, pct) / 1000.0
 
 

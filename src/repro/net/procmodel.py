@@ -122,11 +122,30 @@ class KernelNetThread:
             queue = deque()
             self._queues[key] = queue
         self._containers[key] = container
+        trace = self.kernel.sim.trace
         if len(queue) >= self.queue_limit:
             self.stats_dropped += 1
             container.usage.packets_dropped += 1
+            if trace.active:
+                trace.publish(
+                    self.kernel.sim.now,
+                    "net.enqueue",
+                    seq=packet.seq,
+                    container=container.name,
+                    thread=self.name,
+                    dropped=True,
+                )
             return False
         queue.append((packet, cost_us))
+        if trace.active:
+            trace.publish(
+                self.kernel.sim.now,
+                "net.enqueue",
+                seq=packet.seq,
+                container=container.name,
+                thread=self.name,
+                dropped=False,
+            )
         return True
 
     def pending_packets(self) -> int:
@@ -180,6 +199,15 @@ class KernelNetThread:
             return True
         self._head = (key, container, packet, remaining)
         return False
+
+    def profile_phase(self) -> str:
+        """Profiler label: protocol processing of the head packet's kind.
+
+        Only called when tracing is active (see ``CPU._phase_of``).
+        """
+        if self._head is not None:
+            return f"proto.{self._head[2].kind.value}"
+        return "proto"
 
     def take_completed(self) -> tuple[ResourceContainer, Packet]:
         """Pop the finished head packet for semantic processing."""

@@ -267,6 +267,14 @@ class TcpStack:
         active processing model chose; by this point its CPU cost has
         been charged."""
         self.stats_packets_in += 1
+        trace = self.kernel.sim.trace
+        if trace.active:
+            trace.publish(
+                self.kernel.sim.now,
+                "net.proto",
+                seq=packet.seq,
+                kind=packet.kind.value,
+            )
         if packet.kind is PacketKind.SYN:
             self._input_syn(packet)
         elif packet.kind is PacketKind.HANDSHAKE_ACK:
@@ -379,6 +387,15 @@ class TcpStack:
         subject to the container's egress QoS shaping (if any)."""
         if conn.state is ConnState.CLOSED:
             return
+        trace = self.kernel.sim.trace
+        if trace.active:
+            trace.publish(
+                self.kernel.sim.now,
+                "net.tx",
+                req=getattr(payload, "request_id", None),
+                container=conn.charge_target().name,
+                bytes=size_bytes,
+            )
         delay = self.shaper.release_delay(
             conn.charge_target(), size_bytes, self.kernel.sim.now
         )

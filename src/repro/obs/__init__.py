@@ -1,0 +1,65 @@
+"""Container-level observability: metrics, request spans, profiling.
+
+Everything in this package is a *passive observer* of the simulation's
+:class:`~repro.sim.tracing.TraceBus` -- attaching it changes no
+results, and leaving it off costs one predicate test per instrumented
+site.  All timestamps are simulated microseconds, making every export a
+pure function of (tree, params, seed); the DET lint hard-forbids wall
+clocks in this package (the rule is unwaivable here).
+
+See ``docs/OBSERVABILITY.md`` for the span model and export formats.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    flamegraph_lines,
+    jsonl_lines,
+    validate_chrome_trace,
+    write_exports,
+)
+from repro.obs.observe import (
+    Observability,
+    RegistryCollector,
+    TRACE_ENV,
+    TRACE_OUT_ENV,
+    default_outdir,
+    drain_installed,
+    env_enabled,
+    installed,
+)
+from repro.obs.profile import UNACCOUNTED, ProfileSlice, SimProfiler
+from repro.obs.registry import (
+    DEFAULT_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import SPAN_CATEGORIES, RequestTracer, Span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_US",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ProfileSlice",
+    "RegistryCollector",
+    "RequestTracer",
+    "SPAN_CATEGORIES",
+    "SimProfiler",
+    "Span",
+    "TRACE_ENV",
+    "TRACE_OUT_ENV",
+    "UNACCOUNTED",
+    "chrome_trace",
+    "default_outdir",
+    "drain_installed",
+    "env_enabled",
+    "flamegraph_lines",
+    "installed",
+    "jsonl_lines",
+    "validate_chrome_trace",
+    "write_exports",
+]

@@ -1,0 +1,213 @@
+"""Deterministic trace/profile exporters.
+
+Three formats, all stamped with *simulated* time only (the DET-lint
+hard-forbids wall clocks anywhere under ``repro/obs``), so two runs of
+the same (tree, params, seed) produce byte-identical files:
+
+* **JSONL** (``trace.jsonl``) -- one JSON object per line: every
+  profile slice in publish order, then every span in span-id order.
+  The machine-readable ground truth the other two formats derive from.
+* **Chrome trace-event JSON** (``trace-events.json``) -- loadable in
+  Perfetto / ``chrome://tracing``.  Containers become processes
+  (metadata-named), subsystems become threads, CPU slices become
+  complete (``X``) events, and request spans become async (``b``/``e``)
+  events grouped per request id.
+* **Collapsed flamegraph stacks** (``flame.txt``) -- one
+  ``container;subsystem;phase <weight>`` line per triple, weight in
+  integer nanoseconds (flamegraph.pl wants integers; microsecond
+  rounding would lose sub-us slices).
+
+Chrome's trace-event format wants timestamps in microseconds, which is
+exactly the simulation's native unit -- ``ts`` fields are sim-time
+microseconds verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import SimProfiler
+    from repro.obs.spans import RequestTracer
+
+#: Synthetic "process" id grouping request-span async events.
+REQUESTS_PID = 1_000_000
+
+#: Keys every trace-event must carry (the schema the verify gate checks).
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "name")
+
+
+def _dumps(obj) -> str:
+    """Canonical JSON: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def jsonl_lines(profiler: "SimProfiler", tracer: "RequestTracer") -> list:
+    """The JSONL export as a list of serialized lines."""
+    lines = []
+    if profiler.slices is not None:
+        for profile_slice in profiler.slices:
+            lines.append(_dumps(profile_slice.to_dict()))
+    for span in tracer.spans:
+        lines.append(_dumps(span.to_dict()))
+    return lines
+
+
+def chrome_trace(profiler: "SimProfiler", tracer: "RequestTracer") -> dict:
+    """The trace-event document (see the module docstring for mapping)."""
+    events: list = []
+    # Stable integer pids: containers in sorted-name order.
+    containers = sorted(
+        {s.container for s in profiler.slices or ()}
+        | {s.container for s in tracer.spans if s.container is not None}
+    )
+    pid_of = {name: index + 1 for index, name in enumerate(containers)}
+    # Stable tids per (container, subsystem).
+    tid_of: dict[tuple, int] = {}
+    subsystems = sorted(
+        {(s.container, s.subsystem) for s in profiler.slices or ()}
+    )
+    for container, subsystem in subsystems:
+        tid_of[(container, subsystem)] = (
+            sum(1 for key in tid_of if key[0] == container) + 1
+        )
+    for name, pid in pid_of.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+    for (container, subsystem), tid in tid_of.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid_of[container],
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": subsystem},
+            }
+        )
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": REQUESTS_PID,
+            "ts": 0,
+            "args": {"name": "requests"},
+        }
+    )
+    for profile_slice in profiler.slices or ():
+        events.append(
+            {
+                "ph": "X",
+                "name": profile_slice.phase,
+                "cat": profile_slice.subsystem,
+                "ts": profile_slice.start_us,
+                "dur": profile_slice.duration_us,
+                "pid": pid_of[profile_slice.container],
+                "tid": tid_of[(profile_slice.container, profile_slice.subsystem)],
+                "args": {"entity": profile_slice.entity},
+            }
+        )
+    for span in tracer.spans:
+        if span.open:
+            continue
+        # Group each request's phases under one async id: the root span
+        # id for children, the span's own id for parentless spans.
+        group = span.parent_id if span.parent_id is not None else span.span_id
+        common = {
+            "cat": "request",
+            "id": group,
+            "name": span.name,
+            "pid": REQUESTS_PID,
+            "tid": 0,
+        }
+        args = {"span_id": span.span_id}
+        if span.container is not None:
+            args["container"] = span.container
+        events.append({"ph": "b", "ts": span.start_us, "args": args, **common})
+        events.append({"ph": "e", "ts": span.end_us, "args": {}, **common})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def flamegraph_lines(profiler: "SimProfiler") -> list:
+    """Collapsed stacks: ``container;subsystem;phase <nanoseconds>``."""
+    lines = []
+    for (container, subsystem, phase), amount in sorted(
+        profiler.totals.items()
+    ):
+        weight = int(round(amount * 1_000.0))  # us -> integer ns
+        if weight <= 0:
+            continue
+        stack = ";".join(
+            part.replace(";", "_") for part in (container, subsystem, phase)
+        )
+        lines.append(f"{stack} {weight}")
+    return lines
+
+
+def validate_chrome_trace(document: dict) -> list:
+    """Schema problems in a trace-event document (empty = valid).
+
+    The check the verify gate runs after ``json.loads``: the document
+    must have a ``traceEvents`` list and every event must carry the
+    :data:`REQUIRED_EVENT_KEYS`; ``X`` events additionally need ``dur``.
+    """
+    problems = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"event[{index}] missing {key!r}: {event}")
+        if event.get("ph") == "X" and "dur" not in event:
+            problems.append(f"event[{index}] is 'X' but has no dur")
+    return problems
+
+
+def write_exports(
+    profiler: "SimProfiler",
+    tracer: "RequestTracer",
+    outdir: "str | Path",
+    metrics_snapshot: "Iterable | None" = None,
+) -> list:
+    """Write all export files into ``outdir``; returns their paths."""
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+
+    jsonl_path = out / "trace.jsonl"
+    jsonl_path.write_text(
+        "".join(line + "\n" for line in jsonl_lines(profiler, tracer)),
+        encoding="utf-8",
+    )
+    paths.append(jsonl_path)
+
+    chrome_path = out / "trace-events.json"
+    chrome_path.write_text(
+        _dumps(chrome_trace(profiler, tracer)) + "\n", encoding="utf-8"
+    )
+    paths.append(chrome_path)
+
+    flame_path = out / "flame.txt"
+    flame_path.write_text(
+        "".join(line + "\n" for line in flamegraph_lines(profiler)),
+        encoding="utf-8",
+    )
+    paths.append(flame_path)
+
+    if metrics_snapshot is not None:
+        metrics_path = out / "metrics.json"
+        metrics_path.write_text(
+            _dumps(list(metrics_snapshot)) + "\n", encoding="utf-8"
+        )
+        paths.append(metrics_path)
+    return paths

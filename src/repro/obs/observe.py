@@ -1,0 +1,193 @@
+"""The observability facade: registry + spans + profiler on one bus.
+
+:class:`Observability` wires the three facilities of :mod:`repro.obs`
+onto a simulation's :class:`~repro.sim.tracing.TraceBus`:
+
+* the :class:`~repro.obs.registry.MetricsRegistry`, fed by a collector
+  that folds instrumentation records (CPU slices, scheduler decisions,
+  network queueing, application requests, client completions) into
+  counters and histograms;
+* the :class:`~repro.obs.spans.RequestTracer`, stitching causal
+  per-request span trees;
+* the :class:`~repro.obs.profile.SimProfiler`, attributing every
+  charged microsecond to a (container, subsystem, phase) triple.
+
+Tracing is **off by default**: instrumented code paths check
+``TraceBus.active`` (one attribute/predicate test) before building a
+record, so an un-observed run pays near-zero overhead -- the
+scalability bench guards this.  Attach via ``Host(observe=True)``,
+``Simulation(observe=True)``, or the ``REPRO_TRACE=1`` environment
+variable, which reaches hosts built deep inside experiment point
+runners (the same pattern as the charging sanitizer).  Observing is
+strictly observational: collectors schedule no events and mutate no
+simulation state, so an observed run's *results* are byte-identical to
+an unobserved one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.export import write_exports
+from repro.obs.profile import SimProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import RequestTracer
+from repro.sim.tracing import TraceBus, TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+#: Environment switch: any value other than empty/"0" attaches an
+#: Observability to every Simulation constructed in the process.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Default export directory for the trace CLI (overridable per-run with
+#: ``--trace-out``).
+TRACE_OUT_ENV = "REPRO_TRACE_OUT"
+
+#: Observabilities attached in this process, in construction order.
+#: The trace CLI drains this after an experiment run to export hosts it
+#: never held a reference to (point runners build hosts internally).
+_INSTALLED: list = []
+
+
+def env_enabled() -> bool:
+    """True when ``REPRO_TRACE`` asks for observed simulations."""
+    return os.environ.get(TRACE_ENV, "") not in ("", "0")
+
+
+def default_outdir() -> str:
+    """Export directory: ``REPRO_TRACE_OUT`` or ``.traceout``."""
+    return os.environ.get(TRACE_OUT_ENV) or ".traceout"
+
+
+def installed() -> list:
+    """Observabilities created so far in this process (oldest first)."""
+    return list(_INSTALLED)
+
+
+def drain_installed() -> list:
+    """Return and forget the process's observabilities (CLI reporting)."""
+    out = list(_INSTALLED)
+    _INSTALLED.clear()
+    return out
+
+
+class RegistryCollector:
+    """Folds instrumentation trace records into a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry, bus: TraceBus) -> None:
+        self.registry = registry
+        bus.subscribe("cpu.slice", self._on_cpu_slice)
+        bus.subscribe("sched", self._on_sched)
+        bus.subscribe("net.enqueue", self._on_net_enqueue)
+        bus.subscribe("net.demux", self._on_net_demux)
+        bus.subscribe("app.request", self._on_app_request)
+        bus.subscribe("client.complete", self._on_client_complete)
+
+    @staticmethod
+    def _principal(name: Optional[str]) -> str:
+        return name if name is not None else "<unaccounted>"
+
+    def _on_cpu_slice(self, record: TraceRecord) -> None:
+        data = record.data
+        container = self._principal(data["charge"])
+        registry = self.registry
+        registry.counter(container, "cpu", "charged_us").inc(data["amount_us"])
+        registry.counter(container, "cpu", "slices").inc()
+        if data.get("network"):
+            registry.counter(container, "cpu", "network_us").inc(
+                data["amount_us"]
+            )
+
+    def _on_sched(self, record: TraceRecord) -> None:
+        data = record.data
+        container = self._principal(data.get("container"))
+        event = record.category.rsplit(".", 1)[-1]
+        if event == "charge":
+            self.registry.counter(
+                container, "sched", f"charge_us.{data['policy']}"
+            ).inc(data["amount_us"])
+        elif event == "dispatch":
+            self.registry.counter(container, "sched", "dispatches").inc()
+            if data.get("switch_us"):
+                self.registry.counter(container, "sched", "switches").inc()
+                self.registry.counter(container, "sched", "switch_us").inc(
+                    data["switch_us"]
+                )
+        elif event == "preempt":
+            self.registry.counter(container, "sched", "preemptions").inc()
+
+    def _on_net_enqueue(self, record: TraceRecord) -> None:
+        data = record.data
+        container = self._principal(data.get("container"))
+        if data.get("dropped"):
+            self.registry.counter(container, "net", "dropped").inc()
+        else:
+            self.registry.counter(container, "net", "enqueued").inc()
+
+    def _on_net_demux(self, record: TraceRecord) -> None:
+        data = record.data
+        container = self._principal(data.get("container"))
+        name = "early_drops" if data.get("dropped") else "demuxed"
+        self.registry.counter(container, "net", name).inc()
+
+    def _on_app_request(self, record: TraceRecord) -> None:
+        data = record.data
+        if data["event"] != "end":
+            return
+        container = self._principal(data.get("container"))
+        self.registry.counter(container, "app", "requests").inc()
+
+    def _on_client_complete(self, record: TraceRecord) -> None:
+        data = record.data
+        self.registry.histogram(
+            self._principal(data.get("client")), "client", "latency_us"
+        ).observe(data["latency_us"])
+
+
+class Observability:
+    """Registry + span tracer + profiler attached to one simulation."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        keep_slices: bool = True,
+        register: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.registry = MetricsRegistry()
+        self.collector = RegistryCollector(self.registry, sim.trace)
+        self.tracer = RequestTracer(sim.trace)
+        self.profiler = SimProfiler(sim.trace, keep_slices=keep_slices)
+        if register:
+            _INSTALLED.append(self)
+
+    # ------------------------------------------------------------------
+    # Export / reporting
+    # ------------------------------------------------------------------
+
+    def export(self, outdir: "str | None" = None) -> list:
+        """Write JSONL + Chrome-trace + flamegraph + metrics exports."""
+        return write_exports(
+            self.profiler,
+            self.tracer,
+            outdir if outdir is not None else default_outdir(),
+            metrics_snapshot=self.registry.snapshot(),
+        )
+
+    def summary(self) -> str:
+        """Operator-style one-screen report."""
+        completed = self.tracer.completed_requests()
+        lines = [
+            f"observability: {self.profiler.total_us / 1e3:.1f} ms CPU "
+            f"attributed across {len(self.profiler.totals)} "
+            f"(container, subsystem, phase) triple(s); "
+            f"{len(self.tracer.spans)} span(s), "
+            f"{len(completed)} completed request(s); "
+            f"{len(self.registry)} metric(s)",
+            "",
+            self.profiler.render(),
+        ]
+        return "\n".join(lines)

@@ -60,6 +60,13 @@ class Scheduler(abc.ABC):
     #: (Fig. 12/13's sand-boxes) are enforced at this granularity.
     window_us: float = 10_000.0
 
+    #: Short policy label carried on ``sched.charge`` trace records.
+    policy_name: str = "scheduler"
+
+    #: TraceBus attached by the kernel after construction; None when the
+    #: scheduler runs untraced (stand-alone unit tests).
+    trace = None
+
     def __init__(self) -> None:
         self._entities: list[Schedulable] = []
         #: Cumulative CPU this scheduler has been told about via
@@ -72,11 +79,25 @@ class Scheduler(abc.ABC):
         self.charged_us_total = 0.0
 
     def note_charge(
-        self, container: Optional[ResourceContainer], amount_us: float
+        self,
+        container: Optional[ResourceContainer],
+        amount_us: float,
+        now: float = 0.0,
     ) -> None:
-        """Record one charge in the reconciliation counter."""
+        """Record one charge in the reconciliation counter (and, when a
+        trace bus is attached and active, publish a ``sched.charge``
+        record stamped at ``now``)."""
         if container is not None and amount_us > 0.0:
             self.charged_us_total += amount_us
+            trace = self.trace
+            if trace is not None and trace.active:
+                trace.publish(
+                    now,
+                    "sched.charge",
+                    policy=self.policy_name,
+                    container=container.name,
+                    amount_us=amount_us,
+                )
 
     # -- membership ------------------------------------------------------
 

@@ -82,6 +82,8 @@ def _push_notify(entity: Schedulable) -> bool:
 class ContainerScheduler(Scheduler):
     """Hierarchical fixed-share + time-share scheduler over containers."""
 
+    policy_name = "container"
+
     def __init__(
         self,
         root: ResourceContainer,
@@ -598,7 +600,7 @@ class ContainerScheduler(Scheduler):
     ) -> None:
         if amount_us <= 0.0 or container is None:
             return
-        self.note_charge(container, amount_us)
+        self.note_charge(container, amount_us, now)
         self._sync_epoch()
         group = self._hcache.top_level(container)
         weight = self._weights.get(group.cid)

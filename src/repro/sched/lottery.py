@@ -24,6 +24,8 @@ DEFAULT_TICKETS = 100
 class LotteryScheduler(Scheduler):
     """Randomized proportional-share scheduling by ticket counts."""
 
+    policy_name = "lottery"
+
     def __init__(self, rng: SeededRng, quantum_us: float = 1_000.0) -> None:
         super().__init__()
         self.rng = rng
@@ -78,4 +80,4 @@ class LotteryScheduler(Scheduler):
     ) -> None:
         """Lottery scheduling is memoryless; only the sanitizer's
         reconciliation counter records the charge."""
-        self.note_charge(container, amount_us)
+        self.note_charge(container, amount_us, now)

@@ -25,6 +25,8 @@ class UnixTimeshareScheduler(Scheduler):
     Decay happens lazily, per entity, whenever usage is read.
     """
 
+    policy_name = "timeshare"
+
     def __init__(
         self,
         quantum_us: float = 1_000.0,
@@ -87,7 +89,7 @@ class UnixTimeshareScheduler(Scheduler):
     ) -> None:
         if amount_us <= 0.0:
             return
-        self.note_charge(container, amount_us)
+        self.note_charge(container, amount_us, now)
         self.decayed_usage(entity, now)  # fold in pending decay first
         key = id(entity)
         if key in self._usage:

@@ -31,6 +31,10 @@ class Simulation:
             a sanitized run is byte-identical to an unsanitized one.
             The ``REPRO_SANITIZE`` environment variable enables it
             globally (kernels check both).
+        observe: ask kernels built on this simulation to attach an
+            :class:`repro.obs.Observability` (metrics registry, request
+            tracer, profiler).  Also observational; ``REPRO_TRACE``
+            enables it globally (kernels check both).
     """
 
     def __init__(
@@ -38,12 +42,16 @@ class Simulation:
         seed: int = 0,
         trace: Optional[TraceBus] = None,
         sanitize: bool = False,
+        observe: bool = False,
     ) -> None:
         self.clock = Clock()
         self.queue = EventQueue()
         self.rng = SeededRng(seed)
         self.trace = trace if trace is not None else TraceBus()
         self.sanitize = bool(sanitize)
+        self.observe = bool(observe)
+        #: Attached Observability (set by the kernel when observing).
+        self.observability = None
         self._events_dispatched = 0
         self._running = False
         self._stop_requested = False

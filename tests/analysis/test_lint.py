@@ -268,3 +268,62 @@ def test_cli_lint_fails_on_violating_tree(tmp_path):
     )
     code = lint.run_lint(root=root, baseline_path=tmp_path / "none.json")
     assert code == 1
+
+
+# ---------------------------------------------------------------------------
+# Unwaivable rules (the obs/ wall-clock ban)
+# ---------------------------------------------------------------------------
+
+WALL_CLOCK_SRC = (
+    "import time\n\ndef f():\n"
+    "    return time.time()  # det: allow[DET101]\n"
+)
+
+
+def test_obs_wall_clock_ignores_inline_pragma():
+    """Under obs/ the pragma that works everywhere else is ignored."""
+    assert lint.lint_source(WALL_CLOCK_SRC, "metrics/x.py") == []
+    violations = lint.lint_source(WALL_CLOCK_SRC, "obs/export.py")
+    assert [v.rule for v in violations] == ["DET101"]
+
+
+def test_obs_wall_clock_ignores_allowlist():
+    violations = lint.lint_source(
+        WALL_CLOCK_SRC, "obs/export.py", allowed=["DET101"]
+    )
+    assert [v.rule for v in violations] == ["DET101"]
+    # Waivable rules in obs/ still honour suppressions.
+    assert lint.lint_source(
+        "import random\n", "obs/export.py", allowed=["DET102"]
+    ) == []
+
+
+def test_obs_wall_clock_cannot_be_baselined(tmp_path):
+    """A stale baseline fingerprint must not absorb an unwaivable
+    violation, and --update-baseline refuses to record one."""
+    root = _tree(
+        tmp_path,
+        {"obs/clock.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    violations = lint.lint_tree(root=root, allowlist={})
+    baseline_path = tmp_path / "baseline.json"
+    lint.write_baseline(violations, baseline_path)  # hand-forged baseline
+    new, grandfathered = lint.split_by_baseline(
+        violations, lint.load_baseline(baseline_path)
+    )
+    assert grandfathered == []
+    assert [v.rule for v in new] == ["DET101"]
+    # The CLI update path filters it out and fails the build.
+    code = lint.run_lint(
+        update_baseline=True, root=root, baseline_path=baseline_path
+    )
+    assert code == 1
+    assert lint.load_baseline(baseline_path) == {}
+
+
+def test_unwaivable_rules_lookup():
+    assert "DET101" in lint.unwaivable_rules("obs/spans.py")
+    assert "DET101" in lint.unwaivable_rules("obs/deep/nested.py")
+    assert lint.unwaivable_rules("kernel/cpu.py") == frozenset()
+    # Only the named rules are absolute; others stay waivable.
+    assert "DET102" not in lint.unwaivable_rules("obs/spans.py")

@@ -84,3 +84,44 @@ def test_end_to_end_billing_from_live_host():
     assert report.lines
     assert report.total_billed_cpu_us() > 0
     assert any(line.connections > 0 for line in report.lines)
+
+
+def test_billing_reconciles_with_resource_usage_ledgers():
+    """The invoice total must be exactly the root's subtree CPU ledger,
+    and billed + unaccounted must re-compose the CPU accounting total.
+    This is the billing-level restatement of the charging-conservation
+    invariant the sanitizer enforces per-slice."""
+    from repro import Host, SystemMode, ip_addr
+    from repro.apps.httpserver import EventDrivenServer
+    from repro.apps.webclient import HttpClient
+    from repro.core.hierarchy import subtree_usage
+
+    host = Host(mode=SystemMode.RC, seed=73, sanitize=True)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    EventDrivenServer(host.kernel, use_containers=True).install()
+    HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c").start(at_us=2_000.0)
+    host.run(seconds=0.3)
+    accounting = host.kernel.cpu.accounting
+    report = BillingReport.generate(
+        host.kernel.containers,
+        elapsed_us=host.now,
+        unaccounted_cpu_us=accounting.unaccounted_cpu_us,
+    )
+    # Line-by-line: each invoice equals that customer's subtree ledger.
+    for line in report.lines:
+        container = next(
+            c for c in host.kernel.containers.root.children
+            if c.name == line.name
+        )
+        usage = subtree_usage(container)
+        assert line.cpu_us == usage.cpu_us
+        assert line.network_cpu_us == usage.cpu_network_us
+        assert line.packets == usage.packets_received
+        assert line.connections == usage.connections_accepted
+    # Totals: billed == root subtree; billed + unaccounted == machine.
+    assert report.total_billed_cpu_us() == (
+        subtree_usage(host.kernel.containers.root).cpu_us
+    )
+    assert report.total_billed_cpu_us() + accounting.unaccounted_cpu_us \
+        == pytest.approx(accounting.total_cpu_us, rel=1e-9)

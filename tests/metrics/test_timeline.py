@@ -83,3 +83,48 @@ def test_no_tracing_cost_when_unattached():
     recorder = TimelineRecorder(host.sim)
     assert host.sim.trace.active
     del recorder
+
+def test_unknown_principal_queries_are_benign():
+    host = Host(mode=SystemMode.RC, seed=93)
+    recorder = TimelineRecorder(host.sim, bucket_us=10_000.0)
+
+    def burn():
+        yield api.Compute(3_000.0)
+
+    host.kernel.spawn_process("burner", burn)
+    host.run(until_us=30_000.0)
+    assert recorder.share_of("no-such-principal") == 0.0
+    series = recorder.bucket_series("no-such-principal")
+    assert series and all(v == 0.0 for _, v in series)
+
+
+def test_timeline_reconciles_with_container_ledgers():
+    """Every principal's timeline total must equal the matching
+    container's *own* (non-subtree) CPU ledger, bit for bit: both fold
+    the same ``cpu.slice`` stream, so any divergence means a charge was
+    observed that was never booked (or vice versa)."""
+    host = Host(mode=SystemMode.RC, seed=93)
+    host.kernel.fs.add_file("/index.html", 1024)
+    host.kernel.fs.warm("/index.html")
+    recorder = TimelineRecorder(host.sim)
+    EventDrivenServer(host.kernel, use_containers=True).install()
+    HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c").start(at_us=2_000.0)
+    host.run(seconds=0.2)
+
+    def walk(container):
+        yield container
+        for child in container.children:
+            yield from walk(child)
+
+    by_name = {c.name: c for c in walk(host.kernel.containers.root)}
+    charged = [a for n, a in recorder.by_principal.items()
+               if n != "<unaccounted>"]
+    assert charged, "expected charged principals in a container run"
+    for activity in charged:
+        container = by_name[activity.name]
+        assert activity.total_us == container.usage.cpu_us
+        assert activity.network_us == container.usage.cpu_network_us
+    unaccounted = recorder.by_principal["<unaccounted>"]
+    assert unaccounted.total_us == (
+        host.kernel.cpu.accounting.unaccounted_cpu_us
+    )

@@ -1,0 +1,131 @@
+"""Export format correctness (JSONL, Chrome trace events, flamegraph)."""
+
+import json
+
+from repro.obs.export import (
+    REQUESTS_PID,
+    chrome_trace,
+    flamegraph_lines,
+    jsonl_lines,
+    validate_chrome_trace,
+    write_exports,
+)
+from repro.obs.profile import SimProfiler
+from repro.obs.spans import RequestTracer
+from repro.sim.tracing import TraceBus
+
+
+def _populated():
+    """A profiler + tracer fed one request's worth of records."""
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    tracer = RequestTracer(bus)
+    bus.publish(10.0, "cpu.slice", amount_us=4.0, charge="httpd",
+                kind="entity", network=False, phase="Compute",
+                entity="t1")
+    bus.publish(20.0, "cpu.slice", amount_us=2.0, charge=None,
+                kind="soft", network=True, phase="rx", entity="softirq")
+    bus.publish(100.0, "net.arrival", seq=1, kind="data", req=1,
+                client="c")
+    bus.publish(101.0, "net.enqueue", seq=1, container="httpd",
+                dropped=False)
+    bus.publish(105.0, "net.proto", seq=1, kind="data")
+    bus.publish(106.0, "app.request", event="start", req=1,
+                container="httpd", server="httpd")
+    bus.publish(120.0, "app.request", event="end", req=1,
+                container="httpd", server="httpd")
+    bus.publish(121.0, "net.tx", req=1, container="httpd", bytes=1024)
+    bus.publish(140.0, "client.complete", req=1, client="c",
+                latency_us=40.0)
+    return profiler, tracer
+
+
+def test_jsonl_lines_are_parseable_and_ordered():
+    profiler, tracer = _populated()
+    lines = jsonl_lines(profiler, tracer)
+    parsed = [json.loads(line) for line in lines]
+    kinds = [p["type"] for p in parsed]
+    # All slices first (publish order), then all spans (id order).
+    assert kinds == ["slice"] * 2 + ["span"] * len(tracer.spans)
+    span_ids = [p["span_id"] for p in parsed if p["type"] == "span"]
+    assert span_ids == sorted(span_ids)
+
+
+def test_chrome_trace_is_schema_valid():
+    profiler, tracer = _populated()
+    document = chrome_trace(profiler, tracer)
+    assert validate_chrome_trace(document) == []
+    # Survives canonical JSON round-trip.
+    assert validate_chrome_trace(json.loads(json.dumps(document))) == []
+
+
+def test_chrome_trace_structure():
+    profiler, tracer = _populated()
+    events = chrome_trace(profiler, tracer)["traceEvents"]
+    by_ph = {}
+    for event in events:
+        by_ph.setdefault(event["ph"], []).append(event)
+    # Every container got a named process, plus the requests pseudo-pid.
+    process_names = {
+        e["args"]["name"] for e in by_ph["M"]
+        if e["name"] == "process_name"
+    }
+    assert {"httpd", "<unaccounted>", "requests"} <= process_names
+    # One X event per kept slice, carrying dur.
+    assert len(by_ph["X"]) == 2
+    assert all("dur" in e for e in by_ph["X"])
+    # Async begin/end events pair up and live under the requests pid.
+    assert len(by_ph["b"]) == len(by_ph["e"])
+    assert all(e["pid"] == REQUESTS_PID for e in by_ph["b"])
+    # Children group under the root span's async id.
+    root = tracer.completed_requests()[0]
+    child_groups = {
+        e["id"] for e in by_ph["b"] if e["name"] != "request"
+    }
+    assert child_groups == {root.span_id}
+
+
+def test_validate_chrome_trace_reports_problems():
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    missing_key = {"traceEvents": [{"ph": "X", "ts": 0, "pid": 1}]}
+    problems = validate_chrome_trace(missing_key)
+    assert any("missing 'name'" in p for p in problems)
+    assert any("no dur" in p for p in problems)
+
+
+def test_flamegraph_lines_format():
+    profiler, tracer = _populated()
+    lines = flamegraph_lines(profiler)
+    assert lines == sorted(lines)
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert len(stack.split(";")) == 3
+        assert int(weight) > 0  # integer nanoseconds, zeros skipped
+    assert "httpd;app;Compute 4000" in lines
+
+
+def test_flamegraph_sanitizes_separator_and_skips_zero():
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    bus.publish(1.0, "cpu.slice", amount_us=1.0, charge="a;b",
+                kind="entity", network=False, phase="x;y", entity="t")
+    bus.publish(2.0, "cpu.slice", amount_us=0.0, charge="zero",
+                kind="entity", network=False, phase="none", entity="t")
+    lines = flamegraph_lines(profiler)
+    assert lines == ["a_b;app;x_y 1000"]
+
+
+def test_write_exports_creates_all_files(tmp_path):
+    profiler, tracer = _populated()
+    paths = write_exports(profiler, tracer, tmp_path,
+                          metrics_snapshot=[{"kind": "counter"}])
+    names = [p.name for p in paths]
+    assert names == [
+        "trace.jsonl", "trace-events.json", "flame.txt", "metrics.json"
+    ]
+    for path in paths:
+        assert path.exists()
+    document = json.loads((tmp_path / "trace-events.json").read_text())
+    assert validate_chrome_trace(document) == []
+    metrics = json.loads((tmp_path / "metrics.json").read_text())
+    assert metrics == [{"kind": "counter"}]

@@ -1,0 +1,75 @@
+"""Simulated-time profiler attribution."""
+
+from repro.obs.profile import SimProfiler, UNACCOUNTED
+from repro.sim.tracing import TraceBus
+
+
+def _slice(bus, time, amount, charge, kind="entity", network=False,
+           phase=None, entity="t1"):
+    bus.publish(time, "cpu.slice", amount_us=amount, charge=charge,
+                kind=kind, network=network, phase=phase, entity=entity)
+
+
+def test_entity_slices_split_app_and_net_subsystems():
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    _slice(bus, 10.0, 4.0, "c1", network=False, phase="Compute")
+    _slice(bus, 20.0, 6.0, "c1", network=True, phase="proto.data")
+    assert profiler.totals == {
+        ("c1", "app", "Compute"): 4.0,
+        ("c1", "net", "proto.data"): 6.0,
+    }
+    assert profiler.total_us == 10.0
+
+
+def test_interrupt_slices_get_intr_subsystem_and_unaccounted():
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    _slice(bus, 5.0, 2.0, None, kind="hard", phase="rx-intr")
+    _slice(bus, 9.0, 3.0, None, kind="soft", phase=None)
+    assert profiler.totals == {
+        (UNACCOUNTED, "intr.hard", "rx-intr"): 2.0,
+        # Phase falls back to the slice kind when unlabelled.
+        (UNACCOUNTED, "intr.soft", "soft"): 3.0,
+    }
+
+
+def test_slice_start_backdates_by_duration():
+    """cpu.slice is published when the slice ends; the stored slice
+    must start ``amount_us`` earlier so exports draw real intervals."""
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    _slice(bus, 100.0, 40.0, "c1")
+    (stored,) = profiler.slices
+    assert stored.start_us == 60.0
+    assert stored.duration_us == 40.0
+    assert stored.entity == "t1"
+
+
+def test_aggregate_only_mode_keeps_no_slices():
+    bus = TraceBus()
+    profiler = SimProfiler(bus, keep_slices=False)
+    _slice(bus, 1.0, 1.0, "c1")
+    assert profiler.slices is None
+    assert profiler.total_us == 1.0
+
+
+def test_container_queries():
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    _slice(bus, 1.0, 5.0, "a", phase="x")
+    _slice(bus, 2.0, 7.0, "a", phase="y")
+    _slice(bus, 3.0, 11.0, "b")
+    assert profiler.container_totals() == {"a": 12.0, "b": 11.0}
+    assert profiler.charged_us("a") == 12.0
+    assert profiler.charged_us("missing") == 0.0
+
+
+def test_render_lists_top_triples():
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    _slice(bus, 1.0, 9.0, "big", phase="work")
+    _slice(bus, 2.0, 1.0, "small", phase="other")
+    rendered = profiler.render(limit=1)
+    assert "big" in rendered
+    assert "(1 more)" in rendered

@@ -1,0 +1,134 @@
+"""Metrics registry semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments_and_rejects_negatives():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4.5)
+    assert counter.value == pytest.approx(5.5)
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_gauge_holds_last_value():
+    gauge = Gauge()
+    gauge.set(3.0)
+    gauge.set(-7.0)  # gauges may go negative (e.g. a drift measure)
+    assert gauge.value == -7.0
+
+
+def test_histogram_buckets_and_moments():
+    histogram = Histogram(buckets=(10.0, 100.0, 1000.0))
+    for v in (5.0, 10.0, 50.0, 5_000.0):
+        histogram.observe(v)
+    # Cumulative-style placement: value <= bound lands in that bucket.
+    assert histogram.bucket_counts == [2, 1, 0]
+    assert histogram.overflow == 1
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(5_065.0)
+    assert histogram.min == 5.0
+    assert histogram.max == 5_000.0
+    assert histogram.mean() == pytest.approx(5_065.0 / 4)
+
+
+def test_histogram_empty_mean_is_none():
+    assert Histogram().mean() is None
+
+
+def test_histogram_quantile_bucket_resolution():
+    histogram = Histogram(buckets=(10.0, 100.0, 1000.0))
+    for _ in range(99):
+        histogram.observe(50.0)
+    histogram.observe(500.0)
+    # Quantiles resolve to bucket upper bounds: coarse but monotone.
+    assert histogram.quantile(0.5) == 100.0
+    assert histogram.quantile(1.0) == 1000.0
+
+
+def test_histogram_requires_ascending_bounds():
+    with pytest.raises(ValueError):
+        Histogram(buckets=(100.0, 10.0))
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    a = registry.counter("c1", "net", "drops")
+    b = registry.counter("c1", "net", "drops")
+    assert a is b
+    assert len(registry) == 1
+
+
+def test_registry_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("c1", "net", "drops")
+    with pytest.raises(TypeError):
+        registry.gauge("c1", "net", "drops")
+    with pytest.raises(TypeError):
+        registry.histogram("c1", "net", "drops")
+
+
+def test_registry_histogram_redeclare_with_other_buckets_raises():
+    registry = MetricsRegistry()
+    registry.histogram("c1", "app", "lat", buckets=(1.0, 2.0))
+    # Same buckets: fine. Different buckets: the metric identity would
+    # silently change shape, so it is an error.
+    registry.histogram("c1", "app", "lat", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        registry.histogram("c1", "app", "lat", buckets=(1.0, 3.0))
+
+
+def test_registry_default_histogram_buckets():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("c1", "client", "latency_us")
+    assert histogram.buckets == DEFAULT_BUCKETS_US
+
+
+def test_registry_snapshot_is_sorted_and_json_safe():
+    registry = MetricsRegistry()
+    registry.counter("zeta", "net", "drops").inc(2)
+    registry.gauge("alpha", "sched", "runnable").set(3.0)
+    registry.histogram("alpha", "client", "latency_us").observe(250.0)
+    snapshot = registry.snapshot()
+    keys = [
+        (m["container"], m["subsystem"], m["name"]) for m in snapshot
+    ]
+    assert keys == sorted(keys)
+    # Round-trips through JSON without custom encoders.
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_registry_reset_drops_all_metrics():
+    """Reset models a measurement-window restart: metrics are dropped
+    wholesale and lazily re-created on next use, so warm-up samples
+    cannot leak into the measured window."""
+    registry = MetricsRegistry()
+    registry.counter("c1", "net", "drops").inc(5)
+    registry.histogram("c1", "client", "latency_us").observe(100.0)
+    registry.reset()
+    assert len(registry) == 0
+    assert registry.get("c1", "net", "drops") is None
+    fresh = registry.histogram("c1", "client", "latency_us")
+    assert fresh.count == 0
+    assert fresh.mean() is None
+
+
+def test_registry_render_mentions_metrics():
+    registry = MetricsRegistry()
+    registry.counter("c1", "net", "drops").inc(7)
+    rendered = registry.render()
+    assert "c1" in rendered
+    assert "drops" in rendered

@@ -1,0 +1,128 @@
+"""Request-span stitching from synthetic trace records."""
+
+from repro.obs.spans import RequestTracer, SPAN_CATEGORIES
+from repro.sim.tracing import TraceBus
+
+
+def _tracer():
+    bus = TraceBus()
+    return bus, RequestTracer(bus)
+
+
+def _drive_full_request(bus, req=1, seq=5, t0=100.0):
+    """Publish the record sequence of one successful request."""
+    bus.publish(t0, "net.arrival", seq=seq, kind="data", req=req,
+                client="premium")
+    bus.publish(t0 + 1.0, "net.enqueue", seq=seq, container="httpd:conn",
+                thread="knet", dropped=False)
+    bus.publish(t0 + 5.0, "net.proto", seq=seq, kind="data")
+    bus.publish(t0 + 6.0, "app.request", event="start", req=req,
+                container="httpd:class:default", server="httpd")
+    bus.publish(t0 + 20.0, "app.request", event="end", req=req,
+                container="httpd:class:default", server="httpd")
+    bus.publish(t0 + 21.0, "net.tx", req=req, container="httpd:conn",
+                bytes=1024)
+    bus.publish(t0 + 40.0, "client.complete", req=req, client="premium",
+                latency_us=40.0)
+
+
+def test_subscribes_to_every_span_category():
+    bus, _tr = _tracer()
+    for category in SPAN_CATEGORIES:
+        assert category in bus._subscribers
+
+
+def test_full_request_builds_span_tree():
+    bus, tracer = _tracer()
+    _drive_full_request(bus)
+    completed = tracer.completed_requests()
+    assert len(completed) == 1
+    root = completed[0]
+    assert root.name == "request"
+    assert root.start_us == 100.0
+    assert root.end_us == 140.0
+    assert root.attrs["latency_us"] == 40.0
+    children = tracer.children_of(root)
+    assert [c.name for c in children] == [
+        "net.protocol", "app", "net.response"
+    ]
+    proto, app, response = children
+    assert not any(c.open for c in children)
+    assert proto.container == "httpd:conn"  # set at enqueue time
+    assert app.container == "httpd:class:default"
+    assert proto.duration_us() == 5.0
+    assert app.duration_us() == 14.0
+    assert response.duration_us() == 19.0
+    # Phase costs sum below/at the root's wall time.
+    assert tracer.request_cost_us(root) <= root.duration_us()
+
+
+def test_requestless_packet_gets_standalone_span():
+    bus, tracer = _tracer()
+    bus.publish(10.0, "net.arrival", seq=1, kind="syn", req=None,
+                client=None)
+    bus.publish(13.0, "net.proto", seq=1, kind="syn")
+    assert len(tracer.spans) == 1
+    span = tracer.spans[0]
+    assert span.name == "net.packet"
+    assert span.parent_id is None
+    assert span.attrs["kind"] == "syn"
+    assert span.duration_us() == 3.0
+    assert tracer.completed_requests() == []
+
+
+def test_dropped_enqueue_closes_protocol_span():
+    bus, tracer = _tracer()
+    bus.publish(10.0, "net.arrival", seq=2, kind="data", req=7,
+                client="c")
+    bus.publish(11.0, "net.enqueue", seq=2, container="victim",
+                thread="knet", dropped=True)
+    proto = next(s for s in tracer.spans if s.name == "net.protocol")
+    assert not proto.open
+    assert proto.end_us == 11.0
+    assert proto.attrs["dropped"] is True
+    assert proto.container == "victim"
+    # The root stays open: the request never completed.
+    root = next(s for s in tracer.spans if s.name == "request")
+    assert root.open
+
+
+def test_duplicate_tx_records_open_one_response_span():
+    bus, tracer = _tracer()
+    bus.publish(1.0, "net.arrival", seq=3, kind="data", req=9, client="c")
+    bus.publish(2.0, "net.tx", req=9, container="conn", bytes=512)
+    bus.publish(3.0, "net.tx", req=9, container="conn", bytes=512)
+    responses = [s for s in tracer.spans if s.name == "net.response"]
+    assert len(responses) == 1
+    assert responses[0].start_us == 2.0  # first transmission wins
+
+
+def test_span_ids_are_sequential_and_stable():
+    bus, tracer = _tracer()
+    _drive_full_request(bus, req=1, seq=5)
+    _drive_full_request(bus, req=2, seq=6, t0=200.0)
+    assert [s.span_id for s in tracer.spans] == list(
+        range(1, len(tracer.spans) + 1)
+    )
+
+
+def test_to_dict_is_json_shaped_with_sorted_attrs():
+    bus, tracer = _tracer()
+    _drive_full_request(bus)
+    root = tracer.completed_requests()[0]
+    out = root.to_dict()
+    assert out["type"] == "span"
+    assert out["name"] == "request"
+    assert list(out["attrs"]) == sorted(out["attrs"])
+
+
+def test_unknown_correlation_ids_are_ignored():
+    bus, tracer = _tracer()
+    # Records referencing ids the tracer never saw must not raise.
+    bus.publish(1.0, "net.proto", seq=999, kind="data")
+    bus.publish(2.0, "net.enqueue", seq=999, container="x", dropped=False)
+    bus.publish(3.0, "app.request", event="end", req=999)
+    bus.publish(4.0, "client.complete", req=999, client="c",
+                latency_us=1.0)
+    bus.publish(5.0, "net.tx", req=None)
+    assert tracer.spans == []

@@ -95,6 +95,51 @@ def test_memoized_dispatch_preserves_subscription_order():
     assert order == ["prefix", "wildcard", "exact"] * 2
 
 
+def test_subscribe_during_publish_is_safe_and_takes_effect_next_publish():
+    """A handler may subscribe new handlers mid-publish.
+
+    The in-flight dispatch iterates a memoized tuple snapshot, so the
+    mutation must neither raise nor deliver the current record to the
+    new subscriber -- but the very next publish must reach it (the
+    subscribe invalidated the memo even though a publish was live).
+    """
+    bus = TraceBus()
+    late = []
+
+    def self_extending(record):
+        if not late:  # subscribe exactly once, from inside dispatch
+            bus.subscribe("net", late.append)
+            late.append(None)  # sentinel: subscription happened
+
+    bus.subscribe("net", self_extending)
+    bus.publish(1.0, "net.drop")  # triggers the mid-publish subscribe
+    assert late == [None]  # current record NOT delivered to late sub
+    bus.publish(2.0, "net.drop")
+    assert len(late) == 2  # next record IS delivered
+    assert late[1].time == 2.0
+
+
+def test_subscribe_same_category_during_publish_does_not_mutate_live_tuple():
+    """The memoized handler tuple must be a snapshot, not an alias of
+    the live subscriber list: appending to `_subscribers[key]` from a
+    handler must not grow the sequence publish() is iterating."""
+    bus = TraceBus()
+    calls = []
+
+    def handler_a(record):
+        calls.append("a")
+        # Appends to the same subscription key mid-dispatch.
+        bus.subscribe("x", lambda r: calls.append("b"))
+
+    bus.subscribe("x", handler_a)
+    bus.publish(1.0, "x")
+    # Exactly one call: handler_b must not run for the record that was
+    # in flight when it subscribed.
+    assert calls == ["a"]
+    bus.publish(2.0, "x")
+    assert calls == ["a", "a", "b"]
+
+
 def test_recording_category_match_is_memoized_and_reset():
     bus = TraceBus()
     bus.record(categories=["sched"])
