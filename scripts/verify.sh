@@ -10,6 +10,8 @@
 #   0b. trace determinism: a traced fig11 smoke run twice must export
 #      byte-identical artifacts, and the Chrome trace must be
 #      schema-valid JSON
+#   0c. disk-path trace determinism: the same gate over a traced
+#      fig_disk_isolation smoke point (exercises repro.io end-to-end)
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -50,6 +52,17 @@ if problems:
 print(f"trace determinism OK ({len(document['traceEvents'])} events, "
       "byte-identical across runs)")
 PYEOF
+
+echo "== tier-0c: disk-path trace determinism =="
+python -m repro trace fig_disk_isolation --smoke --trace-out "$TRACE_TMP/run3" >/dev/null
+python -m repro trace fig_disk_isolation --smoke --trace-out "$TRACE_TMP/run4" >/dev/null
+for artifact in trace.jsonl trace-events.json flame.txt metrics.json; do
+  cmp "$TRACE_TMP/run3/$artifact" "$TRACE_TMP/run4/$artifact" \
+    || { echo "disk trace determinism FAILED: $artifact differs"; exit 1; }
+done
+grep -q '"subsystem":"disk"' "$TRACE_TMP/run3/trace.jsonl" \
+  || { echo "disk trace FAILED: no disk slices in trace.jsonl"; exit 1; }
+echo "disk trace determinism OK (byte-identical across runs)"
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

@@ -64,6 +64,12 @@ def _run_fig14(fast: bool, jobs: int, cache: bool):
     return fig14_synflood.run(fast=fast, jobs=jobs, cache=cache)
 
 
+def _run_fig_disk(fast: bool, jobs: int, cache: bool):
+    from repro.experiments import fig_disk_isolation
+
+    return fig_disk_isolation.run(fast=fast, jobs=jobs, cache=cache)
+
+
 def _run_virtual(fast: bool, jobs: int, cache: bool):
     from repro.experiments import virtual_servers
 
@@ -157,14 +163,28 @@ def _run_trace(args) -> int:
         # every point must execute in *this* process so the hosts it
         # builds register their observabilities where we can drain them.
         if args.smoke:
-            if target != "fig11":
-                print("trace: --smoke supports only fig11", file=sys.stderr)
-                return 2
-            from repro.experiments import fig11_priority
+            if target == "fig11":
+                from repro.experiments import fig11_priority
 
-            print("== traced smoke point: fig11 (select, n_low=5) ==")
-            value = fig11_priority.run_traced()
-            print(f"mean Thigh: {value:.3f} ms")
+                print("== traced smoke point: fig11 (select, n_low=5) ==")
+                value = fig11_priority.run_traced()
+                print(f"mean Thigh: {value:.3f} ms")
+            elif target == "fig_disk_isolation":
+                from repro.experiments import fig_disk_isolation
+
+                print(
+                    "== traced smoke point: fig_disk_isolation "
+                    "(wfq, n_antag=4) =="
+                )
+                value = fig_disk_isolation.run_traced()
+                print(f"mean premium latency: {value:.3f} ms")
+            else:
+                print(
+                    "trace: --smoke supports only fig11 and "
+                    "fig_disk_isolation",
+                    file=sys.stderr,
+                )
+                return 2
         else:
             print(f"== traced run: {description} ==")
             result = runner(fast=not args.full, jobs=1, cache=False)
@@ -269,6 +289,9 @@ EXPERIMENTS = {
     "fig11": ("Figure 11: prioritised clients", _run_fig11),
     "fig12": ("Figures 12+13: CGI sandboxing", _run_fig12),
     "fig14": ("Figure 14: SYN-flood resilience", _run_fig14),
+    "fig_disk_isolation": (
+        "Disk-bandwidth isolation (FIFO vs. weighted-fair)", _run_fig_disk
+    ),
     "virtual": ("Section 5.8: virtual servers", _run_virtual),
     "ablations": ("Design-choice ablations", _run_ablations),
 }
@@ -311,8 +334,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="with 'trace fig11': trace one tiny point instead of the "
-        "whole figure grid (the determinism verify gate uses this)",
+        help="with 'trace fig11' / 'trace fig_disk_isolation': trace one "
+        "tiny point instead of the whole figure grid (the determinism "
+        "verify gates use this)",
     )
     parser.add_argument(
         "--update-baseline",

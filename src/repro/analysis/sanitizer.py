@@ -131,6 +131,13 @@ class ChargingSanitizer:
         #: CPU totals of containers destroyed after install.
         self._destroyed_cpu_us = 0.0
         self._destroyed_count = 0
+        # Disk mirrors: every completed request's service time, split by
+        # whether it had a charging container (see on_disk_request).
+        self.disk_requests_checked = 0
+        self._disk_service_us = 0.0
+        self._disk_charged_us = 0.0
+        self._disk_unaccounted_us = 0.0
+        self._destroyed_disk_us = 0.0
         # Baselines: a sanitizer may be installed on a warm kernel.
         acct = kernel.cpu.accounting
         self._base_total = acct.total_cpu_us
@@ -140,20 +147,30 @@ class ChargingSanitizer:
         self._base_sched_charged = getattr(
             kernel.scheduler, "charged_us_total", None
         )
+        disk = getattr(kernel, "disk", None)
+        self._base_disk_busy = disk.busy_us if disk is not None else 0.0
+        self._base_disk_unaccounted = (
+            disk.unaccounted_us if disk is not None else 0.0
+        )
+        self._base_disk_ledger = self._live_ledger_disk_us()
 
     # ------------------------------------------------------------------
     # Installation
     # ------------------------------------------------------------------
 
     def install(self) -> "ChargingSanitizer":
-        """Attach to the kernel's dispatcher and container manager."""
+        """Attach to the kernel's dispatcher, disk, and container manager."""
         self.kernel.cpu.sanitizer = self
+        disk = getattr(self.kernel, "disk", None)
+        if disk is not None:
+            disk.sanitizer = self
         self.kernel.containers.on_destroy.append(self._on_destroy)
         _INSTALLED.append(self)
         return self
 
     def _on_destroy(self, container: ResourceContainer) -> None:
         self._destroyed_cpu_us += container.usage.cpu_us
+        self._destroyed_disk_us += container.usage.disk_us
         self._destroyed_count += 1
 
     # ------------------------------------------------------------------
@@ -229,6 +246,66 @@ class ChargingSanitizer:
         if self.sweep_every and self.slices_checked % self.sweep_every == 0:
             self.sweep()
 
+    def on_disk_request(self, device, request) -> None:
+        """Called by ``DiskDevice._complete`` after it charged one request.
+
+        Mirrors service time per principal and reconciles against the
+        device's busy counter, exactly as ``on_slice`` does for CPU: the
+        device's completion path is the disk's single accounting choke
+        point.
+        """
+        self.disk_requests_checked += 1
+        charge = request.container
+        context = (
+            ("device", device.name),
+            ("rid", request.rid),
+            ("path", request.path),
+            ("container", charge.name if charge is not None else None),
+            ("service_us", round(request.service_us, 6)),
+        )
+        if request.service_us < -EPS:
+            self._violate(
+                "negative-disk-service",
+                f"request serviced for a negative time ({request.service_us})",
+                *context,
+            )
+        expected_service = device.service_time_us(request.size_bytes)
+        if abs(request.service_us - expected_service) > _tol(expected_service):
+            self._violate(
+                "disk-service-model",
+                f"service {request.service_us:.6f}us does not match the "
+                f"device model's {expected_service:.6f}us for "
+                f"{request.size_bytes} bytes",
+                *context,
+            )
+        if request.start_us is not None and request.complete_us is not None:
+            occupancy = request.complete_us - request.start_us
+            if abs(occupancy - request.service_us) > _tol(occupancy):
+                self._violate(
+                    "disk-occupancy",
+                    f"request occupied the device for {occupancy:.6f}us but "
+                    f"charged {request.service_us:.6f}us",
+                    *context,
+                )
+        if charge is not None and charge.state is ContainerState.DESTROYED:
+            self._violate(
+                "dead-container-disk-charge",
+                f"disk charge landed on destroyed container {charge.name!r}",
+                *context,
+            )
+        # Mirror the booking and reconcile the device counters.
+        self._disk_service_us += request.service_us
+        if charge is None:
+            self._disk_unaccounted_us += request.service_us
+        else:
+            self._disk_charged_us += request.service_us
+        self._compare("disk-busy", device.busy_us,
+                      self._base_disk_busy + self._disk_service_us, context)
+        self._compare(
+            "disk-unaccounted", device.unaccounted_us,
+            self._base_disk_unaccounted + self._disk_unaccounted_us, context,
+        )
+
     def _compare(
         self, check: str, actual: float, expected: float, context=()
     ) -> None:
@@ -247,6 +324,11 @@ class ChargingSanitizer:
     def _live_ledger_cpu_us(self) -> float:
         return sum(
             c.usage.cpu_us for c in self.kernel.containers.all_containers()
+        )
+
+    def _live_ledger_disk_us(self) -> float:
+        return sum(
+            c.usage.disk_us for c in self.kernel.containers.all_containers()
         )
 
     def sweep(self) -> None:
@@ -293,6 +375,29 @@ class ChargingSanitizer:
                 f"capacity {capacity:.6f}us "
                 f"({self.kernel.cpu.n_cpus} core(s))",
             )
+        # Disk conservation: what the disk_us ledgers hold is what they
+        # held at install plus every charged completion we mirrored, and
+        # the device's busy split re-composes from the same mirrors.
+        disk = getattr(self.kernel, "disk", None)
+        if disk is not None:
+            self._compare(
+                "disk-ledger-conservation",
+                self._live_ledger_disk_us() + self._destroyed_disk_us,
+                self._base_disk_ledger + self._disk_charged_us,
+                (("requests", self.disk_requests_checked),),
+            )
+            self._compare(
+                "disk-busy-split",
+                self._disk_charged_us + self._disk_unaccounted_us,
+                self._disk_service_us,
+            )
+            # A single device cannot be busy longer than elapsed time.
+            if disk.busy_us > now + _tol(now):
+                self._violate(
+                    "overcommitted-disk",
+                    f"device busy {disk.busy_us:.6f}us exceeds elapsed "
+                    f"time {now:.6f}us",
+                )
 
     def finish(self) -> list[Violation]:
         """End-of-run reconcile; returns all collected violations.
@@ -331,5 +436,7 @@ class ChargingSanitizer:
             f"({self._charged_entity_us:.1f} entity-charged, "
             f"{self._charged_interrupt_us:.1f} interrupt-charged, "
             f"{self._unaccounted_us:.1f} unaccounted), "
+            f"{self.disk_requests_checked} disk requests "
+            f"({self._disk_service_us:.1f}us service), "
             f"{self._destroyed_count} containers destroyed"
         )

@@ -22,6 +22,9 @@ class ListenSpec:
     name: str
     addr_filter: Optional[AddrFilter] = None
     priority: int = DEFAULT_PRIORITY
+    #: Time-share weight of the class container (CPU stride *and* the
+    #: weighted-fair disk scheduler read it from the same attribute).
+    weight: float = 1.0
     backlog: int = 1024
     notify_syn_drop: bool = False
 

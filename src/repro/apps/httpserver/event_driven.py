@@ -78,6 +78,13 @@ class EventDrivenServer:
         self._default_cfd: Optional[int] = None
         self._parent_cfd: Optional[int] = None
         self._evq_fd: Optional[int] = None
+        #: (path, class container fd) -> open file descriptor.  Static
+        #: files are served through per-class container-bound file
+        #: handles, so kernel file work (CPU copy-out and, on a miss,
+        #: the disk request) is charged to the class container even if
+        #: the serving thread is bound elsewhere -- the "file half" of
+        #: section 4.7's per-operation descriptor binding.
+        self._file_fds: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     # Installation
@@ -121,7 +128,9 @@ class EventDrivenServer:
         if self.use_containers:
             cfd = yield api.ContainerCreate(
                 f"{self.name}:class:{spec.name}",
-                attrs=timeshare_attrs(priority=spec.priority),
+                attrs=timeshare_attrs(
+                    priority=spec.priority, weight=spec.weight
+                ),
                 parent_fd=self._parent_cfd,
             )
             yield api.ContainerBindSocket(fd, cfd)
@@ -239,7 +248,8 @@ class EventDrivenServer:
 
     def _serve_static(self, fd: int, info: ConnInfo, message: HttpRequest):
         try:
-            size = yield api.ReadFile(message.path)
+            ffd = yield from self._file_fd(info, message.path)
+            size = yield api.FdReadFile(ffd)
         except KernelError:
             yield from self._close_conn(fd)
             return
@@ -249,6 +259,23 @@ class EventDrivenServer:
         self.stats.count_static(self.kernel.sim.now)
         if not message.persistent:
             yield from self._close_conn(fd)
+
+    def _file_fd(self, info: ConnInfo, path: str):
+        """Open (once) and return the class-bound descriptor for ``path``.
+
+        Binding the descriptor to the class container (section 4.7)
+        means every read through it -- including the asynchronous disk
+        phase on a cache miss -- is charged to the class regardless of
+        the serving thread's binding at that instant.
+        """
+        key = (path, info.container_fd)
+        ffd = self._file_fds.get(key)
+        if ffd is None:
+            ffd = yield api.OpenFile(path)
+            if self.use_containers and info.container_fd is not None:
+                yield api.ContainerBindSocket(ffd, info.container_fd)
+            self._file_fds[key] = ffd
+        return ffd
 
     def _class_container_name(self, info: ConnInfo) -> Optional[str]:
         """Name of the class container this connection is charged to

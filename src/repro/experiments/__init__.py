@@ -11,6 +11,7 @@ everything (used by ``examples`` and the EXPERIMENTS.md refresh).
 | fig11_priority          | Fig. 11: prioritised client response time   |
 | fig12_cgi               | Figs. 12+13: CGI throughput and CPU share   |
 | fig14_synflood          | Fig. 14: SYN-flood resilience               |
+| fig_disk_isolation      | Disk-bandwidth isolation (FIFO vs. WFQ)     |
 | virtual_servers         | Section 5.8: guest-server isolation         |
 | ablations               | DESIGN.md's design-choice ablations         |
 """
@@ -21,6 +22,7 @@ from repro.experiments import (
     fig11_priority,
     fig12_cgi,
     fig14_synflood,
+    fig_disk_isolation,
     sweep,
     table1_primitives,
     virtual_servers,
@@ -32,6 +34,7 @@ __all__ = [
     "fig11_priority",
     "fig12_cgi",
     "fig14_synflood",
+    "fig_disk_isolation",
     "run_all",
     "sweep",
     "table1_primitives",
@@ -52,5 +55,6 @@ def run_all(fast: bool = True, jobs: int = 1, cache: bool = True) -> dict:
         "fig11": fig11_priority.run(fast=fast, jobs=jobs, cache=cache),
         "fig12_13": fig12_cgi.run(fast=fast, jobs=jobs, cache=cache),
         "fig14": fig14_synflood.run(fast=fast, jobs=jobs, cache=cache),
+        "fig_disk": fig_disk_isolation.run(fast=fast, jobs=jobs, cache=cache),
         "virtual_servers": virtual_servers.run(fast=fast, jobs=jobs, cache=cache),
     }

@@ -1,12 +1,29 @@
-"""Files and the buffer cache."""
+"""Files and the buffer cache.
+
+The buffer cache is container-aware: resident bytes are charged to the
+container whose read faulted them in, through the kernel's
+:class:`repro.mem.physmem.MemoryAccountant` (kind ``"buffer_cache"``),
+and evictions uncharge the owning container.  This is the paper's
+section 6.2 point that kernel memory consumed on behalf of an
+application belongs on that application's ledger.
+
+Reads no longer pay a flat miss penalty in CPU: the CPU side of a read
+(:meth:`FileSystem.read_cpu_cost`) is the same for hits and misses, and
+on a miss the syscall layer submits a request to the simulated disk
+(:mod:`repro.io`) and blocks the reading thread until completion.
+"""
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.kernel.costs import CostModel
 from repro.kernel.errors import KernelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.container import ResourceContainer
+    from repro.mem.physmem import MemoryAccountant
 
 
 class FileNotFoundError_(KernelError):
@@ -14,41 +31,111 @@ class FileNotFoundError_(KernelError):
 
 
 class BufferCache:
-    """LRU cache of file contents, tracked by byte size."""
+    """LRU cache of file contents, tracked by byte size and owner.
 
-    def __init__(self, capacity_bytes: int = 32 * 1024 * 1024) -> None:
+    Each resident entry remembers the container whose read brought it
+    in; insertion charges that container's memory ledger through the
+    attached accountant, eviction uncharges it.  If the owner has since
+    been destroyed the uncharge falls back to the system pool only (the
+    dead container's frozen ledger keeps the bytes — acceptable, ledgers
+    stop at death).  When no accountant is attached (unit tests, or
+    standalone caches) charging is skipped entirely.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 32 * 1024 * 1024,
+        accountant: "Optional[MemoryAccountant]" = None,
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
-        self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self.accountant = accountant
+        #: path -> (size_bytes, charged owner container or None).
+        self._resident: "OrderedDict[str, tuple[int, Optional[ResourceContainer]]]" = (
+            OrderedDict()
+        )
         self.used_bytes = 0
         self.hits = 0
         self.misses = 0
 
-    def access(self, path: str, size_bytes: int) -> bool:
-        """Touch ``path``; returns True on a cache hit.
-
-        On a miss the file is brought in, evicting least-recently-used
-        entries as needed.  Files larger than the whole cache are never
-        cached (they stream through).
-        """
+    def lookup(self, path: str) -> bool:
+        """Touch ``path``; returns True on a cache hit (counts the miss)."""
         if path in self._resident:
             self._resident.move_to_end(path)
             self.hits += 1
             return True
         self.misses += 1
+        return False
+
+    def insert(
+        self,
+        path: str,
+        size_bytes: int,
+        owner: "Optional[ResourceContainer]" = None,
+    ) -> bool:
+        """Bring ``path`` into the cache on behalf of ``owner``.
+
+        Evicts least-recently-used entries as needed.  Files larger than
+        the whole cache are never cached (they stream through), and an
+        owner whose memory limit refuses the charge does not get its
+        file cached either.  Returns True if the file is resident after
+        the call.
+        """
+        if path in self._resident:
+            return True
         if size_bytes > self.capacity_bytes:
             return False
         while self.used_bytes + size_bytes > self.capacity_bytes:
-            _evicted, evicted_size = self._resident.popitem(last=False)
-            self.used_bytes -= evicted_size
-        self._resident[path] = size_bytes
+            self._evict_lru()
+        if self.accountant is not None:
+            if not self.accountant.try_charge(
+                self._live(owner), size_bytes, kind="buffer_cache"
+            ):
+                return False
+        self._resident[path] = (size_bytes, owner)
         self.used_bytes += size_bytes
+        return True
+
+    def access(
+        self,
+        path: str,
+        size_bytes: int,
+        owner: "Optional[ResourceContainer]" = None,
+    ) -> bool:
+        """Lookup-then-insert; returns True on a cache hit.
+
+        The synchronous form used by ``warm`` and by callers that model
+        no disk phase.
+        """
+        if self.lookup(path):
+            return True
+        self.insert(path, size_bytes, owner)
         return False
+
+    def _evict_lru(self) -> None:
+        path, (size_bytes, owner) = self._resident.popitem(last=False)
+        self.used_bytes -= size_bytes
+        if self.accountant is not None:
+            self.accountant.uncharge(
+                self._live(owner), size_bytes, kind="buffer_cache"
+            )
+
+    @staticmethod
+    def _live(
+        owner: "Optional[ResourceContainer]",
+    ) -> "Optional[ResourceContainer]":
+        """The owner if it can still be (un)charged, else the system pool."""
+        return owner if owner is not None and owner.alive else None
 
     def resident(self, path: str) -> bool:
         """True if the path is currently cached (no LRU touch)."""
         return path in self._resident
+
+    def owner_of(self, path: str) -> "Optional[ResourceContainer]":
+        """The container charged for a resident path (no LRU touch)."""
+        entry = self._resident.get(path)
+        return entry[1] if entry is not None else None
 
 
 class FileSystem:
@@ -81,19 +168,21 @@ class FileSystem:
         return path in self._files
 
     def warm(self, path: str) -> None:
-        """Pull a file into the cache without charging read costs."""
+        """Pull a file into the cache without charging read costs.
+
+        Warmed bytes are owned by the system pool (no container),
+        mirroring a kernel prefetch done before any principal asked.
+        """
         self.cache.access(path, self.size_of(path))
 
-    def read_cost(self, path: str) -> tuple[float, int, bool]:
-        """CPU cost of reading a whole file now.
+    def read_cpu_cost(self, path: str) -> float:
+        """CPU cost of reading a whole file: lookup plus copy-out.
 
-        Returns (cost_us, size_bytes, was_hit) and performs the cache
-        access (so repeated reads of a hot file are hits).
+        Identical for hits and misses — the miss's extra latency is
+        *device* time, modeled by blocking the reader on the disk
+        (:mod:`repro.io`), not by burning CPU.
         """
         size = self.size_of(path)
-        hit = self.cache.access(path, size)
-        cost = self.costs.fs_cached_read
-        cost += self.costs.fs_copy_per_kb * (size / 1024.0)
-        if not hit:
-            cost += self.costs.fs_miss_penalty
-        return cost, size, hit
+        return self.costs.fs_cached_read + self.costs.fs_copy_per_kb * (
+            size / 1024.0
+        )

@@ -1,0 +1,34 @@
+"""Per-container disk I/O.
+
+The paper argues the resource container is the correct principal for
+*all* kernel resource consumption, not just CPU (sections 4.1 and 6.4:
+"the resource container mechanism generalizes to other resources").
+This package supplies the disk half of that claim: a discrete-event
+:class:`DiskDevice` (seek + per-KB transfer, one request in service at a
+time) fronted by a pluggable :class:`IOScheduler` that dispatches queued
+requests *by resource container* — FIFO as the baseline, and a
+stride/virtual-time weighted-fair scheduler mirroring the CPU
+scheduler's machinery.
+
+Service time and bytes are charged to the owning container's
+``disk_us`` / ``disk_bytes`` ledger dimensions at completion, conserved
+against the device's busy time, and reconciled by the charging
+sanitizer (``repro.analysis.sanitizer``).
+"""
+
+from repro.io.device import DiskDevice, DiskRequest
+from repro.io.scheduler import (
+    FifoIOScheduler,
+    IOScheduler,
+    WeightedFairIOScheduler,
+    make_io_scheduler,
+)
+
+__all__ = [
+    "DiskDevice",
+    "DiskRequest",
+    "FifoIOScheduler",
+    "IOScheduler",
+    "WeightedFairIOScheduler",
+    "make_io_scheduler",
+]

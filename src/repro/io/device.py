@@ -1,0 +1,235 @@
+"""A simulated disk: one request in service, completion events, charging.
+
+The device is deliberately simple — the paper's argument needs a
+*contended, schedulable* resource, not an accurate drive model.  Service
+time for a request of ``n`` bytes is::
+
+    disk_seek_us + disk_transfer_per_kb_us * (n / 1024)
+
+(costs from :class:`repro.kernel.costs.CostModel`).  Exactly one request
+occupies the device at a time; everything else waits in the attached
+:class:`repro.io.scheduler.IOScheduler`.  When a request completes the
+device:
+
+1. charges ``service_us`` / ``size_bytes`` to the owning container's
+   ``disk_us`` / ``disk_bytes`` ledger (leaf-only, like CPU — ancestors
+   see it through ``subtree_usage``), accumulating unowned service in
+   ``unaccounted_us``;
+2. lets the scheduler account the service (stride pass advance);
+3. notifies the charging sanitizer (if installed) so per-request service
+   is mirrored against device busy time and the container ledgers;
+4. runs the submitter's completion callback (the kernel inserts the
+   block into the buffer cache and wakes the request's wait queue);
+5. dispatches the next request.
+
+Requests each carry a private :class:`WaitQueue`; the syscall layer
+parks the reading thread there, so thread death while blocked simply
+deregisters the waiter and the completion wakes nobody.
+
+Conservation invariant (checked by the sanitizer): the sum of completed
+requests' ``service_us`` equals ``busy_us`` equals the sum over
+containers of ``disk_us`` charges plus ``unaccounted_us``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.io.scheduler import FifoIOScheduler, IOScheduler
+from repro.kernel.waitq import WaitQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.container import ResourceContainer
+    from repro.kernel.costs import CostModel
+    from repro.sim.engine import Simulation
+
+
+class DiskRequest:
+    """One read request's life on the device."""
+
+    __slots__ = (
+        "rid",
+        "seq",
+        "path",
+        "size_bytes",
+        "container",
+        "on_complete",
+        "waiters",
+        "submit_us",
+        "start_us",
+        "complete_us",
+        "service_us",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        path: str,
+        size_bytes: int,
+        container: "Optional[ResourceContainer]",
+        on_complete: "Optional[Callable[[DiskRequest], None]]",
+        submit_us: float,
+    ) -> None:
+        self.rid = rid
+        self.seq = rid  # arrival sequence == rid (single submit point)
+        self.path = path
+        self.size_bytes = size_bytes
+        self.container = container
+        self.on_complete = on_complete
+        self.waiters = WaitQueue(f"disk:{rid}")
+        self.submit_us = submit_us
+        self.start_us: Optional[float] = None
+        self.complete_us: Optional[float] = None
+        self.service_us = 0.0
+
+    @property
+    def wait_us(self) -> float:
+        """Queueing delay: submit to start of service."""
+        if self.start_us is None:
+            return 0.0
+        return self.start_us - self.submit_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = self.container.name if self.container is not None else None
+        return (
+            f"DiskRequest(rid={self.rid}, path={self.path!r}, "
+            f"bytes={self.size_bytes}, container={owner!r})"
+        )
+
+
+class DiskDevice:
+    """The simulated block device (see module docstring)."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        costs: "CostModel",
+        scheduler: Optional[IOScheduler] = None,
+        name: str = "disk0",
+    ) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.scheduler = scheduler if scheduler is not None else FifoIOScheduler()
+        self.name = name
+        #: Total time the device spent servicing completed requests.
+        self.busy_us = 0.0
+        #: Service time of completed requests with no charging container.
+        self.unaccounted_us = 0.0
+        self.total_bytes = 0
+        self.requests_submitted = 0
+        self.requests_completed = 0
+        #: Installed by the charging sanitizer (mirrors each completion).
+        self.sanitizer = None
+        self._next_rid = 1
+        self._current: Optional[DiskRequest] = None
+
+    @property
+    def current(self) -> Optional[DiskRequest]:
+        """The request in service, if any."""
+        return self._current
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting in the scheduler (excludes the one in service)."""
+        return len(self.scheduler)
+
+    def service_time_us(self, size_bytes: int) -> float:
+        """Seek plus transfer time for a request of ``size_bytes``."""
+        return (
+            self.costs.disk_seek_us
+            + self.costs.disk_transfer_per_kb_us * (size_bytes / 1024.0)
+        )
+
+    def submit(
+        self,
+        path: str,
+        size_bytes: int,
+        container: "Optional[ResourceContainer]",
+        on_complete: "Optional[Callable[[DiskRequest], None]]" = None,
+    ) -> DiskRequest:
+        """Queue a read; starts service immediately if the device is idle."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        now = self.sim.now
+        request = DiskRequest(
+            rid=self._next_rid,
+            path=path,
+            size_bytes=size_bytes,
+            container=container,
+            on_complete=on_complete,
+            submit_us=now,
+        )
+        # Service time is a pure function of size, so it is known at
+        # submission; the fair scheduler orders by virtual *finish* tag,
+        # which needs it before dispatch.
+        request.service_us = self.service_time_us(size_bytes)
+        self._next_rid += 1
+        self.requests_submitted += 1
+        self.scheduler.add(request, now)
+        trace = self.sim.trace
+        if trace.active:
+            trace.publish(
+                now,
+                "disk.request",
+                event="submit",
+                rid=request.rid,
+                device=self.name,
+                path=path,
+                bytes=size_bytes,
+                container=container.name if container is not None else None,
+            )
+        if self._current is None:
+            self._start_next()
+        return request
+
+    def _start_next(self) -> None:
+        now = self.sim.now
+        request = self.scheduler.pop(now)
+        if request is None:
+            return
+        self._current = request
+        request.start_us = now
+        trace = self.sim.trace
+        if trace.active:
+            trace.publish(
+                now,
+                "disk.request",
+                event="start",
+                rid=request.rid,
+                device=self.name,
+                wait_us=request.wait_us,
+            )
+        self.sim.after(request.service_us, self._complete, request)
+
+    def _complete(self, request: DiskRequest) -> None:
+        now = self.sim.now
+        request.complete_us = now
+        self._current = None
+        self.busy_us += request.service_us
+        self.total_bytes += request.size_bytes
+        self.requests_completed += 1
+        container = request.container
+        if container is not None:
+            container.usage.charge_disk(request.service_us, request.size_bytes)
+        else:
+            self.unaccounted_us += request.service_us
+        self.scheduler.charge(request, now)
+        if self.sanitizer is not None:
+            self.sanitizer.on_disk_request(self, request)
+        trace = self.sim.trace
+        if trace.active:
+            trace.publish(
+                now,
+                "disk.request",
+                event="complete",
+                rid=request.rid,
+                device=self.name,
+                path=request.path,
+                bytes=request.size_bytes,
+                container=container.name if container is not None else None,
+                service_us=request.service_us,
+                wait_us=request.wait_us,
+            )
+        if request.on_complete is not None:
+            request.on_complete(request)
+        self._start_next()

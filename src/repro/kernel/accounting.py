@@ -29,6 +29,11 @@ class ResourceUsage:
     cpu_syscall_us: float = 0.0
     memory_bytes: int = 0
     memory_peak_bytes: int = 0
+    #: Disk service time consumed by this principal's read requests
+    #: (seek + transfer on the simulated device, charged at completion).
+    disk_us: float = 0.0
+    #: Bytes read from the simulated disk (cache misses only).
+    disk_bytes: int = 0
     packets_received: int = 0
     packets_dropped: int = 0
     syscalls: int = 0
@@ -44,6 +49,15 @@ class ResourceUsage:
             self.cpu_network_us += amount_us
         if syscall:
             self.cpu_syscall_us += amount_us
+
+    def charge_disk(self, service_us: float, size_bytes: int) -> None:
+        """Add disk service time and bytes; charged at request completion."""
+        if service_us < 0:
+            raise ValueError(f"negative disk charge: {service_us}")
+        if size_bytes < 0:
+            raise ValueError(f"negative disk byte charge: {size_bytes}")
+        self.disk_us += service_us
+        self.disk_bytes += size_bytes
 
     def charge_memory(self, delta_bytes: int) -> None:
         """Adjust memory consumption (may be negative on free)."""
@@ -65,7 +79,7 @@ class ResourceUsage:
         stock as well as the flow.
         """
         problems = []
-        for name in ("cpu_us", "cpu_network_us", "cpu_syscall_us"):
+        for name in ("cpu_us", "cpu_network_us", "cpu_syscall_us", "disk_us"):
             if getattr(self, name) < 0:
                 problems.append(f"{name} is negative ({getattr(self, name)})")
         if self.memory_bytes < 0:
@@ -82,8 +96,8 @@ class ResourceUsage:
                 f"sub-ledgers exceed total: network+syscall={subset} "
                 f"> cpu_us={self.cpu_us}"
             )
-        for name in ("packets_received", "packets_dropped", "syscalls",
-                     "connections_accepted"):
+        for name in ("disk_bytes", "packets_received", "packets_dropped",
+                     "syscalls", "connections_accepted"):
             if getattr(self, name) < 0:
                 problems.append(f"{name} is negative ({getattr(self, name)})")
         return problems
@@ -96,6 +110,8 @@ class ResourceUsage:
             cpu_syscall_us=self.cpu_syscall_us,
             memory_bytes=self.memory_bytes,
             memory_peak_bytes=self.memory_peak_bytes,
+            disk_us=self.disk_us,
+            disk_bytes=self.disk_bytes,
             packets_received=self.packets_received,
             packets_dropped=self.packets_dropped,
             syscalls=self.syscalls,
@@ -110,6 +126,8 @@ class ResourceUsage:
             cpu_syscall_us=self.cpu_syscall_us + other.cpu_syscall_us,
             memory_bytes=self.memory_bytes + other.memory_bytes,
             memory_peak_bytes=self.memory_peak_bytes + other.memory_peak_bytes,
+            disk_us=self.disk_us + other.disk_us,
+            disk_bytes=self.disk_bytes + other.disk_bytes,
             packets_received=self.packets_received + other.packets_received,
             packets_dropped=self.packets_dropped + other.packets_dropped,
             syscalls=self.syscalls + other.syscalls,

@@ -123,9 +123,14 @@ class CostModel:
     fs_cached_read: float = 5.0
     #: Per-KB cost of copying file data out of the cache.
     fs_copy_per_kb: float = 5.0
-    #: Cache miss penalty (simulated disk, used by cache tests only; all
-    #: paper experiments run fully cached).
-    fs_miss_penalty: float = 4000.0
+
+    # -- disk (repro.io) ---------------------------------------------------
+    #: Fixed per-request positioning cost on the simulated disk.  A cache
+    #: miss no longer burns CPU: the reading thread blocks while the
+    #: device seeks and transfers, so CPU and disk genuinely overlap.
+    disk_seek_us: float = 1000.0
+    #: Per-KB transfer time off the platter into the buffer cache.
+    disk_transfer_per_kb_us: float = 50.0
 
     # -- application (user-mode) work ---------------------------------------
     #: Parse an HTTP request and prepare the response headers.

@@ -28,7 +28,8 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.core.attributes import ContainerAttributes, timeshare_attrs
 from repro.core.container import ResourceContainer
 from repro.core.operations import ContainerManager
-from repro.fs.filesystem import FileSystem
+from repro.fs.filesystem import BufferCache, FileSystem
+from repro.io import DiskDevice, make_io_scheduler
 from repro.kernel.costs import CostModel, DEFAULT_COSTS
 from repro.kernel.cpu import CPU, InterruptJob
 from repro.kernel.process import Process, Thread, ThreadBody, ThreadState
@@ -97,6 +98,12 @@ class KernelConfig:
     #: Optional scheduler override: callable(kernel) -> Scheduler.  Used
     #: by the scheduler-policy ablation benchmarks (lottery, decay-usage).
     scheduler_factory: Optional[Callable] = None
+    #: Disk queueing discipline: "fifo" (arrival order, principal-blind)
+    #: or "wfq" (container-weighted fair queueing; see repro.io).
+    io_scheduler: str = "fifo"
+    #: Buffer-cache capacity override, bytes (None = BufferCache default).
+    #: Experiments shrink this to force reads onto the disk.
+    buffer_cache_bytes: Optional[int] = None
 
     @property
     def container_api_enabled(self) -> bool:
@@ -130,7 +137,18 @@ class Kernel:
         self.stack = TcpStack(self, wire_delay_us=self.config.wire_delay_us)
         self.containers.on_destroy.append(self.stack.shaper.forget)
         self.memory = MemoryAccountant()
-        self.fs = FileSystem(costs)
+        cache_bytes = self.config.buffer_cache_bytes
+        self.fs = FileSystem(
+            costs,
+            cache=(
+                BufferCache(capacity_bytes=cache_bytes, accountant=self.memory)
+                if cache_bytes is not None
+                else BufferCache(accountant=self.memory)
+            ),
+        )
+        self.disk = DiskDevice(
+            sim, costs, scheduler=make_io_scheduler(self.config.io_scheduler)
+        )
         self.executor = SyscallExecutor(self)
         self.processes: dict[int, Process] = {}
         self.net_threads: dict[int, KernelNetThread] = {}
@@ -382,6 +400,23 @@ class Kernel:
     def wake(self, thread: Thread, tag: object = None) -> None:
         """Wake a blocked thread (wait-queue callback target)."""
         self.executor.wake(thread, tag)
+
+    # ------------------------------------------------------------------
+    # Disk completion path
+    # ------------------------------------------------------------------
+
+    def disk_read_complete(self, request) -> None:
+        """A disk read finished: populate the cache, wake the readers.
+
+        The block becomes resident on behalf of the request's charging
+        container (which pays for the bytes through the memory
+        accountant), then every thread parked on the request's wait
+        queue resumes.
+        """
+        self.fs.cache.insert(
+            request.path, request.size_bytes, owner=request.container
+        )
+        request.waiters.wake_all(self.wake, "disk")
 
     # ------------------------------------------------------------------
     # Network input path

@@ -190,14 +190,14 @@ class SyscallExecutor:
         if isinstance(op, api.PipeRead):
             return costs.syscall_read
         if isinstance(op, api.ReadFile):
-            cost, _size, _hit = self.kernel.fs.read_cost(op.path)
-            return cost
+            # CPU side only (lookup + copy-out); a miss's extra latency
+            # is disk time, spent blocked, not CPU (see execute()).
+            return self.kernel.fs.read_cpu_cost(op.path)
         if isinstance(op, api.OpenFile):
             return costs.syscall_bind
         if isinstance(op, api.FdReadFile):
             entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.FILE)
-            cost, _size, _hit = self.kernel.fs.read_cost(entry.obj.path)
-            return cost
+            return self.kernel.fs.read_cpu_cost(entry.obj.path)
         if isinstance(op, api.Fork):
             return costs.syscall_fork
         if isinstance(op, api.SpawnThread):
@@ -296,7 +296,7 @@ class SyscallExecutor:
         if isinstance(op, api.PipeRead):
             return self._do_pipe_read(op, thread)
         if isinstance(op, api.ReadFile):
-            return kernel.fs.size_of(op.path)
+            return self._do_file_read(op.path, thread)
         if isinstance(op, api.OpenFile):
             kernel.fs.size_of(op.path)  # validates existence (ENOENT)
             from repro.fs.handles import OpenFileHandle
@@ -308,7 +308,7 @@ class SyscallExecutor:
         if isinstance(op, api.FdReadFile):
             entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.FILE)
             entry.obj.reads += 1
-            return kernel.fs.size_of(entry.obj.path)
+            return self._do_file_read(entry.obj.path, thread)
         if isinstance(op, api.Fork):
             child = kernel.fork_process(
                 thread,
@@ -328,10 +328,47 @@ class SyscallExecutor:
             return new_thread.tid
         return self._execute_container_op(op, thread)
 
+    def _do_file_read(self, path: str, thread: Thread) -> Any:
+        """Shared ReadFile/FdReadFile body: cache lookup, disk on miss.
+
+        On a hit the read completes synchronously.  On a miss the
+        thread's current resource binding (which a container-bound file
+        descriptor has already overridden, section 4.7) becomes the disk
+        request's charging container, and the thread parks on the
+        request's wait queue until the device completes it and the
+        kernel has faulted the block into the buffer cache.
+        """
+        kernel = self.kernel
+        size = kernel.fs.size_of(path)
+        owner = thread.resource_binding
+        hit = kernel.fs.cache.lookup(path)
+        trace = kernel.sim.trace
+        if trace.active:
+            trace.publish(
+                kernel.sim.now,
+                "fs.cache",
+                path=path,
+                hit=hit,
+                bytes=size,
+                container=owner.name if owner is not None else None,
+            )
+        if hit:
+            return size
+        request = kernel.disk.submit(
+            path, size, owner, on_complete=kernel.disk_read_complete
+        )
+        request.waiters.add(thread)
+        return _BLOCKED
+
     def resume(self, op: api.Syscall, thread: Thread) -> Any:
         """Post-wakeup semantics: re-check conditions."""
         if isinstance(op, api.Sleep):
             return None
+        if isinstance(op, api.ReadFile):
+            return self.kernel.fs.size_of(op.path)
+        if isinstance(op, api.FdReadFile):
+            entry = thread.process.fds.lookup_kind(op.fd, DescriptorKind.FILE)
+            return self.kernel.fs.size_of(entry.obj.path)
         if isinstance(op, api.Accept):
             return self._do_accept(op, thread, resumed=True)
         if isinstance(op, api.Read):

@@ -64,13 +64,28 @@ class MemoryAccountant:
         size_bytes: int,
         kind: str = "generic",
     ) -> None:
-        """Release a previous charge."""
+        """Release a previous charge.
+
+        Over-frees are simulator bugs; every ledger the free would touch
+        is validated *before* any is mutated, so a raise leaves the
+        accountant and all container ledgers exactly as they were
+        (previously a mid-chain failure left earlier ancestors already
+        decremented, and a per-container underflow corrupted that ledger
+        before raising).
+        """
         if size_bytes < 0:
             raise ValueError(f"negative free: {size_bytes}")
+        if self.charged_bytes - size_bytes < 0:
+            raise ValueError("system memory accounting would go negative")
         if container is not None:
+            for node in ancestors_and_self(container):
+                if node.usage.memory_bytes - size_bytes < 0:
+                    raise ValueError(
+                        f"memory accounting of container {node.name!r} "
+                        f"would go negative: freeing {size_bytes} of "
+                        f"{node.usage.memory_bytes} charged"
+                    )
             for node in ancestors_and_self(container):
                 node.usage.charge_memory(-size_bytes)
         self.charged_bytes -= size_bytes
-        if self.charged_bytes < 0:
-            raise ValueError("system memory accounting went negative")
         self.by_kind[kind] = self.by_kind.get(kind, 0) - size_bytes

@@ -6,7 +6,9 @@ accurate bills to customers, and for use in capacity planning."
 
 :class:`BillingReport` turns container ledgers into exactly that: an
 invoice per (matching) container subtree, plus a capacity-planning
-summary of where the machine's CPU actually went.
+summary of where the machine's CPU actually went.  Disk consumption
+(the ``disk_us`` / ``disk_bytes`` ledger dimensions maintained by
+:mod:`repro.io`) is metered on the same invoices.
 """
 
 from __future__ import annotations
@@ -26,13 +28,26 @@ class Tariff:
     per_cpu_second: float = 0.04
     per_million_packets: float = 0.50
     per_connection: float = 0.0001
+    #: Price per second of disk service time consumed.
+    per_disk_second: float = 0.02
+    #: Price per gigabyte read off the disk.
+    per_disk_gb: float = 0.01
 
-    def charge(self, cpu_us: float, packets: int, connections: int) -> float:
+    def charge(
+        self,
+        cpu_us: float,
+        packets: int,
+        connections: int,
+        disk_us: float = 0.0,
+        disk_bytes: int = 0,
+    ) -> float:
         """Total price for the given consumption."""
         return (
             self.per_cpu_second * (cpu_us / 1e6)
             + self.per_million_packets * (packets / 1e6)
             + self.per_connection * connections
+            + self.per_disk_second * (disk_us / 1e6)
+            + self.per_disk_gb * (disk_bytes / 2**30)
         )
 
 
@@ -46,6 +61,8 @@ class InvoiceLine:
     packets: int
     connections: int
     amount: float
+    disk_us: float = 0.0
+    disk_bytes: int = 0
 
 
 @dataclass
@@ -83,10 +100,14 @@ class BillingReport:
                     network_cpu_us=usage.cpu_network_us,
                     packets=usage.packets_received,
                     connections=usage.connections_accepted,
+                    disk_us=usage.disk_us,
+                    disk_bytes=usage.disk_bytes,
                     amount=tariff.charge(
                         usage.cpu_us,
                         usage.packets_received,
                         usage.connections_accepted,
+                        disk_us=usage.disk_us,
+                        disk_bytes=usage.disk_bytes,
                     ),
                 )
             )
@@ -97,18 +118,25 @@ class BillingReport:
         """CPU covered by some invoice."""
         return sum(line.cpu_us for line in self.lines)
 
+    def total_billed_disk_us(self) -> float:
+        """Disk service time covered by some invoice."""
+        return sum(line.disk_us for line in self.lines)
+
     def render(self) -> str:
         """Invoice table plus the capacity-planning footer."""
         lines = [
             "Billing report (per top-level resource container)",
             f"{'customer':30s}{'CPU s':>9s}{'net CPU s':>11s}"
-            f"{'packets':>10s}{'conns':>8s}{'amount':>10s}",
+            f"{'packets':>10s}{'conns':>8s}{'disk s':>9s}{'disk MB':>9s}"
+            f"{'amount':>10s}",
         ]
         for line in self.lines:
             lines.append(
                 f"{line.name:30s}{line.cpu_us / 1e6:>9.3f}"
                 f"{line.network_cpu_us / 1e6:>11.3f}"
                 f"{line.packets:>10d}{line.connections:>8d}"
+                f"{line.disk_us / 1e6:>9.3f}"
+                f"{line.disk_bytes / 2**20:>9.2f}"
                 f"{line.amount:>10.4f}"
             )
         if self.elapsed_us > 0:

@@ -138,11 +138,17 @@ def chrome_trace(profiler: "SimProfiler", tracer: "RequestTracer") -> dict:
 
 
 def flamegraph_lines(profiler: "SimProfiler") -> list:
-    """Collapsed stacks: ``container;subsystem;phase <nanoseconds>``."""
+    """Collapsed stacks: ``container;subsystem;phase <nanoseconds>``.
+
+    CPU triples plus the profiler's disk-service triples (kept in a
+    separate accumulator so CPU reconciliation stays exact; the flame
+    view wants the combined where-did-time-go picture).
+    """
     lines = []
-    for (container, subsystem, phase), amount in sorted(
-        profiler.totals.items()
-    ):
+    combined = dict(profiler.totals)
+    for key, amount in getattr(profiler, "disk_totals", {}).items():
+        combined[key] = combined.get(key, 0.0) + amount
+    for (container, subsystem, phase), amount in sorted(combined.items()):
         weight = int(round(amount * 1_000.0))  # us -> integer ns
         if weight <= 0:
             continue

@@ -85,6 +85,8 @@ class RegistryCollector:
         bus.subscribe("net.demux", self._on_net_demux)
         bus.subscribe("app.request", self._on_app_request)
         bus.subscribe("client.complete", self._on_client_complete)
+        bus.subscribe("disk.request", self._on_disk_request)
+        bus.subscribe("fs.cache", self._on_fs_cache)
 
     @staticmethod
     def _principal(name: Optional[str]) -> str:
@@ -145,6 +147,27 @@ class RegistryCollector:
         self.registry.histogram(
             self._principal(data.get("client")), "client", "latency_us"
         ).observe(data["latency_us"])
+
+    def _on_disk_request(self, record: TraceRecord) -> None:
+        data = record.data
+        if data["event"] != "complete":
+            return
+        container = self._principal(data.get("container"))
+        registry = self.registry
+        registry.counter(container, "disk", "requests").inc()
+        registry.counter(container, "disk", "service_us").inc(
+            data["service_us"]
+        )
+        registry.counter(container, "disk", "bytes").inc(data["bytes"])
+        registry.histogram(container, "disk", "wait_us").observe(
+            data["wait_us"]
+        )
+
+    def _on_fs_cache(self, record: TraceRecord) -> None:
+        data = record.data
+        container = self._principal(data.get("container"))
+        name = "cache_hits" if data["hit"] else "cache_misses"
+        self.registry.counter(container, "fs", name).inc()
 
 
 class Observability:

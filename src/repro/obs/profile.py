@@ -71,7 +71,16 @@ class SimProfiler:
         #: the profiler is aggregate-only.
         self.slices: Optional[list[ProfileSlice]] = [] if keep_slices else None
         self.total_us = 0.0
+        #: Disk service time per (container, "disk", "service") triple.
+        #: Kept out of ``totals``/``total_us`` deliberately: those are
+        #: *CPU* attributions and reconcile exactly against
+        #: ``ResourceUsage.cpu_us`` / ``SystemAccounting.total_cpu_us``;
+        #: disk time overlaps CPU time and reconciles against
+        #: ``ResourceUsage.disk_us`` instead.
+        self.disk_totals: dict[tuple, float] = {}
+        self.disk_us = 0.0
         bus.subscribe("cpu.slice", self._on_slice)
+        bus.subscribe("disk.request", self._on_disk_request)
 
     def _on_slice(self, record: TraceRecord) -> None:
         data = record.data
@@ -99,6 +108,30 @@ class SimProfiler:
                     phase=phase,
                     kind=kind,
                     entity=data.get("entity") or "",
+                )
+            )
+
+    def _on_disk_request(self, record: TraceRecord) -> None:
+        data = record.data
+        if data["event"] != "complete":
+            return
+        amount = data["service_us"]
+        container = data.get("container") or UNACCOUNTED
+        key = (container, "disk", "service")
+        self.disk_totals[key] = self.disk_totals.get(key, 0.0) + amount
+        self.disk_us += amount
+        if self.slices is not None:
+            # Completion is published when service ends; the device was
+            # occupied by this request for the ``service_us`` before it.
+            self.slices.append(
+                ProfileSlice(
+                    start_us=record.time - amount,
+                    duration_us=amount,
+                    container=container,
+                    subsystem="disk",
+                    phase="service",
+                    kind="disk",
+                    entity=data.get("device") or "disk",
                 )
             )
 

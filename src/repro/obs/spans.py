@@ -43,6 +43,7 @@ SPAN_CATEGORIES = (
     "app.request",
     "net.tx",
     "client.complete",
+    "disk.request",
 )
 
 
@@ -101,6 +102,8 @@ class RequestTracer:
         self._app: dict[int, Span] = {}
         #: request_id -> open response span.
         self._response: dict[int, Span] = {}
+        #: disk request rid -> open disk span.
+        self._disk: dict[int, Span] = {}
         for category in SPAN_CATEGORIES:
             bus.subscribe(category, self._on_record)
 
@@ -207,6 +210,24 @@ class RequestTracer:
             "net.response", record.time, parent=root,
             container=data.get("container"), bytes=data.get("bytes"),
         )
+
+    def _on_disk_request(self, record: TraceRecord) -> None:
+        # Standalone spans, like net.packet: the disk request outlives
+        # (and overlaps) the CPU-side phases, and the reading thread may
+        # serve no HTTP request at all, so there is nothing causal to
+        # hang it from.  submit -> complete covers queueing + service.
+        data = record.data
+        if data["event"] == "submit":
+            self._disk[data["rid"]] = self._open(
+                "disk", record.time, container=data.get("container"),
+                rid=data["rid"], path=data["path"], bytes=data["bytes"],
+            )
+        elif data["event"] == "complete":
+            span = self._disk.pop(data["rid"], None)
+            if span is not None:
+                span.end_us = record.time
+                span.attrs["service_us"] = data["service_us"]
+                span.attrs["wait_us"] = data["wait_us"]
 
     def _on_client_complete(self, record: TraceRecord) -> None:
         data = record.data

@@ -104,3 +104,32 @@ def test_unknown_path_closes_connection():
     host.run(until_us=100_000.0)
     assert client.stats_completed == 0
     assert server.stats.connections_closed > 0
+
+
+def test_bound_file_handle_bills_disk_to_class_container():
+    """Static files are served through container-bound descriptors
+    (section 4.7): a cold read's disk service lands on the connection's
+    class container, not on the server process's own container."""
+    host = Host(mode=SystemMode.RC, seed=31)
+    host.kernel.fs.add_file("/cold.bin", 8 * 1024)  # never warmed
+    host.kernel.fs.cache.capacity_bytes = 1024  # too small to ever hit
+    server = EventDrivenServer(host.kernel, use_containers=True)
+    server.install()
+    client = HttpClient(host.kernel, ip_addr(10, 0, 0, 1), "c",
+                        path="/cold.bin")
+    client.start(at_us=1_000.0)
+    host.run(until_us=200_000.0)
+    assert client.stats_completed > 0
+    by_name = {
+        c.name: c for c in host.kernel.containers.all_containers()
+    }
+    class_container = by_name["httpd:class:default"]
+    service = host.kernel.disk.service_time_us(8 * 1024)
+    assert class_container.usage.disk_us == pytest.approx(
+        client.stats_completed * service
+    )
+    assert class_container.usage.disk_bytes == (
+        client.stats_completed * 8 * 1024
+    )
+    # The server process's own container did none of the disk work.
+    assert by_name["proc:httpd"].usage.disk_us == 0.0

@@ -92,3 +92,20 @@ def test_figure_result_render_alignment():
     rendered = figure.render()
     assert "T" in rendered
     assert "-" in rendered.splitlines()[-1]  # missing point placeholder
+
+
+def test_fig_disk_isolation_single_point():
+    from repro.experiments import fig_disk_isolation
+
+    value = fig_disk_isolation._run_point("wfq", 2, 0.1, 0.3)
+    assert value > 0
+
+
+def test_fig_disk_isolation_wfq_isolates_where_fifo_does_not():
+    from repro.experiments import fig_disk_isolation
+
+    base = fig_disk_isolation._run_point("fifo", 0, 0.1, 0.4)
+    fifo = fig_disk_isolation._run_point("fifo", 4, 0.1, 0.4)
+    wfq = fig_disk_isolation._run_point("wfq", 4, 0.1, 0.4)
+    assert fifo > 1.5 * base  # FIFO lets antagonists inflate latency
+    assert wfq < 1.5 * base  # weighted-fair keeps premium near-flat

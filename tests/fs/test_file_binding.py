@@ -132,4 +132,24 @@ def test_subsequent_reads_hit_cache_cheaper(host):
         return (t1 - t0), (t2 - t1)
 
     miss_time, hit_time = run_program(host, program)
-    assert miss_time > hit_time + 3_000.0  # the 4ms miss penalty
+    # The miss blocked on the disk: at least the seek time longer.
+    assert miss_time > hit_time + host.kernel.costs.disk_seek_us
+
+
+def test_bound_file_miss_charges_disk_to_container(host):
+    """A cache miss through a bound descriptor bills the *disk* phase to
+    the handle's container too: the charge override survives the block."""
+    host.kernel.fs.add_file("/cold2.bin", 4 * 1024)
+
+    def program():
+        cfd = yield api.ContainerCreate("file-owner")
+        fd = yield api.OpenFile("/cold2.bin")
+        yield api.ContainerBindSocket(fd, cfd)
+        yield api.FdReadFile(fd)  # miss -> disk, charged to file-owner
+        usage = yield api.ContainerGetUsage(cfd)
+        return usage.disk_us, usage.disk_bytes
+
+    disk_us, disk_bytes = run_program(host, program)
+    expected = host.kernel.disk.service_time_us(4 * 1024)
+    assert disk_us == pytest.approx(expected)
+    assert disk_bytes == 4 * 1024

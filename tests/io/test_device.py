@@ -1,0 +1,92 @@
+"""The simulated disk device: service model, charging, completion."""
+
+import pytest
+
+from repro.core.operations import ContainerManager
+from repro.io import DiskDevice, FifoIOScheduler
+from repro.kernel.costs import DEFAULT_COSTS
+from repro.sim.engine import Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=7)
+
+
+@pytest.fixture
+def device(sim):
+    return DiskDevice(sim, DEFAULT_COSTS)
+
+
+def test_service_time_model(device):
+    assert device.service_time_us(0) == DEFAULT_COSTS.disk_seek_us
+    assert device.service_time_us(1024) == (
+        DEFAULT_COSTS.disk_seek_us + DEFAULT_COSTS.disk_transfer_per_kb_us
+    )
+
+
+def test_request_completes_after_service_time(sim, device):
+    done = []
+    request = device.submit("/a", 2048, None, on_complete=done.append)
+    assert device.current is request
+    sim.run(until=device.service_time_us(2048) + 1.0)
+    assert done == [request]
+    assert request.complete_us == pytest.approx(device.service_time_us(2048))
+    assert device.busy_us == pytest.approx(device.service_time_us(2048))
+    assert device.requests_completed == 1
+
+
+def test_one_request_in_service_rest_queued(sim, device):
+    first = device.submit("/a", 1024, None)
+    second = device.submit("/b", 1024, None)
+    assert device.current is first
+    assert device.queued == 1
+    sim.run(until=device.service_time_us(1024) + 1.0)
+    assert device.current is second
+    assert device.queued == 0
+
+
+def test_charging_lands_on_request_container(sim, device):
+    manager = ContainerManager()
+    owner = manager.create("reader")
+    device.submit("/a", 4096, owner)
+    sim.run(until=1e6)
+    assert owner.usage.disk_us == pytest.approx(device.service_time_us(4096))
+    assert owner.usage.disk_bytes == 4096
+    assert device.unaccounted_us == 0.0
+
+
+def test_unowned_service_is_unaccounted(sim, device):
+    device.submit("/a", 1024, None)
+    sim.run(until=1e6)
+    assert device.unaccounted_us == pytest.approx(
+        device.service_time_us(1024)
+    )
+
+
+def test_conservation_across_mixed_requests(sim, device):
+    manager = ContainerManager()
+    a = manager.create("a")
+    b = manager.create("b")
+    for container, size in ((a, 1024), (b, 2048), (None, 512), (a, 4096)):
+        device.submit("/f", size, container)
+    sim.run(until=1e6)
+    ledgered = a.usage.disk_us + b.usage.disk_us + device.unaccounted_us
+    assert ledgered == pytest.approx(device.busy_us)
+    assert device.total_bytes == 1024 + 2048 + 512 + 4096
+
+
+def test_wait_us_measures_queueing(sim, device):
+    device.submit("/a", 1024, None)
+    second = device.submit("/b", 1024, None)
+    sim.run(until=1e6)
+    assert second.wait_us == pytest.approx(device.service_time_us(1024))
+
+
+def test_negative_size_rejected(device):
+    with pytest.raises(ValueError):
+        device.submit("/a", -1, None)
+
+
+def test_fifo_is_default_scheduler(device):
+    assert isinstance(device.scheduler, FifoIOScheduler)

@@ -85,6 +85,42 @@ def test_over_uncharge_detected(setup):
         accountant.uncharge(c, 20)
 
 
+def test_container_over_uncharge_raises(setup):
+    """Uncharging more than a *container's* ledger holds must raise,
+    exactly like over-uncharging the system pool."""
+    manager, accountant = setup
+    a = manager.create("a")
+    b = manager.create("b")
+    accountant.try_charge(a, 100)
+    accountant.try_charge(b, 100)
+    # System pool holds 200, but container a only holds 100.
+    with pytest.raises(ValueError):
+        accountant.uncharge(a, 150)
+
+
+def test_over_uncharge_leaves_no_partial_mutation(setup):
+    """The guard pre-validates the whole ancestor chain: a refused
+    uncharge must leave every ledger and the pool untouched."""
+    manager, accountant = setup
+    parent = manager.create(
+        "p",
+        attrs=ContainerAttributes(
+            sched_class=SchedClass.FIXED_SHARE, fixed_share=0.5
+        ),
+    )
+    child = manager.create("c", parent=parent)
+    accountant.try_charge(child, 100, "buffer_cache")
+    # Inflate the parent's ledger so the failure point is the *child*:
+    # a top-down walk that mutated ancestors first would corrupt p.
+    accountant.try_charge(parent, 50, "buffer_cache")
+    with pytest.raises(ValueError):
+        accountant.uncharge(child, 120, "buffer_cache")
+    assert child.usage.memory_bytes == 100
+    assert parent.usage.memory_bytes == 150  # own 50 + child 100
+    assert accountant.charged_bytes == 150
+    assert accountant.by_kind["buffer_cache"] == 150
+
+
 def test_by_kind_tracking(setup):
     manager, accountant = setup
     c = manager.create("c")

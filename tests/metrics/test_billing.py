@@ -27,6 +27,17 @@ def test_tariff_charges():
     assert amount == pytest.approx(3.0 + 4.0 + 2.0)
 
 
+def test_tariff_charges_disk_dimensions():
+    tariff = Tariff(per_cpu_second=0.0, per_million_packets=0.0,
+                    per_connection=0.0, per_disk_second=2.0,
+                    per_disk_gb=4.0)
+    amount = tariff.charge(
+        cpu_us=1e6, packets=10, connections=1,
+        disk_us=5e5, disk_bytes=2**29,
+    )
+    assert amount == pytest.approx(2.0 * 0.5 + 4.0 * 0.5)
+
+
 def test_report_bills_subtrees(populated):
     manager, guest_a, _guest_b = populated
     report = BillingReport.generate(manager, elapsed_us=10e6)
@@ -119,9 +130,56 @@ def test_billing_reconciles_with_resource_usage_ledgers():
         assert line.network_cpu_us == usage.cpu_network_us
         assert line.packets == usage.packets_received
         assert line.connections == usage.connections_accepted
+        assert line.disk_us == usage.disk_us
+        assert line.disk_bytes == usage.disk_bytes
     # Totals: billed == root subtree; billed + unaccounted == machine.
     assert report.total_billed_cpu_us() == (
         subtree_usage(host.kernel.containers.root).cpu_us
     )
     assert report.total_billed_cpu_us() + accounting.unaccounted_cpu_us \
         == pytest.approx(accounting.total_cpu_us, rel=1e-9)
+
+
+def test_disk_billing_reconciles_with_device_and_ledgers():
+    """Disk invoices must re-compose the device's own meters bit for
+    bit: billed disk service + unaccounted == total busy time, and each
+    customer's disk line equals its subtree ledger."""
+    from repro import Host, SystemMode, ip_addr
+    from repro.apps.httpserver import EventDrivenServer
+    from repro.apps.webclient import HttpClient
+    from repro.core.hierarchy import subtree_usage
+
+    host = Host(mode=SystemMode.RC, seed=74, sanitize=True)
+    # Cold files and a tiny cache: every request takes the disk path.
+    host.kernel.fs.add_file("/cold.bin", 16 * 1024)
+    host.kernel.fs.cache.capacity_bytes = 1024
+    EventDrivenServer(host.kernel, use_containers=True).install()
+    HttpClient(
+        host.kernel, ip_addr(10, 0, 0, 1), "c", path="/cold.bin",
+    ).start(at_us=2_000.0)
+    host.run(seconds=0.3)
+    disk = host.kernel.disk
+    assert disk.requests_completed > 0
+    report = BillingReport.generate(
+        host.kernel.containers, elapsed_us=host.now
+    )
+    for line in report.lines:
+        container = next(
+            c for c in host.kernel.containers.root.children
+            if c.name == line.name
+        )
+        usage = subtree_usage(container)
+        assert line.disk_us == usage.disk_us
+        assert line.disk_bytes == usage.disk_bytes
+    assert report.total_billed_disk_us() > 0
+    assert report.total_billed_disk_us() + disk.unaccounted_us \
+        == pytest.approx(disk.busy_us, rel=1e-9)
+    # Disk consumption prices into the invoice amount.
+    tariff = Tariff()
+    for line in report.lines:
+        assert line.amount == pytest.approx(
+            tariff.charge(
+                line.cpu_us, line.packets, line.connections,
+                disk_us=line.disk_us, disk_bytes=line.disk_bytes,
+            )
+        )

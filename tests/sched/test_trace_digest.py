@@ -15,6 +15,12 @@ change alters this digest, it reordered the schedule; that may be
 intentional, but it must be an explicit decision (re-record the digest
 in the same PR and say why), never a silent side effect of a perf
 change.
+
+Re-recorded with the repro.io disk subsystem: file reads lost the flat
+CPU miss penalty in favour of an asynchronous device phase, and the
+event-driven server now serves static files through container-bound
+descriptors (an extra OpenFile/ContainerBindSocket per class) -- both
+deliberately reshape the schedule, so the old digest could not survive.
 """
 
 import contextlib
@@ -27,7 +33,7 @@ from repro.apps.synflood import SynFlooder
 from repro.apps.webclient import HttpClient
 
 EXPECTED_DIGEST = (
-    "7b0d9f9b9aa972753cf3b1b600cffc7eeeaeca7f5f89e575b2e29b38a07a766a"
+    "aac1667cbd348c51d5d69a01e6bfc213367900855c0d85fb43adc8e0eba8f54e"
 )
 
 
