@@ -1,0 +1,84 @@
+"""Tier-2 perf smoke: the event engine must stay fast at 1000 containers.
+
+Run with ``pytest -m perf benchmarks/``.  The recorded numbers live in
+``BENCH_engine.json`` at the repo root (regenerate with ``python -m
+repro bench-engine``); the smoke tests re-measure the 1000-container
+drain and steady points on the wheel queue and fail when they have
+regressed more than 2x against the recording -- wide enough to absorb
+machine noise, tight enough to catch the engine falling off its fast
+path (the pre-fast-path engine was ~7x slower on drain, not 2x).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import bench_engine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORDED = REPO_ROOT / "BENCH_engine.json"
+
+#: Allowed slowdown vs the recorded run before the smoke test fails.
+REGRESSION_FACTOR = 2.0
+
+
+def _recorded() -> dict:
+    if not RECORDED.exists():
+        pytest.skip("BENCH_engine.json not recorded; run `python -m repro bench-engine`")
+    return json.loads(RECORDED.read_text())
+
+
+def _recorded_point(doc: dict, profile: str, containers: int) -> dict:
+    for point in doc[profile]:
+        if point["queue"] == "wheel" and point["containers"] == containers:
+            return point
+    raise AssertionError(f"no wheel point at {containers} in {profile}")
+
+
+@pytest.mark.perf
+def test_drain_1000_within_2x_of_recording(repro_report):
+    recorded = _recorded_point(_recorded(), "drain", 1000)
+    fresh = bench_engine.micro_point("drain", "wheel", 1000, events=50_000)
+    repro_report(
+        "perf smoke: drain@1000 wheel "
+        f"{fresh['events_per_sec']:,.0f} ev/s vs recorded "
+        f"{recorded['events_per_sec']:,.0f} ev/s"
+    )
+    assert fresh["events_per_sec"] * REGRESSION_FACTOR >= recorded["events_per_sec"], (
+        f"drain throughput regressed: {fresh['events_per_sec']:,.0f} ev/s "
+        f"vs recorded {recorded['events_per_sec']:,.0f} ev/s "
+        f"(allowed {REGRESSION_FACTOR}x)"
+    )
+
+
+@pytest.mark.perf
+def test_steady_1000_within_2x_of_recording(repro_report):
+    recorded = _recorded_point(_recorded(), "steady", 1000)
+    fresh = bench_engine.micro_point("steady", "wheel", 1000, events=50_000)
+    repro_report(
+        "perf smoke: steady@1000 wheel "
+        f"{fresh['events_per_sec']:,.0f} ev/s vs recorded "
+        f"{recorded['events_per_sec']:,.0f} ev/s"
+    )
+    assert fresh["events_per_sec"] * REGRESSION_FACTOR >= recorded["events_per_sec"], (
+        f"steady throughput regressed: {fresh['events_per_sec']:,.0f} ev/s "
+        f"vs recorded {recorded['events_per_sec']:,.0f} ev/s"
+    )
+
+
+@pytest.mark.perf
+def test_steady_dispatch_is_allocation_free():
+    """The pooled wheel must construct zero Event objects at steady state."""
+    point = bench_engine.micro_point("steady", "wheel", 1000, events=20_000)
+    assert point["allocs_per_event"] == 0.0
+
+
+@pytest.mark.perf
+def test_recorded_speedup_meets_acceptance():
+    """The checked-in recording itself documents the >=5x win at 1000."""
+    recorded = _recorded()
+    speedup = recorded.get("speedup", {})
+    assert speedup.get("drain_1000", 0.0) >= 5.0

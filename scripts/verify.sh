@@ -12,6 +12,10 @@
 #      schema-valid JSON
 #   0c. disk-path trace determinism: the same gate over a traced
 #      fig_disk_isolation smoke point (exercises repro.io end-to-end)
+#   0d. engine equivalence: one traced smoke experiment under each
+#      event-queue implementation (REPRO_EVENTQUEUE=heap|wheel) must
+#      export byte-identical artifacts -- the timing wheel may be
+#      faster, never different
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -63,6 +67,15 @@ done
 grep -q '"subsystem":"disk"' "$TRACE_TMP/run3/trace.jsonl" \
   || { echo "disk trace FAILED: no disk slices in trace.jsonl"; exit 1; }
 echo "disk trace determinism OK (byte-identical across runs)"
+
+echo "== tier-0d: heap/wheel engine equivalence =="
+REPRO_EVENTQUEUE=heap python -m repro trace fig11 --smoke --trace-out "$TRACE_TMP/heap" >/dev/null
+REPRO_EVENTQUEUE=wheel python -m repro trace fig11 --smoke --trace-out "$TRACE_TMP/wheel" >/dev/null
+for artifact in trace.jsonl trace-events.json flame.txt metrics.json; do
+  cmp "$TRACE_TMP/heap/$artifact" "$TRACE_TMP/wheel/$artifact" \
+    || { echo "engine equivalence FAILED: $artifact differs between heap and wheel"; exit 1; }
+done
+echo "engine equivalence OK (heap and wheel traces byte-identical)"
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

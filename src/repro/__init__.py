@@ -72,12 +72,15 @@ class Host:
         config: "KernelConfig | None" = None,
         sanitize: bool = False,
         observe: bool = False,
+        queue: "str | None" = None,
     ) -> None:
         if config is None:
             config = KernelConfig(mode=mode)
         elif config.mode is not mode:
             config.mode = mode
-        self.sim = Simulation(seed=seed, sanitize=sanitize, observe=observe)
+        self.sim = Simulation(
+            seed=seed, sanitize=sanitize, observe=observe, queue=queue
+        )
         self.kernel = Kernel(self.sim, costs=costs, config=config)
 
     @property

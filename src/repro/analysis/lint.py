@@ -78,7 +78,20 @@ FILE_ALLOWLIST: dict[str, dict[str, str]] = {
         "DET101": "bench harness: measures cold/warm sweep wall time; "
         "results go to BENCH_sweep.json, not the cache",
     },
+    "experiments/bench_engine.py": {
+        "DET101": "bench harness: measures host wall time of engine "
+        "event dispatch; results go to BENCH_engine.json, not the cache",
+    },
+    "kernel/events.py": {
+        "DET106": "ProcessEventQueue is an IOEvent priority queue (not "
+        "a timer queue) and already pairs every entry with a "
+        "monotonically-assigned seq tie-breaker",
+    },
 }
+
+#: Subtrees whose heap use DET106 sanctions wholesale: the engine's
+#: timer queues live in sim/, the scheduler's decay buckets in sched/.
+_DET106_EXEMPT_PREFIXES = ("sim/", "sched/")
 
 #: Subtree prefix -> rules no suppression mechanism can waive there.
 #: The exporters promise byte-identical output for a given (tree,
@@ -293,12 +306,34 @@ class _Linter(ast.NodeVisitor):
             self.aliases[alias.asname or alias.name.split(".")[0]] = (
                 alias.name if alias.asname else alias.name.split(".")[0]
             )
+            if alias.name == "heapq" and not self.rel.startswith(
+                _DET106_EXEMPT_PREFIXES
+            ):
+                self._flag(
+                    node,
+                    "DET106",
+                    "direct heapq import outside sim//sched/; heaps "
+                    "without seq tie-breakers pop equal keys in "
+                    "process-dependent order -- use Simulation.at/after "
+                    "or get the file reviewed onto the allowlist",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module is None or node.level:
             self.generic_visit(node)
             return
+        if node.module == "heapq" and not self.rel.startswith(
+            _DET106_EXEMPT_PREFIXES
+        ):
+            self._flag(
+                node,
+                "DET106",
+                "direct heapq import outside sim//sched/; heaps "
+                "without seq tie-breakers pop equal keys in "
+                "process-dependent order -- use Simulation.at/after "
+                "or get the file reviewed onto the allowlist",
+            )
         if node.module == "random" or node.module.startswith("random."):
             self._flag(
                 node,
@@ -393,6 +428,18 @@ class _Linter(ast.NodeVisitor):
                 "DET105",
                 f"{node.func.id}() over a bare set realises hash-salted "
                 "order; wrap the set in sorted(...)",
+            )
+        if (
+            dotted is not None
+            and dotted.startswith("heapq.")
+            and not self.rel.startswith(_DET106_EXEMPT_PREFIXES)
+        ):
+            self._flag(
+                node,
+                "DET106",
+                f"heap operation {dotted}() outside sim//sched/; heaps "
+                "without seq tie-breakers pop equal keys in "
+                "process-dependent order",
             )
         if dotted is not None and (
             dotted == "random" or dotted.startswith("random.")

@@ -92,6 +92,25 @@ RULES: dict[str, Rule] = {
             "SeededRng.fork) or hashlib for stable digests.",
         ),
         Rule(
+            id="DET106",
+            name="stray-heapq",
+            flags="importing heapq (or calling heapq.*) outside the "
+            "sim/ and sched/ subtrees",
+            # The engine's timer queues (sim/events.py) and the
+            # scheduler's decay buckets (sched/) are the only sanctioned
+            # homes for binary heaps; both pair every entry with an
+            # explicit monotonically-assigned sequence number so equal
+            # keys pop in insertion order.
+            breaks="trace digests: a heap ordered by a key without a "
+            "total-order tie-breaker resolves ties by comparing whatever "
+            "the payload objects compare by (often id()-dependent or "
+            "error-raising), so equal-priority entries pop in "
+            "process-dependent order.  Route timers through "
+            "Simulation.at/after (which uses the pooled timer queue) or "
+            "add the subsystem to the sim/sched exemption with a seq "
+            "tie-breaker, reviewed.",
+        ),
+        Rule(
             id="DET105",
             name="set-iteration",
             flags="iterating a bare set/frozenset (literal, set() call, "

@@ -334,6 +334,10 @@ class ChargingSanitizer:
     def sweep(self) -> None:
         """Full-population reconcile: ledgers vs mirrored charges."""
         self.sweeps += 1
+        # The dispatcher batches ledger bookings between scheduler
+        # picks; settle them so the ledgers reflect every mirrored
+        # slice (the flush is itself one of the defined flush points).
+        self.kernel.cpu.flush_charges()
         now = self.kernel.sim.now
         # Every ledger field must be sane on every live container.
         for container in self.kernel.containers.all_containers():

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.kernel.kernel import Kernel
-from repro.net.packet import Packet, PacketKind, ip_addr
+from repro.net.packet import PacketKind, alloc_packet, ip_addr
 from repro.sim.rng import SeededRng
 
 #: Default attacker subnet: 66.6.6.0/24.
@@ -76,9 +76,9 @@ class SynFlooder:
         if not self.running:
             return
         packets = [
-            Packet(
-                kind=PacketKind.SYN,
-                src_addr=self._source_address(),
+            alloc_packet(
+                PacketKind.SYN,
+                self._source_address(),
                 src_port=20_000 + (self.stats_sent + i) % 40_000,
                 dst_port=self.server_port,
                 payload=None,  # never completes the handshake

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.kernel.kernel import Kernel
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import PacketKind, alloc_packet
 from repro.net.tcp import Connection, HalfOpen
 from repro.sim.rng import SeededRng
 
@@ -90,6 +90,7 @@ class HttpClient:
         self.current: Optional[HttpRequest] = None
         self._attempt_started = 0.0
         self._timeout_event = None
+        self._timeout_seq = None
         self._src_port = itertools.count(10_000)
         self.stats_completed = 0
         self.stats_retries = 0
@@ -131,9 +132,9 @@ class HttpClient:
 
     def _send_syn(self) -> None:
         self.conn = None
-        packet = Packet(
-            kind=PacketKind.SYN,
-            src_addr=self.src_addr,
+        packet = alloc_packet(
+            PacketKind.SYN,
+            self.src_addr,
             src_port=next(self._src_port),
             dst_port=self.server_port,
             payload=self,
@@ -143,9 +144,9 @@ class HttpClient:
     def _send_data(self) -> None:
         if self.conn is None or self.current is None:
             return
-        packet = Packet(
-            kind=PacketKind.DATA,
-            src_addr=self.src_addr,
+        packet = alloc_packet(
+            PacketKind.DATA,
+            self.src_addr,
             dst_port=self.server_port,
             conn=self.conn,
             payload=self.current,
@@ -160,9 +161,9 @@ class HttpClient:
     def on_synack(self, half_open: HalfOpen) -> None:
         if self.current is None:
             return
-        packet = Packet(
-            kind=PacketKind.HANDSHAKE_ACK,
-            src_addr=self.src_addr,
+        packet = alloc_packet(
+            PacketKind.HANDSHAKE_ACK,
+            self.src_addr,
             src_port=half_open.src_port,
             dst_port=self.server_port,
             payload=half_open,
@@ -203,9 +204,9 @@ class HttpClient:
         if not self.persistent:
             # HTTP/1.0 teardown: the client's FIN costs the server one
             # more protocol action.
-            fin = Packet(
-                kind=PacketKind.FIN,
-                src_addr=self.src_addr,
+            fin = alloc_packet(
+                PacketKind.FIN,
+                self.src_addr,
                 dst_port=self.server_port,
                 conn=conn,
             )
@@ -233,11 +234,15 @@ class HttpClient:
     def _arm_timeout(self) -> None:
         self._cancel_timeout()
         if self.timeout_us is not None:
-            self._timeout_event = self.sim.after(self.timeout_us, self._on_timeout)
+            event = self.sim.after(self.timeout_us, self._on_timeout)
+            # seq recorded at arm time: the engine pools event objects,
+            # so a cancel through this handle must be generation-guarded.
+            self._timeout_event = event
+            self._timeout_seq = event.seq
 
     def _cancel_timeout(self) -> None:
         if self._timeout_event is not None:
-            self.sim.cancel(self._timeout_event)
+            self.sim.cancel(self._timeout_event, self._timeout_seq)
             self._timeout_event = None
 
     def _on_timeout(self) -> None:
@@ -247,9 +252,9 @@ class HttpClient:
         self.stats_retries += 1
         if self.conn is not None:
             # Abandon the connection cleanly so the server can reap it.
-            fin = Packet(
-                kind=PacketKind.FIN,
-                src_addr=self.src_addr,
+            fin = alloc_packet(
+                PacketKind.FIN,
+                self.src_addr,
                 dst_port=self.server_port,
                 conn=self.conn,
             )

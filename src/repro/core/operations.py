@@ -35,6 +35,11 @@ class ContainerManager:
         #: Hooks called with a container right after it is destroyed
         #: (the scheduler subscribes to drop its bookkeeping).
         self.on_destroy: list[Callable[[ResourceContainer], None]] = []
+        #: Hooks called with a container immediately *before* it is
+        #: destroyed, while it is still alive and attached (the CPU
+        #: dispatcher settles batched ledger charges here so nothing is
+        #: booked onto a dead or detached container).
+        self.before_destroy: list[Callable[[ResourceContainer], None]] = []
         #: Hooks called with a container right after creation.
         self.on_create: list[Callable[[ResourceContainer], None]] = []
 
@@ -101,6 +106,8 @@ class ContainerManager:
             return
         if container.state is ContainerState.DESTROYED:
             return
+        for hook in self.before_destroy:
+            hook(container)
         container.state = ContainerState.DESTROYED
         for child in list(container.children):
             child.set_parent(None)

@@ -1,0 +1,386 @@
+"""Event-engine throughput benchmark: the dispatch hot path.
+
+Four sweeps, each across both event-queue implementations
+(``REPRO_EVENTQUEUE=heap|wheel``):
+
+``drain``
+    A pre-armed burst: every container holds a backlog of due events
+    (the 100k-connection shape -- timers and arrivals armed earlier by
+    other parties), and the timed phase is pure dispatch.  This is the
+    engine's headline number: how fast can it retire work that is
+    already scheduled.
+
+``steady``
+    N self-rescheduling timers (one per "container", the Fig. 4 shape:
+    every container keeps a periodic timer live) driven for a fixed
+    number of dispatches -- one schedule per dispatch, the
+    schedule+dispatch cycle cost.
+
+``churn``
+    The TCP-timeout pattern: every tick cancels the previous timeout,
+    arms a new one, and reschedules itself.  Each dispatched event
+    costs two schedules and one cancel, so this point is where
+    lazy-deletion heaps drown in dead entries and where the wheel's
+    O(1) cancel earns its keep.
+
+``end_to_end``
+    A full RC-mode kernel with N CPU-bound processes for a fixed
+    simulated horizon -- the same shape as ``bench_scalability``'s
+    end-to-end sweep, so the engine fast path's effect on a real
+    workload is directly visible.  Also reports the CPU dispatcher's
+    batched-charging flush count.
+
+Timed sections run ``REPEATS`` times and keep the best (standard
+microbenchmark practice: the minimum is the least-noisy estimate of
+the true cost).  ``allocs_per_event`` counts ``Event`` *object
+constructions* per dispatched event, derived from the queues' own
+deterministic counters (schedules minus pool hits) -- the pooled wheel
+drives it to zero; the heap pays one per schedule.
+
+``python -m repro bench-engine`` runs all four and writes
+``BENCH_engine.json``; ``benchmarks/test_engine.py`` (the ``perf``
+marker) fails if the 1000-container points regress more than 2x
+against the recorded numbers.
+
+``BEFORE_BASELINE`` holds the numbers measured at the commit *before*
+the engine fast path (binary heap only -- ``Event.__lt__`` runs ~12
+Python-level comparisons per dispatch at 1000 containers -- per-event
+``Event`` allocation, per-slice ledger charging, unhoisted run loop),
+on the same machine that recorded the committed JSON, using these
+same workloads: the recorded heap baseline the headline speedup is
+measured against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.sim.engine import Simulation
+
+#: Sweep points: concurrent periodic timers (steady/churn), backlogged
+#: containers (drain), or CPU-bound processes (end-to-end).
+SWEEP_POINTS = (10, 100, 1000)
+
+#: Queue implementations compared at every point.
+QUEUE_KINDS = ("heap", "wheel")
+
+#: Dispatches per micro point (constant across points so events/sec is
+#: comparable).
+MICRO_EVENTS = 100_000
+
+#: Timed repetitions per point; the best run is reported.
+REPEATS = 3
+
+#: Simulated horizon per end-to-end point, microseconds.
+E2E_HORIZON_US = 1_000_000.0
+
+#: Numbers measured on the pre-fast-path engine (heap queue, no
+#: pooling, per-slice charging) with this same harness's workloads,
+#: on the machine that recorded the committed BENCH_engine.json.
+BEFORE_BASELINE: dict = {
+    "drain": [
+        {"containers": 10, "queue": "heap", "events": 100000,
+         "wall_s": 0.288478, "events_per_sec": 346646.9,
+         "allocs_per_event": 0.0},
+        {"containers": 100, "queue": "heap", "events": 100000,
+         "wall_s": 0.280326, "events_per_sec": 356727.8,
+         "allocs_per_event": 0.0},
+        {"containers": 1000, "queue": "heap", "events": 100000,
+         "wall_s": 0.280016, "events_per_sec": 357122.2,
+         "allocs_per_event": 0.0},
+    ],
+    "steady": [
+        {"containers": 10, "queue": "heap", "events": 100000,
+         "wall_s": 0.185324, "events_per_sec": 539596.5,
+         "allocs_per_event": 1.0},
+        {"containers": 100, "queue": "heap", "events": 100000,
+         "wall_s": 0.237318, "events_per_sec": 421375.2,
+         "allocs_per_event": 1.0},
+        {"containers": 1000, "queue": "heap", "events": 100000,
+         "wall_s": 0.298017, "events_per_sec": 335550.9,
+         "allocs_per_event": 1.0},
+    ],
+    "churn": [
+        {"containers": 10, "queue": "heap", "events": 100000,
+         "wall_s": 0.362922, "events_per_sec": 275541.0,
+         "allocs_per_event": 2.0},
+        {"containers": 100, "queue": "heap", "events": 100000,
+         "wall_s": 0.415225, "events_per_sec": 240833.6,
+         "allocs_per_event": 2.0},
+        {"containers": 1000, "queue": "heap", "events": 100000,
+         "wall_s": 0.529431, "events_per_sec": 188882.1,
+         "allocs_per_event": 2.0},
+    ],
+    "end_to_end": [
+        {"processes": 10, "queue": "heap", "sim_seconds": 1.0,
+         "wall_s": 0.041147, "events": 2595,
+         "events_per_sec": 63066.2},
+        {"processes": 100, "queue": "heap", "sim_seconds": 1.0,
+         "wall_s": 0.054697, "events": 2595,
+         "events_per_sec": 47443.2},
+        {"processes": 1000, "queue": "heap", "sim_seconds": 1.0,
+         "wall_s": 0.486717, "events": 2595,
+         "events_per_sec": 5331.6},
+    ],
+}
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def _steady_sim(queue: str, timers: int) -> Simulation:
+    """One periodic self-rescheduling timer per container."""
+    sim = Simulation(queue=queue)
+
+    def make(period: float):
+        def tick() -> None:
+            sim.after(period, tick)
+
+        return tick
+
+    for i in range(timers):
+        # Co-prime-ish periods spread firings across wheel slots and
+        # keep the heap from degenerating into one FIFO bucket.
+        period = 50.0 + (i % 97) * 13.0
+        sim.after(period, make(period))
+    return sim
+
+
+class _ChurnTimer:
+    """A tick that re-arms a far-future timeout it always cancels."""
+
+    __slots__ = ("sim", "period", "timeout", "timeout_seq")
+
+    def __init__(self, sim: Simulation, period: float) -> None:
+        self.sim = sim
+        self.period = period
+        self.timeout = None
+        self.timeout_seq = -1
+
+    @staticmethod
+    def _expired() -> None:  # pragma: no cover - cancelled before firing
+        pass
+
+    def tick(self) -> None:
+        sim = self.sim
+        if self.timeout is not None:
+            sim.cancel(self.timeout, self.timeout_seq)
+        event = sim.after(1_000_000.0, self._expired)
+        self.timeout = event
+        self.timeout_seq = event.seq
+        sim.after(self.period, self.tick)
+
+
+def _churn_sim(queue: str, timers: int) -> Simulation:
+    sim = Simulation(queue=queue)
+    for i in range(timers):
+        churn = _ChurnTimer(sim, 50.0 + (i % 97) * 13.0)
+        sim.after(churn.period, churn.tick)
+    return sim
+
+
+def _noop() -> None:
+    pass
+
+
+def _drain_sim(queue: str, containers: int, events: int) -> Simulation:
+    """A pre-armed backlog: ``events / containers`` events per
+    container, staggered so every wheel tick holds a burst."""
+    sim = Simulation(queue=queue)
+    per = max(1, events // containers)
+    for j in range(per):
+        base = 1_000.0 * j
+        for i in range(containers):
+            sim.at(base + i * 0.9, _noop)
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _event_allocs(sim: Simulation) -> int:
+    """Event objects constructed so far (schedules minus pool reuse)."""
+    return sim.queue._seq - getattr(sim.queue, "pool_hits", 0)
+
+
+def _queue_counters(sim: Simulation) -> dict:
+    """Pool/compaction counters exposed by the active queue."""
+    out = {}
+    for name in ("pool_hits", "compactions", "stale_cancels"):
+        value = getattr(sim.queue, name, None)
+        if value is not None:
+            out[name] = value
+    return out
+
+
+def micro_point(
+    profile: str, queue: str, containers: int, events: int = MICRO_EVENTS
+) -> dict:
+    """Time one (profile, queue, containers) cell; best of REPEATS."""
+    if profile == "drain":
+        # Finite backlog: a fresh simulation per repeat, all pre-armed
+        # events outside the timed section.
+        sims = [
+            _drain_sim(queue, containers, events + 2_000)
+            for _ in range(REPEATS)
+        ]
+    else:
+        build = _steady_sim if profile == "steady" else _churn_sim
+        # Endless workloads: repeats continue the same simulation.
+        sims = [build(queue, containers)] * REPEATS
+    best = None
+    sim = sims[0]
+    for index, sim in enumerate(sims):
+        if profile == "drain" or index == 0:
+            sim.run(max_events=2_000)  # warm pools, caches, and wheels
+        allocs_before = _event_allocs(sim)
+        started = time.perf_counter()
+        sim.run(max_events=events)
+        elapsed = time.perf_counter() - started
+        allocs = _event_allocs(sim) - allocs_before
+        if best is None or elapsed < best[0]:
+            best = (elapsed, allocs)
+    elapsed, allocs = best
+    point = {
+        "containers": containers,
+        "queue": queue,
+        "events": events,
+        "wall_s": round(elapsed, 6),
+        "events_per_sec": round(events / elapsed, 1),
+        "allocs_per_event": round(allocs / events, 4),
+    }
+    point.update(_queue_counters(sim))
+    return point
+
+
+def _spinner_body(compute_us: float):
+    from repro.syscall import api
+
+    def body():
+        while True:
+            yield api.Compute(compute_us)
+
+    return body
+
+
+def end_to_end_point(queue: str, processes: int, horizon_us: float = E2E_HORIZON_US) -> dict:
+    """Boot a full RC kernel with N CPU-bound processes and run it."""
+    from repro import Host, SystemMode
+
+    host = Host(mode=SystemMode.RC, seed=7, queue=queue)
+    body = _spinner_body(800.0)
+    for i in range(processes):
+        host.kernel.spawn_process(f"spin{i}", body)
+    started = time.perf_counter()
+    host.sim.run(until=horizon_us)
+    elapsed = time.perf_counter() - started
+    events = host.sim.events_dispatched
+    point = {
+        "processes": processes,
+        "queue": queue,
+        "sim_seconds": horizon_us / 1e6,
+        "wall_s": round(elapsed, 6),
+        "events": events,
+        "events_per_sec": round(events / elapsed, 1),
+        "charge_flushes": host.kernel.cpu.charge_flushes,
+    }
+    point.update(_queue_counters(host.sim))
+    return point
+
+
+# ---------------------------------------------------------------------------
+# Driving
+# ---------------------------------------------------------------------------
+
+
+def run(points=SWEEP_POINTS) -> dict:
+    """Run all sweeps; returns the result document (JSON-ready)."""
+    from repro.sim import events as events_mod
+
+    result = {
+        "benchmark": "engine-throughput",
+        "micro_events": MICRO_EVENTS,
+        "repeats": REPEATS,
+        "e2e_horizon_us": E2E_HORIZON_US,
+        "wheel_granularity_us": events_mod.WHEEL_GRANULARITY_US,
+        "compact_min_dead": events_mod._resolve_compact_min_dead(None),
+    }
+    for profile in ("drain", "steady", "churn"):
+        result[profile] = [
+            micro_point(profile, q, n) for n in points for q in QUEUE_KINDS
+        ]
+    result["end_to_end"] = [
+        end_to_end_point(q, n) for n in points for q in QUEUE_KINDS
+    ]
+    if BEFORE_BASELINE:
+        result["before"] = BEFORE_BASELINE
+        result["speedup"] = _speedups(BEFORE_BASELINE, result)
+    return result
+
+
+def _speedups(before: dict, after: dict) -> dict:
+    """events/sec ratios (wheel points) vs the pre-fast-path engine."""
+    out: dict = {}
+    for profile, count_key in (
+        ("drain", "containers"),
+        ("steady", "containers"),
+        ("churn", "containers"),
+        ("end_to_end", "processes"),
+    ):
+        base_by_count = {p[count_key]: p for p in before.get(profile, ())}
+        for point in after.get(profile, ()):
+            if point["queue"] != "wheel":
+                continue
+            base = base_by_count.get(point[count_key])
+            if base and base.get("events_per_sec"):
+                out[f"{profile}_{point[count_key]}"] = round(
+                    point["events_per_sec"] / base["events_per_sec"], 2
+                )
+    return out
+
+
+def render(result: dict) -> str:
+    """Human-readable table of one run() document."""
+    lines = ["engine throughput sweep", ""]
+    for profile, count_key, title in (
+        ("drain", "containers", "drain (pre-armed burst, dispatch only)"),
+        ("steady", "containers", "steady (periodic timers)"),
+        ("churn", "containers", "churn (cancel/re-arm timeouts)"),
+        ("end_to_end", "processes", "end-to-end (RC kernel)"),
+    ):
+        lines.append(f"  {title}")
+        lines.append(
+            f"    {count_key:>10}  queue   events/sec   allocs/event"
+        )
+        for p in result[profile]:
+            allocs = p.get("allocs_per_event")
+            allocs_s = f"{allocs:>12.4f}" if allocs is not None else " " * 12
+            lines.append(
+                f"    {p[count_key]:>10}  {p['queue']:<5} "
+                f"{p['events_per_sec']:>12,.0f}  {allocs_s}"
+            )
+        lines.append("")
+    if "speedup" in result:
+        lines.append("  speedup vs pre-fast-path engine (wheel points)")
+        for key, ratio in result["speedup"].items():
+            lines.append(f"    {key:<24} {ratio:>6.2f}x")
+    return "\n".join(lines)
+
+
+def write_json(result: dict, path: str = "BENCH_engine.json") -> str:
+    """Write the result document; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    doc = run()
+    print(render(doc))
+    print(f"\nwrote {write_json(doc)}")

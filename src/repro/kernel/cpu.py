@@ -21,6 +21,16 @@ advances the entity's work state.  This single choke point is what makes
 the accounting invariants testable: charged time + unaccounted interrupt
 time + idle time == elapsed time * cores.
 
+Container-ledger charges are *batched*: :meth:`_account` accumulates
+them per (container, network-flag) and :meth:`flush_charges` books the
+coalesced totals -- before every scheduler pick, at preemption, at
+sanitizer sweeps, at the ``get_usage`` syscall, and when the simulation
+loop exits.  Every reader of a ledger therefore sees exactly the totals
+an unbatched dispatcher would have produced, while runs of same-
+container slices between picks pay the ancestor-walk once.  The
+:class:`SystemAccounting` scalar counters and the scheduler's
+``charge()`` (which drives pass values) stay per-slice.
+
 The paper's experiments all run on one CPU; ``n_cpus > 1`` implements
 the multiprocessor variant its section 2 mentions ("Event-driven servers
 designed for multiprocessors use one thread per processor").
@@ -47,7 +57,7 @@ EPSILON = 1e-9
 DEFAULT_SOFTIRQ_QUEUE_LIMIT = 512
 
 
-@dataclass
+@dataclass(slots=True)
 class InterruptJob:
     """A unit of interrupt-context work."""
 
@@ -59,17 +69,25 @@ class InterruptJob:
     note: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class _RunSlice:
-    """The unit of CPU occupancy currently in flight on one core."""
+    """The unit of CPU occupancy currently in flight on one core.
 
-    kind: str  # "hard", "soft", or "entity"
-    start: float
-    planned_us: float
+    Instances are drawn from a free list (see ``CPU._alloc_slice``) and
+    recycled when the slice finishes or is preempted: holding one past
+    the completion of its slice is not supported.  ``event_seq`` is the
+    generation guard for cancelling ``event`` -- the engine recycles
+    event objects, so a bare handle could alias a newer timer.
+    """
+
+    kind: str = ""  # "hard", "soft", or "entity"
+    start: float = 0.0
+    planned_us: float = 0.0
     #: Portion of planned_us that advances entity work (the rest is
     #: context-switch overhead).
-    work_us: float
-    event: "Event"
+    work_us: float = 0.0
+    event: "Optional[Event]" = None
+    event_seq: int = -1
     job: Optional[InterruptJob] = None
     entity: object = None
     charge: Optional[ResourceContainer] = None
@@ -105,11 +123,28 @@ class CPU:
         #: Entities currently occupying a core (excluded from pick()).
         self._running_ids: set[int] = set()
         self._dispatch_scheduled = False
-        #: Optional observational conservation checker
+        #: Coalesced, not-yet-booked container charges:
+        #: (container, network?) -> accumulated microseconds.  Insertion
+        #: order is schedule order, so flushing is deterministic.
+        self._pending_charges: dict[tuple, float] = {}
+        #: Free list of recycled _RunSlice records.
+        self._slice_pool: list[_RunSlice] = []
+        #: Coalesced ledger bookings performed by flush_charges().
+        self.charge_flushes = 0
+        #: Observational conservation checker
         #: (:class:`repro.analysis.sanitizer.ChargingSanitizer`); called
         #: from :meth:`_account` after every booking.  None in normal
         #: runs, so the hook costs one attribute test per slice.
         self.sanitizer = None
+        # Settle pending charges whenever the dispatch loop exits, so
+        # post-run readers (billing, metrics, reports) see final ledgers,
+        # and before any container is destroyed, so no coalesced amount
+        # lands on a dead (detached) container.
+        self.sim.flush_hooks.append(self.flush_charges)
+        kernel.containers.before_destroy.append(self._flush_before_destroy)
+
+    def _flush_before_destroy(self, container: ResourceContainer) -> None:
+        self.flush_charges()
 
     # ------------------------------------------------------------------
     # Work submission
@@ -165,6 +200,57 @@ class CPU:
         # hard/soft slices run to completion; dispatch follows them.
 
     # ------------------------------------------------------------------
+    # Slice records (pooled)
+    # ------------------------------------------------------------------
+
+    def _alloc_slice(
+        self,
+        kind: str,
+        start: float,
+        planned_us: float,
+        work_us: float,
+        event: "Event",
+        job: Optional[InterruptJob],
+        entity: object,
+        charge: Optional[ResourceContainer],
+        charge_network: bool,
+    ) -> _RunSlice:
+        pool = self._slice_pool
+        if pool:
+            run = pool.pop()
+            run.kind = kind
+            run.start = start
+            run.planned_us = planned_us
+            run.work_us = work_us
+            run.event = event
+            run.event_seq = event.seq
+            run.job = job
+            run.entity = entity
+            run.charge = charge
+            run.charge_network = charge_network
+            return run
+        return _RunSlice(
+            kind=kind,
+            start=start,
+            planned_us=planned_us,
+            work_us=work_us,
+            event=event,
+            event_seq=event.seq,
+            job=job,
+            entity=entity,
+            charge=charge,
+            charge_network=charge_network,
+        )
+
+    def _release_slice(self, run: _RunSlice) -> None:
+        # Drop object references so recycled records keep nothing alive.
+        run.event = None
+        run.job = None
+        run.entity = None
+        run.charge = None
+        self._slice_pool.append(run)
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
 
@@ -184,7 +270,8 @@ class CPU:
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
-        now = self.sim.now
+        sim = self.sim
+        now = sim.clock._now
         # Core 0 services interrupts first.
         core0 = self.cores[0]
         while core0.current is None and (self.hard_queue or self.soft_queue):
@@ -193,10 +280,15 @@ class CPU:
             else:
                 self._start_interrupt(core0, "soft", self.soft_queue.popleft())
         # Fill every idle core from the scheduler.
+        scheduler = self.kernel.scheduler
         for core in self.cores:
             if core.current is not None:
                 continue
-            entity = self.kernel.scheduler.pick(now, exclude=self._running_ids)
+            # The pick reads window usage for cap enforcement; settle
+            # any coalesced charges first so it sees exact ledgers.
+            if self._pending_charges:
+                self.flush_charges()
+            entity = scheduler.pick(now, exclude=self._running_ids)
             if entity is None:
                 continue
             work = entity.work_remaining_us()
@@ -205,8 +297,8 @@ class CPU:
                 self.kernel.entity_action(entity)
                 self._schedule_dispatch()
                 continue
-            quantum = self.kernel.scheduler.quantum_us
-            bound = self.kernel.scheduler.slice_bound_us(entity)
+            quantum = scheduler.quantum_us
+            bound = scheduler.slice_bound_us(entity)
             slice_work = min(work, quantum, max(bound, 1.0))
             switch_cost = 0.0
             if (
@@ -217,8 +309,8 @@ class CPU:
                 self.accounting.context_switches += 1
             planned = slice_work + switch_cost
             charge = entity.charge_container()
-            if self.sim.trace.active:
-                self.sim.trace.publish(
+            if sim.trace.active:
+                sim.trace.publish(
                     now,
                     "sched.dispatch",
                     core=core.index,
@@ -227,30 +319,33 @@ class CPU:
                     planned_us=planned,
                     switch_us=switch_cost,
                 )
-            event = self.sim.after(planned, self._finish_slice, core)
-            core.current = _RunSlice(
-                kind="entity",
-                start=now,
-                planned_us=planned,
-                work_us=slice_work,
-                event=event,
-                entity=entity,
-                charge=charge,
-                charge_network=self.kernel.is_net_thread(entity),
+            event = sim.after(planned, self._finish_slice, core)
+            core.current = self._alloc_slice(
+                "entity",
+                now,
+                planned,
+                slice_work,
+                event,
+                None,
+                entity,
+                charge,
+                self.kernel.is_net_thread(entity),
             )
             core.last_entity = entity
             self._running_ids.add(id(entity))
 
     def _start_interrupt(self, core: _Core, kind: str, job: InterruptJob) -> None:
         event = self.sim.after(job.cost_us, self._finish_slice, core)
-        core.current = _RunSlice(
-            kind=kind,
-            start=self.sim.now,
-            planned_us=job.cost_us,
-            work_us=job.cost_us,
-            event=event,
-            job=job,
-            charge=job.charge,
+        core.current = self._alloc_slice(
+            kind,
+            self.sim.clock._now,
+            job.cost_us,
+            job.cost_us,
+            event,
+            job,
+            None,
+            job.charge,
+            False,
         )
 
     # ------------------------------------------------------------------
@@ -262,17 +357,20 @@ class CPU:
         if run is None:  # pragma: no cover - defensive
             return
         core.current = None
-        now = self.sim.now
+        now = self.sim.clock._now
         self._account(run, run.planned_us, interrupt=run.kind != "entity")
         if run.kind == "entity":
             entity = run.entity
             self._running_ids.discard(id(entity))
             self.kernel.scheduler.charge(entity, run.charge, run.planned_us, now)
-            if entity.advance(run.work_us):
+            work_us = run.work_us
+            self._release_slice(run)
+            if entity.advance(work_us):
                 self.kernel.entity_action(entity)
         else:
             job = run.job
             assert job is not None
+            self._release_slice(run)
             job.action()
         self._schedule_dispatch()
 
@@ -283,7 +381,7 @@ class CPU:
             return
         core.current = None
         now = self.sim.now
-        self.sim.cancel(run.event)
+        self.sim.cancel(run.event, run.event_seq)
         self._running_ids.discard(id(run.entity))
         elapsed = now - run.start
         if self.sim.trace.active:
@@ -296,23 +394,30 @@ class CPU:
                 ran_us=elapsed,
                 planned_us=run.planned_us,
             )
+        entity = run.entity
         if elapsed > EPSILON:
             self._account(run, elapsed, interrupt=False)
-            self.kernel.scheduler.charge(run.entity, run.charge, elapsed, now)
+            self.flush_charges()
+            self.kernel.scheduler.charge(entity, run.charge, elapsed, now)
             # Context-switch overhead is paid first; only time beyond it
             # advances the entity's work.
             switch_cost = run.planned_us - run.work_us
             progress = max(0.0, elapsed - switch_cost)
-            if progress > EPSILON and run.entity.advance(progress):
-                self.kernel.entity_action(run.entity)
+            self._release_slice(run)
+            if progress > EPSILON and entity.advance(progress):
+                self.kernel.entity_action(entity)
+        else:
+            self._release_slice(run)
 
     def _account(self, run: _RunSlice, amount_us: float, *, interrupt: bool) -> None:
-        self.accounting.total_cpu_us += amount_us
+        accounting = self.accounting
+        accounting.total_cpu_us += amount_us
         if interrupt:
-            self.accounting.interrupt_cpu_us += amount_us
-        if self.sim.trace.active:
-            self.sim.trace.publish(
-                self.sim.now,
+            accounting.interrupt_cpu_us += amount_us
+        trace = self.sim.trace
+        if trace.active:
+            trace.publish(
+                self.sim.clock._now,
                 "cpu.slice",
                 kind=run.kind,
                 amount_us=amount_us,
@@ -321,16 +426,37 @@ class CPU:
                 entity=getattr(run.entity, "name", run.job.note if run.job else ""),
                 phase=self._phase_of(run),
             )
-        if run.charge is not None:
-            run.charge.charge_cpu(
-                amount_us,
-                network=run.charge_network or interrupt,
-                syscall=not (run.charge_network or interrupt),
-            )
+        charge = run.charge
+        if charge is not None:
+            # Defer the ledger walk: coalesce with any other slice for
+            # the same (container, flavour) booked since the last flush.
+            key = (charge, run.charge_network or interrupt)
+            pending = self._pending_charges
+            pending[key] = pending.get(key, 0.0) + amount_us
         else:
-            self.accounting.unaccounted_cpu_us += amount_us
+            accounting.unaccounted_cpu_us += amount_us
         if self.sanitizer is not None:
             self.sanitizer.on_slice(run, amount_us, interrupt=interrupt)
+
+    def flush_charges(self) -> None:
+        """Book all coalesced charges into the container ledgers.
+
+        Called before scheduler picks, at preemption, from sanitizer
+        sweeps, from the ``get_usage`` syscall, before window rolls, and
+        when the simulation loop exits -- the points at which ledger
+        state becomes observable.  Between those points, consecutive
+        slices for the same (container, network-flag) collapse into a
+        single ``charge_cpu`` ancestor walk.
+        """
+        pending = self._pending_charges
+        if not pending:
+            return
+        self.charge_flushes += 1
+        for (container, network), amount_us in pending.items():
+            container.charge_cpu(
+                amount_us, network=network, syscall=not network
+            )
+        pending.clear()
 
     # ------------------------------------------------------------------
     # Helpers

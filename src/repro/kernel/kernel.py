@@ -35,7 +35,7 @@ from repro.kernel.cpu import CPU, InterruptJob
 from repro.kernel.process import Process, Thread, ThreadBody, ThreadState
 from repro.kernel.syscalls import SyscallExecutor
 from repro.mem.physmem import MemoryAccountant
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet, PacketKind, free_packet
 from repro.net.procmodel import KernelNetThread, NetMode, protocol_cost
 from repro.net.tcp import Connection, ListenSocket, TcpStack
 from repro.sched.container_sched import ContainerScheduler
@@ -188,6 +188,8 @@ class Kernel:
         self.sim.after(self.config.prune_interval_us, self._prune_tick)
 
     def _window_tick(self) -> None:
+        # Deferred charges must land in the window that is closing.
+        self.cpu.flush_charges()
         self.scheduler.window_roll(self.sim.now)
         # Capped-out entities may be eligible again.
         self.cpu.notify_ready()
@@ -389,6 +391,7 @@ class Kernel:
         if isinstance(entity, KernelNetThread):
             _container, packet = entity.take_completed()
             self.stack.protocol_input(packet)
+            free_packet(packet)
             return
         raise TypeError(f"unknown schedulable entity: {entity!r}")
 
@@ -475,13 +478,25 @@ class Kernel:
             )
         self.cpu.post_hard_interrupt(job)
 
+    def _protocol_input_release(self, packet: Packet) -> None:
+        """Protocol-process one packet, then recycle it (the stack keeps
+        payload/connection references, never the packet object)."""
+        self.stack.protocol_input(packet)
+        free_packet(packet)
+
+    def _protocol_input_release_batch(self, packets: list[Packet]) -> None:
+        stack_input = self.stack.protocol_input
+        for packet in packets:
+            stack_input(packet)
+            free_packet(packet)
+
     def _softirq_enqueue_batch(self, packets: list[Packet]) -> None:
         """One coalesced softirq job for a batch (queue-limit checked as
         a single entry; the limit is a drop threshold, not a byte-exact
         buffer model)."""
         job = InterruptJob(
             cost_us=sum(protocol_cost(self, p) for p in packets),
-            action=lambda ps=packets: [self.stack.protocol_input(p) for p in ps],
+            action=lambda ps=packets: self._protocol_input_release_batch(ps),
             charge=None,
             note="softirq-batch",
         )
@@ -489,19 +504,21 @@ class Kernel:
             self.stats_softirq_drops += len(packets)
             for packet in packets:
                 self._note_input_drop(packet)
+                free_packet(packet)
 
     def _softirq_enqueue(self, packet: Packet) -> None:
         """Unmodified kernel: queue full protocol processing at softirq
         priority, charged to no principal."""
         job = InterruptJob(
             cost_us=protocol_cost(self, packet),
-            action=lambda p=packet: self.stack.protocol_input(p),
+            action=lambda p=packet: self._protocol_input_release(p),
             charge=None,
             note="softirq",
         )
         if not self.cpu.post_soft_interrupt(job):
             self.stats_softirq_drops += 1
             self._note_input_drop(packet)
+            free_packet(packet)
 
     def _publish_arrival(self, packet: Packet) -> None:
         """Trace one NIC arrival (only called when tracing is active)."""
@@ -527,6 +544,7 @@ class Kernel:
                     self.sim.now, "net.demux", seq=packet.seq,
                     container=None, dropped=True,
                 )
+            free_packet(packet)
             return
         queue_key = None
         if self.config.mode.net_mode is NetMode.LRP:
@@ -544,6 +562,7 @@ class Kernel:
                     container=container.name if container is not None else None,
                     dropped=True,
                 )
+            free_packet(packet)
             return
         if trace.active:
             trace.publish(
@@ -554,6 +573,7 @@ class Kernel:
         cost = protocol_cost(self, packet)
         if not net_thread.enqueue(container, packet, cost, queue_key=queue_key):
             self._note_input_drop(packet)
+            free_packet(packet)
             return
         self.cpu.notify_ready(net_thread)
 

@@ -421,14 +421,16 @@ class SyscallExecutor:
     # ------------------------------------------------------------------
 
     def _arm_timer(self, thread: Thread, delay_us: float) -> None:
-        thread.wait_timer = self.kernel.sim.after(
-            delay_us, self.wake, thread, "timeout"
-        )
+        timer = self.kernel.sim.after(delay_us, self.wake, thread, "timeout")
+        # Record the generation: the engine recycles fired event objects,
+        # so cancelling through a stale handle needs the seq guard.
+        thread.wait_timer = timer
+        thread.wait_timer_seq = timer.seq
 
     def _cancel_timer(self, thread: Thread) -> None:
         timer = getattr(thread, "wait_timer", None)
         if timer is not None:
-            self.kernel.sim.cancel(timer)
+            self.kernel.sim.cancel(timer, getattr(thread, "wait_timer_seq", None))
             thread.wait_timer = None
 
     # ------------------------------------------------------------------
@@ -707,6 +709,9 @@ class SyscallExecutor:
             container = self._container_arg(thread, op.fd)
             check_access(container, pid, Right.OBSERVE, enforce=enforce,
                          operation="get_usage")
+            # Observation point: settle batched charges so the snapshot
+            # matches what an unbatched dispatcher would report.
+            self.kernel.cpu.flush_charges()
             return manager.get_usage(container, recursive=op.recursive)
         if isinstance(op, api.ContainerGrant):
             container = self._container_arg(thread, op.fd)

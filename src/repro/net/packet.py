@@ -48,9 +48,17 @@ class PacketKind(enum.Enum):
     FIN = "fin"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One inbound packet."""
+    """One inbound packet.
+
+    High-rate senders allocate through :func:`alloc_packet`, which
+    recycles objects from a free list; the kernel's input path returns
+    them with :func:`free_packet` once protocol processing (or an early
+    drop) is done with them.  Directly-constructed packets are never
+    pooled -- ``free_packet`` ignores them -- so tests may hold handles
+    safely.
+    """
 
     kind: PacketKind
     src_addr: int
@@ -60,9 +68,72 @@ class Packet:
     payload: Any = None
     size_bytes: int = 64
     seq: int = field(default_factory=lambda: next(_packet_seq))
+    #: True only between alloc_packet() and free_packet().
+    _poolable: bool = field(default=False, repr=False, compare=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Packet({self.kind.value}, src={format_ip(self.src_addr)}, "
             f"dst_port={self.dst_port}, seq={self.seq})"
         )
+
+
+#: Free list shared by every simulated host in the process (packets are
+#: plain value records; sharing cannot leak state because alloc resets
+#: every field, including a fresh global sequence number).
+_packet_pool: list[Packet] = []
+
+
+def alloc_packet(
+    kind: PacketKind,
+    src_addr: int,
+    src_port: int = 0,
+    dst_port: int = 80,
+    conn: Optional["Connection"] = None,
+    payload: Any = None,
+    size_bytes: int = 64,
+) -> Packet:
+    """Build a packet, recycling a freed one when available.
+
+    The sequence number is always drawn fresh from the same counter the
+    ``Packet`` constructor uses, so pooled and direct allocation produce
+    identical observable streams.
+    """
+    pool = _packet_pool
+    if pool:
+        packet = pool.pop()
+        packet.kind = kind
+        packet.src_addr = src_addr
+        packet.src_port = src_port
+        packet.dst_port = dst_port
+        packet.conn = conn
+        packet.payload = payload
+        packet.size_bytes = size_bytes
+        packet.seq = next(_packet_seq)
+        packet._poolable = True
+        return packet
+    packet = Packet(
+        kind,
+        src_addr,
+        src_port=src_port,
+        dst_port=dst_port,
+        conn=conn,
+        payload=payload,
+        size_bytes=size_bytes,
+    )
+    packet._poolable = True
+    return packet
+
+
+def free_packet(packet: Packet) -> None:
+    """Return a pooled packet to the free list.
+
+    No-op for directly-constructed packets, and for double frees (the
+    flag flips on free, so the second call sees an unpoolable object).
+    """
+    if not packet._poolable:
+        return
+    packet._poolable = False
+    packet.conn = None
+    packet.payload = None
+    _packet_pool.append(packet)

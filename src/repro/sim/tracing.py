@@ -89,16 +89,26 @@ class TraceBus:
         return captured
 
     def publish(self, time: float, category: str, **data: Any) -> None:
-        """Publish one record.  Cheap no-op when nothing is attached."""
+        """Publish one record.  Cheap no-op when nothing is attached.
+
+        The record object is only constructed once the category is known
+        to reach a recorder or at least one handler, so publishers of
+        unwatched categories pay dict lookups but no allocation.
+        """
         if not self.active:
             return
-        record = TraceRecord(time=time, category=category, data=data)
-        if self._recording is not None and self._matches_recording(category):
-            self._recording.append(record)
         handlers = self._match_cache.get(category)
         if handlers is None:
             handlers = self._matched_handlers(category)
             self._match_cache[category] = handlers
+        recording = (
+            self._recording is not None and self._matches_recording(category)
+        )
+        if not handlers and not recording:
+            return
+        record = TraceRecord(time=time, category=category, data=data)
+        if recording:
+            self._recording.append(record)
         for handler in handlers:
             handler(record)
 

@@ -68,6 +68,9 @@ TRIGGER_FIXTURES = [
         "SEEN = {'a', 'b'}\n\ndef f():\n"
         "    return tuple(SEEN)\n",
     ),
+    # DET106: stray binary heaps (fixtures lint as a non-exempt path).
+    ("DET106", "import heapq\n"),
+    ("DET106", "from heapq import heappush\n"),
 ]
 
 CLEAN_FIXTURES = [
@@ -153,6 +156,35 @@ def test_allowlist_entries_all_name_reasons():
         for rule_id, reason in rules.items():
             assert rule_id in RULES, f"{path} allowlists unknown {rule_id}"
             assert len(reason) > 10, f"{path}:{rule_id} needs a real reason"
+
+
+# ---------------------------------------------------------------------------
+# DET106: stray heaps
+# ---------------------------------------------------------------------------
+
+
+def test_det106_exempts_sim_and_sched_subtrees():
+    source = "import heapq\n\ndef f(h):\n    return heapq.heappop(h)\n"
+    assert lint.lint_source(source, "sim/events.py") == []
+    assert lint.lint_source(source, "sched/container_sched.py") == []
+    flagged = lint.lint_source(source, "kernel/timers.py")
+    # Both the import and the heappop() call are flagged.
+    assert [v.rule for v in flagged] == ["DET106", "DET106"]
+
+
+def test_det106_flags_aliased_heap_calls():
+    source = "import heapq as hq\n\ndef f(h):\n    return hq.heappop(h)\n"
+    flagged = lint.lint_source(source, "apps/queueing.py")
+    assert [v.rule for v in flagged] == ["DET106", "DET106"]
+
+
+def test_det106_allowlisted_for_kernel_events_with_reason():
+    # kernel/events.py hosts the IOEvent priority queue, which carries
+    # its own seq tie-breaker; its waiver must stay narrowly scoped.
+    assert "DET106" in lint.FILE_ALLOWLIST["kernel/events.py"]
+    source = "import heapq\n"
+    allowed = lint.FILE_ALLOWLIST["kernel/events.py"]
+    assert lint.lint_source(source, "kernel/events.py", allowed) == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Differential testing of the batched dispatch loop.
+
+``Simulation.run`` delegates the per-event loop to the queue's
+``dispatch_batch``, so the two implementations now own the hottest
+engine code.  These tests drive *whole simulations* -- not bare queues
+-- through identical seeded workloads under ``queue="heap"`` and
+``queue="wheel"`` and require every observable to match: the dispatched
+``(time, tag)`` stream, the clock after every bounded run segment, and
+the dispatch tally.  Callbacks schedule, cancel, and stop mid-batch,
+which is exactly where the batch loop's aliasing is dangerous (a cancel
+inside a callback can trigger heap compaction, which rebinds the
+backing list).
+"""
+
+import random
+
+from repro.sim.engine import Simulation
+
+
+def _run_segmented(kind: str, seed: int):
+    """One seeded workload against one queue kind; returns observables."""
+    rng = random.Random(seed)
+    sim = Simulation(queue=kind)
+    log = []
+    pending = []
+
+    def cb(tag) -> None:
+        log.append((sim.now, tag))
+        roll = rng.random()
+        if roll < 0.55:
+            event = sim.after(rng.uniform(0.0, 2_000.0), cb, rng.randrange(10_000))
+            pending.append((event, event.seq))
+        if roll < 0.25 and pending:
+            event, seq = pending.pop(rng.randrange(len(pending)))
+            sim.cancel(event, seq)
+        if roll > 0.995:
+            sim.stop()
+
+    for i in range(300):
+        event = sim.at(rng.uniform(0.0, 5_000.0), cb, i)
+        pending.append((event, event.seq))
+
+    marks = []
+    # Alternate until-bounded and count-bounded segments, then drain.
+    for step in range(12):
+        if step % 2:
+            sim.run(max_events=rng.randrange(1, 60))
+        else:
+            sim.run(until=sim.now + rng.uniform(0.0, 1_500.0))
+        marks.append((round(sim.now, 9), sim.events_dispatched))
+    sim.run(max_events=50_000)
+    marks.append((round(sim.now, 9), sim.events_dispatched))
+    return log, marks
+
+
+def test_dispatch_batch_differential_fuzz():
+    for seed in range(6):
+        heap_log, heap_marks = _run_segmented("heap", 7_0131 + seed)
+        wheel_log, wheel_marks = _run_segmented("wheel", 7_0131 + seed)
+        assert heap_log == wheel_log
+        assert heap_marks == wheel_marks
+
+
+def test_in_callback_cancel_survives_heap_compaction():
+    # A callback cancelling many events can trigger EventQueue._compact,
+    # which rebinds the backing heap list mid-batch; the loop must keep
+    # dispatching from the *new* list, not a stale alias.
+    for kind in ("heap", "wheel"):
+        sim = Simulation(queue=kind)
+        sim.queue._compact_min_dead = 4
+        fired = []
+        doomed = []
+
+        def massacre() -> None:
+            for event, seq in doomed:
+                sim.cancel(event, seq)
+
+        sim.at(1.0, massacre)
+        for i in range(50):
+            event = sim.at(10.0 + i, fired.append, i)
+            if i % 2:
+                doomed.append((event, event.seq))
+        sim.run()
+        assert fired == [i for i in range(50) if not i % 2], kind
+        assert sim.events_dispatched == 26, kind
+
+
+def test_max_events_exit_leaves_clock_at_last_event():
+    # The old loop checked max_events before popping; a count-bounded
+    # exit must leave the clock at the last dispatched event even when
+    # an until-horizon lies further out.
+    for kind in ("heap", "wheel"):
+        sim = Simulation(queue=kind)
+        for i in range(5):
+            sim.at(10.0 * (i + 1), lambda: None)
+        assert sim.run(until=1_000.0, max_events=3) == 30.0, kind
+        assert sim.events_dispatched == 3, kind
+        # Resuming honours the horizon epilogue once drained.
+        assert sim.run(until=1_000.0) == 1_000.0, kind
+        assert sim.events_dispatched == 5, kind
+
+
+def test_stop_halts_after_current_event():
+    for kind in ("heap", "wheel"):
+        sim = Simulation(queue=kind)
+        order = []
+
+        def stopper() -> None:
+            order.append("stop")
+            sim.stop()
+
+        sim.at(1.0, order.append, "a")
+        sim.at(2.0, stopper)
+        sim.at(3.0, order.append, "b")
+        sim.run(until=100.0)
+        assert order == ["a", "stop"], kind
+        assert sim.now == 2.0, kind
+        sim.run(until=100.0)
+        assert order == ["a", "stop", "b"], kind
+        assert sim.now == 100.0, kind
+
+
+def test_in_batch_insertions_dispatch_in_order():
+    # A callback scheduling an event *earlier than the next pending one*
+    # must see it dispatched first -- insertions land at or after the
+    # batch cursor in both implementations.
+    for kind in ("heap", "wheel"):
+        sim = Simulation(queue=kind)
+        order = []
+
+        def wedge() -> None:
+            order.append("wedge")
+            sim.at(5.0, order.append, "inserted")
+
+        sim.at(1.0, wedge)
+        sim.at(10.0, order.append, "late")
+        sim.run()
+        assert order == ["wedge", "inserted", "late"], kind

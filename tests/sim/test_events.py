@@ -1,10 +1,23 @@
-"""Event queue ordering, cancellation, and tie-breaking."""
+"""Event queue ordering, cancellation, and tie-breaking.
 
-from repro.sim.events import EventQueue
+Parameterized over both implementations (binary heap and timing wheel):
+the observable contract is identical by construction, and these tests
+are the executable statement of that contract.
+"""
+
+import pytest
+
+from repro.sim.events import EventQueue, TimingWheelQueue
 
 
-def test_pop_in_time_order():
-    queue = EventQueue()
+@pytest.fixture(params=["heap", "wheel"])
+def queue(request):
+    if request.param == "heap":
+        return EventQueue()
+    return TimingWheelQueue()
+
+
+def test_pop_in_time_order(queue):
     fired = []
     queue.schedule(5.0, fired.append, "b")
     queue.schedule(1.0, fired.append, "a")
@@ -17,8 +30,7 @@ def test_pop_in_time_order():
     assert fired == ["a", "b", "c"]
 
 
-def test_ties_break_by_schedule_order():
-    queue = EventQueue()
+def test_ties_break_by_schedule_order(queue):
     order = []
     for label in ("first", "second", "third"):
         queue.schedule(7.0, order.append, label)
@@ -27,8 +39,7 @@ def test_ties_break_by_schedule_order():
     assert order == ["first", "second", "third"]
 
 
-def test_len_counts_pending_only():
-    queue = EventQueue()
+def test_len_counts_pending_only(queue):
     event = queue.schedule(1.0, lambda: None)
     queue.schedule(2.0, lambda: None)
     assert len(queue) == 2
@@ -38,8 +49,7 @@ def test_len_counts_pending_only():
     assert len(queue) == 0
 
 
-def test_cancelled_event_is_skipped():
-    queue = EventQueue()
+def test_cancelled_event_is_skipped(queue):
     fired = []
     cancel_me = queue.schedule(1.0, fired.append, "cancelled")
     queue.schedule(2.0, fired.append, "kept")
@@ -49,44 +59,38 @@ def test_cancelled_event_is_skipped():
     assert fired == ["kept"]
 
 
-def test_double_cancel_is_safe():
-    queue = EventQueue()
+def test_double_cancel_is_safe(queue):
     event = queue.schedule(1.0, lambda: None)
     queue.cancel(event)
     queue.cancel(event)
     assert len(queue) == 0
 
 
-def test_peek_time_skips_cancelled():
-    queue = EventQueue()
+def test_peek_time_skips_cancelled(queue):
     early = queue.schedule(1.0, lambda: None)
     queue.schedule(3.0, lambda: None)
     queue.cancel(early)
     assert queue.peek_time() == 3.0
 
 
-def test_pop_empty_returns_none():
-    queue = EventQueue()
+def test_pop_empty_returns_none(queue):
     assert queue.pop() is None
     assert queue.peek_time() is None
 
 
-def test_event_pending_flag():
-    queue = EventQueue()
+def test_event_pending_flag(queue):
     event = queue.schedule(1.0, lambda: None)
     assert event.pending
     queue.pop()
     assert not event.pending
 
 
-def test_pop_due_empty_queue():
-    queue = EventQueue()
+def test_pop_due_empty_queue(queue):
     assert queue.pop_due() == (None, None)
     assert queue.pop_due(until=5.0) == (None, None)
 
 
-def test_pop_due_pops_events_at_or_before_bound():
-    queue = EventQueue()
+def test_pop_due_pops_events_at_or_before_bound(queue):
     queue.schedule(1.0, lambda: None)
     queue.schedule(5.0, lambda: None)
     event, when = queue.pop_due(until=5.0)
@@ -96,8 +100,7 @@ def test_pop_due_pops_events_at_or_before_bound():
     assert queue.pop_due(until=5.0) == (None, None)
 
 
-def test_pop_due_leaves_head_beyond_bound():
-    queue = EventQueue()
+def test_pop_due_leaves_head_beyond_bound(queue):
     queue.schedule(7.0, lambda: None)
     event, when = queue.pop_due(until=5.0)
     assert event is None and when == 7.0
@@ -106,8 +109,7 @@ def test_pop_due_leaves_head_beyond_bound():
     assert event is not None and when == 7.0
 
 
-def test_pop_due_skips_cancelled_head():
-    queue = EventQueue()
+def test_pop_due_skips_cancelled_head(queue):
     dead = queue.schedule(1.0, lambda: None)
     queue.schedule(3.0, lambda: None)
     queue.cancel(dead)
@@ -115,8 +117,7 @@ def test_pop_due_skips_cancelled_head():
     assert event is not None and when == 3.0
 
 
-def test_pop_due_without_bound_pops_everything_in_order():
-    queue = EventQueue()
+def test_pop_due_without_bound_pops_everything_in_order(queue):
     queue.schedule(2.0, lambda: None)
     queue.schedule(1.0, lambda: None)
     times = []
@@ -126,3 +127,16 @@ def test_pop_due_without_bound_pops_everything_in_order():
             break
         times.append(when)
     assert times == [1.0, 2.0]
+
+
+def test_schedule_at_or_before_drain_point(queue):
+    """An event scheduled at/before the last popped time fires next."""
+    queue.schedule(100.0, lambda: None)
+    queue.schedule(500.0, lambda: None)
+    event, when = queue.pop_due()
+    assert when == 100.0
+    queue.schedule(50.0, lambda: None, "late")
+    event, when = queue.pop_due()
+    assert when == 50.0 and event.args == ("late",)
+    event, when = queue.pop_due()
+    assert when == 500.0

@@ -1,0 +1,195 @@
+"""Differential testing: the timing wheel against the reference heap.
+
+The wheel must reproduce the heap's dispatch order bit for bit under any
+workload -- same-timestamp bursts, far-future timers, cancel-then-
+reschedule churn, scheduling at or before the currently-draining tick.
+The fuzz harness drives both implementations with one seeded operation
+stream and compares every observable: dispatch order, pending counts,
+peek times, and bound-hit behaviour.
+
+The pool-recycling tests pin the generation-guard contract: a recycled
+``Event`` handle (its object reused for a later event) must never cancel
+its successor when the holder passes the sequence number it recorded.
+"""
+
+import random
+
+from repro.sim.events import (
+    WHEEL_GRANULARITY_US,
+    EventQueue,
+    TimingWheelQueue,
+    make_event_queue,
+)
+
+
+def _noop() -> None:
+    pass
+
+
+def _drain(queue):
+    """Pop everything, returning the observable (when, seq, args) stream."""
+    out = []
+    while True:
+        event, when = queue.pop_due()
+        if event is None:
+            break
+        out.append((when, event.seq, event.args))
+    return out
+
+
+def _fuzz_round(seed: int, ops: int = 4000) -> None:
+    rng = random.Random(seed)
+    heap = EventQueue(compact_min_dead=8)
+    wheel = TimingWheelQueue(compact_min_dead=8)
+    # Parallel handle lists: index i is the same logical event in both.
+    handles: list = []
+    dispatched_h: list = []
+    dispatched_w: list = []
+    now = 0.0
+
+    def schedule(when: float) -> None:
+        tag = len(handles)
+        eh = heap.schedule(when, _noop, tag)
+        ew = wheel.schedule(when, _noop, tag)
+        assert eh.seq == ew.seq
+        handles.append((eh, eh.seq, ew, ew.seq))
+
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.45:
+            # Mixture of horizons: sub-tick, short, overflow-level, far
+            # future; occasionally at or before the current drain point.
+            horizon = rng.choice(
+                (
+                    rng.uniform(0.0, WHEEL_GRANULARITY_US),
+                    rng.uniform(0.0, 1_000.0),
+                    rng.uniform(0.0, 40_000.0),
+                    rng.uniform(100_000.0, 9_000_000.0),
+                )
+            )
+            when = now + horizon
+            if rng.random() < 0.05:
+                when = max(0.0, now - rng.uniform(0.0, 500.0))
+            schedule(when)
+            if rng.random() < 0.2:
+                # Same-timestamp burst: ties broken by sequence.
+                for _ in range(rng.randrange(1, 4)):
+                    schedule(when)
+        elif roll < 0.70 and handles:
+            # Cancel (possibly already fired/cancelled) -- then sometimes
+            # reschedule, the timer-churn pattern.
+            eh, sh, ew, sw = handles[rng.randrange(len(handles))]
+            heap.cancel(eh, sh)
+            wheel.cancel(ew, sw)
+            if rng.random() < 0.5:
+                schedule(now + rng.uniform(0.0, 50_000.0))
+        elif roll < 0.85:
+            assert heap.peek_time() == wheel.peek_time()
+            assert len(heap) == len(wheel)
+        else:
+            # Drain a bounded step; the bound must bite identically.
+            until = now + rng.uniform(0.0, 5_000.0)
+            while True:
+                eh, th = heap.pop_due(until)
+                ew, tw = wheel.pop_due(until)
+                assert th == tw
+                assert (eh is None) == (ew is None)
+                if eh is None:
+                    break
+                assert eh.seq == ew.seq and eh.args == ew.args
+                dispatched_h.append((th, eh.seq, eh.args))
+                dispatched_w.append((tw, ew.seq, ew.args))
+                now = th
+            if th is not None:
+                now = max(now, until)
+    dispatched_h.extend(_drain(heap))
+    dispatched_w.extend(_drain(wheel))
+    assert dispatched_h == dispatched_w
+    assert len(heap) == len(wheel) == 0
+    # (The stream is not globally when-sorted: the workload deliberately
+    # schedules events at or before the drain point, which both queues
+    # must surface immediately -- later in the stream than their stamp.)
+
+
+def test_fuzz_wheel_matches_heap():
+    for seed in range(8):
+        _fuzz_round(20990131 + seed)
+
+
+def test_far_future_cascades_in_order():
+    wheel = TimingWheelQueue()
+    whens = [9_000_000.0, 13.0, 4_500_000.0, 70_000.0, 9_000_000.0, 64.0]
+    for when in whens:
+        wheel.schedule(when, _noop, when)
+    popped = [when for when, _seq, _args in _drain(wheel)]
+    assert popped == sorted(whens)
+
+
+def test_far_heap_compaction_counts():
+    wheel = TimingWheelQueue(compact_min_dead=16)
+    keep = wheel.schedule(5.0, _noop)
+    doomed = [wheel.schedule(10_000_000.0 + i, _noop) for i in range(40)]
+    for event in doomed:
+        wheel.cancel(event, event.seq)
+    assert wheel.compactions >= 1
+    assert len(wheel._far) < 40
+    assert wheel.pop() is keep
+
+
+def test_recycled_handle_cannot_cancel_successor():
+    wheel = TimingWheelQueue()
+    first = wheel.schedule(1.0, _noop, "first")
+    first_seq = first.seq
+    event, _ = wheel.pop_due()
+    assert event is first
+    # The pool reuses the object for the next event.
+    second = wheel.schedule(2.0, _noop, "second")
+    assert second is first
+    # The stale holder's guarded cancel is refused...
+    wheel.cancel(first, first_seq)
+    assert wheel.stale_cancels == 1
+    # ...and the successor still fires.
+    event, when = wheel.pop_due()
+    assert event is not None and when == 2.0 and event.args == ("second",)
+
+
+def test_cancelled_handle_is_recycled_and_guarded():
+    wheel = TimingWheelQueue()
+    first = wheel.schedule(1.0, _noop, "first")
+    first_seq = first.seq
+    wheel.cancel(first, first_seq)
+    second = wheel.schedule(2.0, _noop, "second")
+    assert second is first  # recycled on cancel
+    # Double-cancel through the stale handle must not kill the successor.
+    wheel.cancel(first, first_seq)
+    assert wheel.stale_cancels == 1
+    assert len(wheel) == 1
+    event, when = wheel.pop_due()
+    assert event is not None and when == 2.0
+
+
+def test_pool_reuse_counts():
+    wheel = TimingWheelQueue()
+    for i in range(10):
+        wheel.schedule(float(i), _noop)
+    while wheel.pop() is not None:
+        pass
+    for i in range(10):
+        wheel.schedule(float(i), _noop)
+    assert wheel.pool_hits == 10
+
+
+def test_make_event_queue_selects_implementation(monkeypatch):
+    monkeypatch.delenv("REPRO_EVENTQUEUE", raising=False)
+    assert isinstance(make_event_queue(), TimingWheelQueue)
+    assert isinstance(make_event_queue("heap"), EventQueue)
+    assert isinstance(make_event_queue("wheel"), TimingWheelQueue)
+    monkeypatch.setenv("REPRO_EVENTQUEUE", "heap")
+    assert isinstance(make_event_queue(), EventQueue)
+    monkeypatch.setenv("REPRO_EVENTQUEUE", "bogus")
+    try:
+        make_event_queue()
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("bogus queue kind must be rejected")
