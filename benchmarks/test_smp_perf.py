@@ -1,0 +1,55 @@
+"""Tier-2 perf smoke for the SMP fast path.
+
+The per-CPU run-queue rework must keep the 8-core / 1000-container pick
+loop at least 2x faster than the pre-rework scheduler, which funnelled
+every core through one global ready index and an exclude set of
+running entities.  That baseline is frozen in
+``bench_scalability.SMP_BEFORE_BASELINE`` (recorded on this container
+right before the rework landed); the acceptance run recorded a ~10x
+speedup, so a 2x floor leaves ample headroom for machine noise while
+still catching a return to exclude-set scans.
+
+Run with ``pytest -m perf benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import bench_scalability
+
+#: Required speedup of the fresh measurement over the frozen pre-rework
+#: baseline (acceptance criterion is >=5x on the recording; the live
+#: smoke test asks for 2x to absorb slow CI machines).
+REQUIRED_SPEEDUP = 2.0
+
+
+@pytest.mark.perf
+def test_smp_pick_8x1000_at_least_2x_over_pre_rework(repro_report):
+    before = next(
+        point["us_per_pick"]
+        for point in bench_scalability.SMP_BEFORE_BASELINE["smp_microbench"]
+        if point["containers"] == 1000 and point["n_cpus"] == 8
+    )
+    fresh = bench_scalability.smp_microbench_point(1000, 8, picks=2000)
+    speedup = before / fresh["us_per_pick"]
+    repro_report(
+        "perf smoke: SMP pick 1000x8 "
+        f"{fresh['us_per_pick']:.3f}us vs pre-rework {before:.3f}us "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"SMP pick path at 8 cores / 1000 containers lost its speedup: "
+        f"{fresh['us_per_pick']:.1f}us/pick vs pre-rework "
+        f"{before:.1f}us/pick ({speedup:.2f}x < {REQUIRED_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.perf
+def test_smp_pick_beats_single_core_pick_rate_per_core():
+    """Sharding must not serialize: driving 4 cores round-robin costs
+    less per pick than 4x the single-core cost (no global-lock-style
+    rescan of all cores' work on every pick)."""
+    single = bench_scalability.smp_microbench_point(1000, 1, picks=1200)
+    quad = bench_scalability.smp_microbench_point(1000, 4, picks=1200)
+    assert quad["us_per_pick"] <= single["us_per_pick"] * 4.0

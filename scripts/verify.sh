@@ -16,6 +16,9 @@
 #      event-queue implementation (REPRO_EVENTQUEUE=heap|wheel) must
 #      export byte-identical artifacts -- the timing wheel may be
 #      faster, never different
+#   0e. SMP charging conservation: a 4-core multi-threaded server run
+#      under the sanitizer must conserve CPU time per core
+#      (accounting-core-busy, core-busy-split, overcommitted-core)
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -76,6 +79,38 @@ for artifact in trace.jsonl trace-events.json flame.txt metrics.json; do
     || { echo "engine equivalence FAILED: $artifact differs between heap and wheel"; exit 1; }
 done
 echo "engine equivalence OK (heap and wheel traces byte-identical)"
+
+echo "== tier-0e: SMP charging conservation (4 cores) =="
+python - <<'PYEOF'
+from repro import Host, SystemMode, ip_addr
+from repro.apps.httpserver import MultiThreadedServer
+from repro.apps.webclient import HttpClient
+from repro.kernel.kernel import KernelConfig
+
+config = KernelConfig(mode=SystemMode.RC, n_cpus=4)
+host = Host(mode=SystemMode.RC, seed=19, config=config, sanitize=True)
+host.kernel.fs.add_file("/index.html", 2048)
+host.kernel.fs.warm("/index.html")
+MultiThreadedServer(host.kernel, n_threads=8).install()
+for i in range(16):
+    HttpClient(host.kernel, ip_addr(10, 0, 0, i + 1), f"c{i}").start(
+        at_us=2_000.0 + i * 120.0
+    )
+host.run(seconds=0.5)
+violations = host.kernel.sanitizer.finish()
+if violations:
+    print("SMP conservation FAILED:")
+    for violation in violations[:10]:
+        print(" ", violation)
+    raise SystemExit(1)
+cpu = host.kernel.cpu
+split = sum(cpu.core_busy_us)
+total = cpu.accounting.total_cpu_us
+if abs(split - total) > 1e-6:
+    raise SystemExit(f"core-busy split {split} != accounting total {total}")
+print(f"SMP conservation OK (4 cores, {total / 1e6:.3f}s CPU charged, "
+      f"{host.kernel.scheduler.steals} steals, 0 violations)")
+PYEOF
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

@@ -122,6 +122,10 @@ class ChargingSanitizer:
         self._total_us = 0.0
         self._interrupt_us = 0.0
         self._unaccounted_us = 0.0
+        #: Per-core busy mirrors (SMP conservation: the per-core splits
+        #: must recompose to the machine-wide total, and no single core
+        #: can be busy longer than elapsed time).
+        self._core_busy_us = [0.0] * kernel.cpu.n_cpus
         #: CPU booked to container ledgers from entity slices (the
         #: amounts the scheduler must also have seen via charge()).
         self._charged_entity_us = 0.0
@@ -143,6 +147,7 @@ class ChargingSanitizer:
         self._base_total = acct.total_cpu_us
         self._base_interrupt = acct.interrupt_cpu_us
         self._base_unaccounted = acct.unaccounted_cpu_us
+        self._base_core_busy = list(kernel.cpu.core_busy_us)
         self._base_ledger = self._live_ledger_cpu_us()
         self._base_sched_charged = getattr(
             kernel.scheduler, "charged_us_total", None
@@ -187,11 +192,14 @@ class ChargingSanitizer:
             )
         )
 
-    def on_slice(self, run, amount_us: float, interrupt: bool) -> None:
+    def on_slice(
+        self, run, amount_us: float, interrupt: bool, core: int = 0
+    ) -> None:
         """Called by ``CPU._account`` after it booked one slice.
 
         ``run`` is the dispatcher's ``_RunSlice``; its fields provide
-        the event context for any violation raised here.
+        the event context for any violation raised here.  ``core`` is
+        the index of the core the slice occupied.
         """
         self.slices_checked += 1
         now = self.kernel.sim.now
@@ -225,6 +233,7 @@ class ChargingSanitizer:
             )
         # Mirror the booking.
         self._total_us += amount_us
+        self._core_busy_us[core] += amount_us
         if interrupt:
             self._interrupt_us += amount_us
         if charge is None:
@@ -243,6 +252,10 @@ class ChargingSanitizer:
                       self._base_interrupt + self._interrupt_us, context)
         self._compare("accounting-unaccounted", acct.unaccounted_cpu_us,
                       self._base_unaccounted + self._unaccounted_us, context)
+        self._compare("accounting-core-busy",
+                      self.kernel.cpu.core_busy_us[core],
+                      self._base_core_busy[core] + self._core_busy_us[core],
+                      context)
         if self.sweep_every and self.slices_checked % self.sweep_every == 0:
             self.sweep()
 
@@ -379,6 +392,23 @@ class ChargingSanitizer:
                 f"capacity {capacity:.6f}us "
                 f"({self.kernel.cpu.n_cpus} core(s))",
             )
+        # Per-core split: the per-core busy mirrors must recompose to
+        # the machine-wide total (so per-core busy + ledgers +
+        # unaccounted + idle tile elapsed * cores exactly), and no one
+        # core can be busy longer than elapsed time.
+        self._compare(
+            "core-busy-split",
+            sum(self._core_busy_us),
+            self._total_us,
+        )
+        for index, busy in enumerate(self._core_busy_us):
+            base = self._base_core_busy[index]
+            if base + busy > now + _tol(now):
+                self._violate(
+                    "overcommitted-core",
+                    f"core {index} busy {base + busy:.6f}us exceeds "
+                    f"elapsed time {now:.6f}us",
+                )
         # Disk conservation: what the disk_us ledgers hold is what they
         # held at install plus every charged completion we mirrored, and
         # the device's busy split re-composes from the same mirrors.

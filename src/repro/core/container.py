@@ -40,16 +40,41 @@ _container_ids = itertools.count(1)
 #: stale reads.
 _hierarchy_epoch = 0
 
+#: Global hierarchy *shape* epoch: the subset of mutations that can
+#: change an **existing** container's derived scheduling keys -- its
+#: top-level group, its cpu-limit ancestor chain, or its priority.
+#: Those are attribute replacement on a live container and reparenting
+#: (including the orphaning of children when a parent dies).  Creating
+#: a fresh container, or destroying a leaf, bumps only the full epoch
+#: above: no existing container's shape derivations move, so consumers
+#: guarding their per-container memos and ready indexes on this counter
+#: (:class:`repro.core.hierarchy.HierarchyCache`, the scheduler's
+#: per-CPU ready shards) survive per-request principal churn without
+#: O(n) rebuilds.  Weight caches must keep watching the full epoch:
+#: a new top-level sibling does shift everyone's residual split.
+_shape_epoch = 0
+
 
 def hierarchy_epoch() -> int:
     """Current value of the global hierarchy mutation epoch."""
     return _hierarchy_epoch
 
 
+def shape_epoch() -> int:
+    """Current value of the global hierarchy *shape* epoch."""
+    return _shape_epoch
+
+
 def bump_hierarchy_epoch() -> None:
     """Invalidate every epoch-guarded hierarchy cache."""
     global _hierarchy_epoch
     _hierarchy_epoch += 1
+
+
+def bump_shape_epoch() -> None:
+    """Invalidate caches of existing containers' shape derivations."""
+    global _shape_epoch
+    _shape_epoch += 1
 
 
 class ContainerState(enum.Enum):
@@ -95,7 +120,11 @@ class ResourceContainer:
     ) -> None:
         self.cid: int = next(_container_ids)
         self.name = name
-        self.attrs = attrs if attrs is not None else ContainerAttributes()
+        # Initial attribute record: a brand-new container cannot change
+        # any existing container's derivations, so bypass the setter's
+        # shape bump (weight caches still flush via the full epoch).
+        self._attrs = attrs if attrs is not None else ContainerAttributes()
+        bump_hierarchy_epoch()
         self.parent: Optional[ResourceContainer] = None
         self.children: list[ResourceContainer] = []
         self.usage = ResourceUsage()
@@ -120,7 +149,7 @@ class ResourceContainer:
         #: Lazily created access-control list (see repro.core.security).
         self.acl = None
         if parent is not None:
-            self.set_parent(parent)
+            self.set_parent(parent, _fresh=True)
 
     # ------------------------------------------------------------------
     # Attributes
@@ -135,17 +164,23 @@ class ResourceContainer:
     def attrs(self, value: ContainerAttributes) -> None:
         self._attrs = value
         bump_hierarchy_epoch()
+        bump_shape_epoch()
 
     # ------------------------------------------------------------------
     # Hierarchy
     # ------------------------------------------------------------------
 
-    def set_parent(self, parent: Optional["ResourceContainer"]) -> None:
+    def set_parent(
+        self, parent: Optional["ResourceContainer"], *, _fresh: bool = False
+    ) -> None:
         """Attach this container under ``parent`` (or detach if None).
 
         Enforces the prototype's structural rules (section 5.1): only
         fixed-share containers may have children, and the parent must be
-        alive.  Cycles are rejected.
+        alive.  Cycles are rejected.  ``_fresh`` marks the initial
+        attach from the constructor, which cannot move any *existing*
+        container's shape derivations and therefore skips the shape
+        bump.
         """
         if self.is_root:
             raise ContainerPolicyError("the root container's parent is fixed")
@@ -178,6 +213,8 @@ class ResourceContainer:
         if parent is not None:
             parent.children.append(self)
         bump_hierarchy_epoch()
+        if not _fresh:
+            bump_shape_epoch()
         if self.window_usage_us > 0.0:
             # A charged subtree moved under a (possibly) new top: make
             # sure the next window roll there still resets it.

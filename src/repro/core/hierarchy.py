@@ -15,7 +15,7 @@ from repro.core.attributes import SchedClass
 from repro.core.container import (
     ContainerState,
     ResourceContainer,
-    hierarchy_epoch,
+    shape_epoch,
 )
 from repro.kernel.accounting import ResourceUsage
 from repro.kernel.errors import ContainerPolicyError
@@ -90,28 +90,38 @@ class HierarchyCache:
     Derivations that a scheduler needs on every pick/charge --
     ``top_level_of`` (O(depth) parent walk) and the chain of ancestors
     carrying a ``cpu_limit`` (O(depth) attribute walk) -- are pure
-    functions of the tree shape and attribute records, both of which
-    bump the global hierarchy epoch when they change.  The owner calls
-    :meth:`check` at its entry points (never mid-iteration); accessors
-    then serve O(1) dictionary hits until the next mutation.
+    functions of the tree shape and attribute records.  Mutations that
+    can move an *existing* container's derivations (attribute
+    replacement, reparenting) bump the global shape epoch; creating a
+    fresh container or destroying a leaf does not, so the memos stay
+    warm across per-request principal churn (the owner evicts dead
+    entries via :meth:`forget`).  The owner calls :meth:`check` at its
+    entry points (never mid-iteration); accessors then serve O(1)
+    dictionary hits until the next shape mutation.
     """
 
     __slots__ = ("_epoch", "_top_level", "_limit_chain")
 
     def __init__(self) -> None:
-        self._epoch = hierarchy_epoch()
+        self._epoch = shape_epoch()
         self._top_level: dict[int, ResourceContainer] = {}
         self._limit_chain: dict[int, tuple[ResourceContainer, ...]] = {}
 
     def check(self) -> bool:
-        """Flush if the hierarchy changed; True when a flush happened."""
-        epoch = hierarchy_epoch()
+        """Flush if the hierarchy's shape changed; True on a flush."""
+        epoch = shape_epoch()
         if epoch != self._epoch:
             self._epoch = epoch
             self._top_level.clear()
             self._limit_chain.clear()
             return True
         return False
+
+    def forget(self, cid: int) -> None:
+        """Evict one container's memos (called when it is destroyed, so
+        leaf churn cannot accrete dead entries between shape flushes)."""
+        self._top_level.pop(cid, None)
+        self._limit_chain.pop(cid, None)
 
     def top_level(self, container: ResourceContainer) -> ResourceContainer:
         """Cached :func:`top_level_of`."""

@@ -1,6 +1,6 @@
 """Scheduler scalability benchmark: the pick()/charge() hot paths.
 
-Two sweeps, each over growing container/entity counts:
+Four sweeps:
 
 ``microbench``
     Drives :class:`ContainerScheduler` directly with a tight
@@ -15,16 +15,34 @@ Two sweeps, each over growing container/entity counts:
     simulation events/second -- the number every future perf PR is
     measured against.
 
-``python -m repro bench`` runs both sweeps and writes
+``smp_microbench`` (the cores axis)
+    Drives the scheduler's per-CPU protocol (``pick_for_cpu`` /
+    ``on_slice_end``) over n_cpus x containers: a flat field of
+    time-share principals directly under the root (the paper's
+    per-request container shape), staggered per-core completions, and
+    *principal churn* -- one container created and released every
+    ``SMP_CHURN_EVERY`` picks, as per-request containers do in a real
+    server.  The churn is what makes the point honest: it exercises the
+    epoch/invalidation path on every measurement, not just warm caches.
+
+``smp_end_to_end``
+    A full RC kernel per core count running a multi-threaded web server
+    under concurrent HTTP load; reports completed requests, i.e. how
+    simulated *throughput* scales with the cores axis.
+
+``python -m repro bench`` runs all sweeps and writes
 ``BENCH_scalability.json`` so the repo's perf trajectory is
-machine-readable; ``benchmarks/test_scalability.py`` (the ``perf``
-marker) fails if the 1000-entity point regresses more than 2x against
-the recorded numbers.
+machine-readable; ``benchmarks/test_scalability.py`` and
+``benchmarks/test_smp_perf.py`` (the ``perf`` marker) fail if key
+points regress more than 2x against the recorded numbers.
 
 ``BEFORE_BASELINE`` holds the numbers measured at the commit *before*
 the O(log n) scheduler rework (linear-scan ``pick()``, uncached
-``group_weight()``), on the same machine that recorded the committed
-JSON -- the denominator of the headline speedup.
+``group_weight()``), and ``SMP_BEFORE_BASELINE`` those measured at the
+commit before the per-CPU run-queue rework (one global index, every
+core picking with an exclude set, epoch rebuilds on every churn), each
+on the same machine that recorded the committed JSON -- the
+denominators of the headline speedups.
 """
 
 from __future__ import annotations
@@ -49,6 +67,19 @@ MICRO_PICKS = 2000
 #: Simulated horizon per end-to-end point, microseconds.
 E2E_HORIZON_US = 1_000_000.0
 
+#: Cores axis for the SMP sweeps.
+SMP_CPUS = (1, 2, 4, 8)
+
+#: Container counts for the SMP microbench (flat per-request principals).
+SMP_POINTS = (10, 100, 1000)
+
+#: Total picks per SMP microbench point (across all cores), and warmup.
+SMP_PICKS = 4800
+SMP_WARMUP = 400
+
+#: One per-request principal created + released every this many picks.
+SMP_CHURN_EVERY = 64
+
 #: Numbers measured on the pre-optimisation scheduler (linear-scan
 #: pick, re-summing group_weight, full-tree window_roll) with this same
 #: harness.  Filled in by the optimisation PR; see module docstring.
@@ -62,6 +93,34 @@ BEFORE_BASELINE: dict = {
         {"processes": 10, "wall_s_per_sim_s": 0.157884},
         {"processes": 100, "wall_s_per_sim_s": 0.796186},
         {"processes": 1000, "wall_s_per_sim_s": 7.511917},
+    ],
+}
+
+#: Numbers measured on the pre-SMP-rework scheduler (one global ready
+#: index shared by all cores, each core picking with an exclude set of
+#: the others' running entities, and a full index rebuild + O(siblings)
+#: weight recomputation on every principal create/destroy) with this
+#: same harness protocol.  See module docstring.
+SMP_BEFORE_BASELINE: dict = {
+    "smp_microbench": [
+        {"containers": 10, "n_cpus": 1, "us_per_pick": 8.400},
+        {"containers": 10, "n_cpus": 2, "us_per_pick": 9.613},
+        {"containers": 10, "n_cpus": 4, "us_per_pick": 12.532},
+        {"containers": 10, "n_cpus": 8, "us_per_pick": 15.190},
+        {"containers": 100, "n_cpus": 1, "us_per_pick": 31.680},
+        {"containers": 100, "n_cpus": 2, "us_per_pick": 32.407},
+        {"containers": 100, "n_cpus": 4, "us_per_pick": 36.873},
+        {"containers": 100, "n_cpus": 8, "us_per_pick": 33.066},
+        {"containers": 1000, "n_cpus": 1, "us_per_pick": 232.267},
+        {"containers": 1000, "n_cpus": 2, "us_per_pick": 218.111},
+        {"containers": 1000, "n_cpus": 4, "us_per_pick": 214.352},
+        {"containers": 1000, "n_cpus": 8, "us_per_pick": 218.506},
+    ],
+    "smp_end_to_end": [
+        {"n_cpus": 1, "completed_requests": 1389, "wall_s": 1.010492},
+        {"n_cpus": 2, "completed_requests": 2527, "wall_s": 1.849719},
+        {"n_cpus": 4, "completed_requests": 3492, "wall_s": 2.963771},
+        {"n_cpus": 8, "completed_requests": 4394, "wall_s": 4.535365},
     ],
 }
 
@@ -156,6 +215,112 @@ def microbench_point(leaves: int, picks: int = MICRO_PICKS) -> dict:
     }
 
 
+def build_flat(leaves: int, n_cpus: int = 1):
+    """A flat field of time-share principals directly under the root --
+    the shape a server's per-request containers take -- plus one
+    :class:`BenchEntity` per principal."""
+    manager = ContainerManager()
+    sched = ContainerScheduler(
+        manager.root, quantum_us=1_000.0, window_us=10_000.0, n_cpus=n_cpus
+    )
+    entities = []
+    for i in range(leaves):
+        leaf = manager.create(f"req{i}", attrs=timeshare_attrs(weight=1.0 + i % 3))
+        entities.append(BenchEntity(f"e{i}", leaf))
+    for entity in entities:
+        sched.attach(entity)
+    return manager, sched, entities
+
+
+def run_smp_pick_loop(
+    manager, sched, n_cpus: int, picks: int, start_now: float = 0.0,
+    churn_seq: int = 0,
+):
+    """The SMP hot loop: staggered per-core slices with principal churn.
+
+    Pick ``i`` completes the previous slice on core ``i % n_cpus``
+    (charge + ``on_slice_end``) and picks that core's next entity via
+    ``pick_for_cpu``; simulated time advances ``quantum / n_cpus`` per
+    completion, so all cores stay busy concurrently.  Every
+    ``SMP_CHURN_EVERY`` picks a principal is created and released, the
+    way per-request containers come and go under live load.
+    """
+    quantum = sched.quantum_us
+    step = quantum / n_cpus
+    now = start_now
+    next_roll = sched.window_us * (int(now // sched.window_us) + 1)
+    running = [None] * n_cpus
+    for i in range(picks):
+        core = i % n_cpus
+        prev = running[core]
+        if prev is not None:
+            container = prev.charge_container()
+            container.charge_cpu(quantum)
+            sched.charge(prev, container, quantum, now)
+            sched.on_slice_end(prev, now)
+        running[core] = sched.pick_for_cpu(now, core)
+        now += step
+        if now >= next_roll:
+            sched.window_roll(now)
+            next_roll += sched.window_us
+        if (i + 1) % SMP_CHURN_EVERY == 0:
+            churn_seq += 1
+            burst = manager.create(f"burst{churn_seq}")
+            manager.release(burst)
+    return now, churn_seq
+
+
+def smp_microbench_point(leaves: int, n_cpus: int, picks: int = SMP_PICKS) -> dict:
+    """Time the SMP pick loop at one (containers, cores) point."""
+    manager, sched, _entities = build_flat(leaves, n_cpus)
+    now, churn_seq = run_smp_pick_loop(manager, sched, n_cpus, SMP_WARMUP)
+    started = time.perf_counter()
+    run_smp_pick_loop(
+        manager, sched, n_cpus, picks, start_now=now, churn_seq=churn_seq
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "containers": leaves,
+        "n_cpus": n_cpus,
+        "picks": picks,
+        "wall_s": round(elapsed, 6),
+        "us_per_pick": round(elapsed * 1e6 / picks, 3),
+        "steals": sched.steals,
+    }
+
+
+def smp_end_to_end_point(n_cpus: int) -> dict:
+    """A multi-threaded web server under load at one core count."""
+    from repro import Host, SystemMode
+    from repro.apps.httpserver import MultiThreadedServer
+    from repro.apps.webclient import HttpClient
+    from repro.kernel.kernel import KernelConfig
+    from repro.net.packet import ip_addr
+
+    config = KernelConfig(mode=SystemMode.RC, n_cpus=n_cpus)
+    host = Host(mode=SystemMode.RC, seed=83, config=config)
+    host.kernel.fs.add_file("/index.html", 16384)
+    host.kernel.fs.warm("/index.html")
+    MultiThreadedServer(host.kernel, n_threads=16).install()
+    clients = [
+        HttpClient(host.kernel, ip_addr(10, 0, 0, i + 1), f"c{i}")
+        for i in range(60)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=2_000.0 + index * 50.0)
+    started = time.perf_counter()
+    host.run(seconds=1.0)
+    elapsed = time.perf_counter() - started
+    completed = sum(c.stats_completed for c in clients)
+    return {
+        "n_cpus": n_cpus,
+        "completed_requests": completed,
+        "steals": host.kernel.scheduler.steals,
+        "wall_s": round(elapsed, 6),
+        "wall_s_per_sim_s": round(elapsed / 1.0, 6),
+    }
+
+
 def _spinner_body(compute_us: float):
     """A CPU-bound thread body: compute forever."""
     from repro.syscall import api
@@ -192,19 +357,28 @@ def end_to_end_point(processes: int, horizon_us: float = E2E_HORIZON_US) -> dict
 
 
 def run(fast: bool = True, points=SWEEP_POINTS) -> dict:
-    """Run both sweeps; returns the result document (JSON-ready)."""
+    """Run all sweeps; returns the result document (JSON-ready)."""
     micro = [microbench_point(n) for n in points]
     e2e = [end_to_end_point(n) for n in points]
+    smp_micro = [
+        smp_microbench_point(n, cpus) for n in SMP_POINTS for cpus in SMP_CPUS
+    ]
+    smp_e2e = [smp_end_to_end_point(cpus) for cpus in SMP_CPUS]
     result = {
         "benchmark": "scheduler-scalability",
         "quantum_us": 1_000.0,
         "window_us": 10_000.0,
         "microbench": micro,
         "end_to_end": e2e,
+        "smp_microbench": smp_micro,
+        "smp_end_to_end": smp_e2e,
     }
     if BEFORE_BASELINE:
         result["before"] = BEFORE_BASELINE
         result["speedup"] = _speedups(BEFORE_BASELINE, result)
+    if SMP_BEFORE_BASELINE:
+        result["smp_before"] = SMP_BEFORE_BASELINE
+        result["smp_speedup"] = _smp_speedups(SMP_BEFORE_BASELINE, result)
     return result
 
 
@@ -228,6 +402,43 @@ def _speedups(before: dict, after: dict) -> dict:
     return out
 
 
+def _smp_speedups(before: dict, after: dict) -> dict:
+    """SMP headline ratios: pick-path cost vs the exclude-set baseline
+    at matching (containers, cores) points, end-to-end simulated
+    throughput ratios per core count, and the 1→2 core throughput
+    scaling of the committed code."""
+    out: dict = {}
+    micro_before = {
+        (p["containers"], p["n_cpus"]): p
+        for p in before.get("smp_microbench", ())
+    }
+    for point in after.get("smp_microbench", ()):
+        base = micro_before.get((point["containers"], point["n_cpus"]))
+        if base and point["us_per_pick"] > 0:
+            key = f"smp_pick_{point['containers']}x{point['n_cpus']}"
+            out[key] = round(base["us_per_pick"] / point["us_per_pick"], 2)
+    e2e_before = {p["n_cpus"]: p for p in before.get("smp_end_to_end", ())}
+    completed = {}
+    for point in after.get("smp_end_to_end", ()):
+        completed[point["n_cpus"]] = point["completed_requests"]
+        base = e2e_before.get(point["n_cpus"])
+        if base and base.get("completed_requests"):
+            out[f"smp_e2e_requests_{point['n_cpus']}"] = round(
+                point["completed_requests"] / base["completed_requests"], 3
+            )
+        if base and point["wall_s"] > 0:
+            out[f"smp_e2e_wall_{point['n_cpus']}"] = round(
+                base["wall_s"] / point["wall_s"], 2
+            )
+    if completed.get(1):
+        for cpus in (2, 4, 8):
+            if completed.get(cpus):
+                out[f"smp_throughput_scaling_1_to_{cpus}"] = round(
+                    completed[cpus] / completed[1], 3
+                )
+    return out
+
+
 def render(result: dict) -> str:
     """Human-readable table of one run() document."""
     lines = ["scheduler scalability sweep", ""]
@@ -246,11 +457,34 @@ def render(result: dict) -> str:
             f"    {p['processes']:>9}  {p['entities']:>9}  {p['wall_s_per_sim_s']:>12.4f}"
             f"  {p['events_per_sec']:>12,.0f}"
         )
+    if "smp_microbench" in result:
+        lines.append("")
+        lines.append("  SMP microbench (per-CPU pick loop with principal churn)")
+        lines.append("    containers  n_cpus   us/pick    steals")
+        for p in result["smp_microbench"]:
+            lines.append(
+                f"    {p['containers']:>10}  {p['n_cpus']:>6}"
+                f"  {p['us_per_pick']:>8.3f}  {p['steals']:>8}"
+            )
+    if "smp_end_to_end" in result:
+        lines.append("")
+        lines.append("  SMP end-to-end (multi-threaded web server, 1s sim)")
+        lines.append("    n_cpus   requests    steals   wall-s/sim-s")
+        for p in result["smp_end_to_end"]:
+            lines.append(
+                f"    {p['n_cpus']:>6}  {p['completed_requests']:>9}"
+                f"  {p['steals']:>8}  {p['wall_s_per_sim_s']:>12.4f}"
+            )
     if "speedup" in result:
         lines.append("")
         lines.append("  speedup vs pre-optimisation baseline")
         for key, ratio in result["speedup"].items():
             lines.append(f"    {key:<28} {ratio:>6.2f}x")
+    if "smp_speedup" in result:
+        lines.append("")
+        lines.append("  SMP: vs pre-rework (global exclude-set) baseline")
+        for key, ratio in result["smp_speedup"].items():
+            lines.append(f"    {key:<32} {ratio:>7.2f}x")
     return "\n".join(lines)
 
 

@@ -115,7 +115,14 @@ class CPU:
         self.sim = kernel.sim
         self.n_cpus = n_cpus
         self.cores = [_Core(i) for i in range(n_cpus)]
+        #: Number of cores with no slice in flight.  Maintained at the
+        #: two occupancy transitions (slice start, slice end/preempt) so
+        #: the wakeup and dispatch hot paths never scan the core list.
+        self._idle_cores = n_cpus
         self.accounting = SystemAccounting()
+        #: Busy core-microseconds per core index, booked alongside every
+        #: slice in :meth:`_account`; sums to ``accounting.total_cpu_us``.
+        self.core_busy_us = [0.0] * n_cpus
         self.hard_queue: deque[InterruptJob] = deque()
         self.soft_queue: deque[InterruptJob] = deque()
         self.soft_queue_limit = DEFAULT_SOFTIRQ_QUEUE_LIMIT
@@ -167,7 +174,7 @@ class CPU:
 
     def notify_ready(self, entity: object = None) -> None:
         """An entity became runnable (wakeup, new packet, new thread)."""
-        if any(core.current is None for core in self.cores):
+        if self._idle_cores:
             self._schedule_dispatch()
             return
         if not self.kernel.config.preemptive or entity is None:
@@ -263,7 +270,7 @@ class CPU:
         """
         if self._dispatch_scheduled:
             return
-        if all(core.current is not None for core in self.cores):
+        if self._idle_cores == 0:
             return
         self._dispatch_scheduled = True
         self.sim.after(0.0, self._dispatch)
@@ -279,22 +286,26 @@ class CPU:
                 self._start_interrupt(core0, "hard", self.hard_queue.popleft())
             else:
                 self._start_interrupt(core0, "soft", self.soft_queue.popleft())
+        # The picks read window usage for cap enforcement; settle any
+        # coalesced charges once up front so they see exact ledgers
+        # (nothing inside the fill loop books further charges).
+        if self._pending_charges:
+            self.flush_charges()
         # Fill every idle core from the scheduler.
         scheduler = self.kernel.scheduler
         for core in self.cores:
             if core.current is not None:
                 continue
-            # The pick reads window usage for cap enforcement; settle
-            # any coalesced charges first so it sees exact ledgers.
-            if self._pending_charges:
-                self.flush_charges()
-            entity = scheduler.pick(now, exclude=self._running_ids)
+            entity = scheduler.pick_for_cpu(
+                now, core.index, exclude=self._running_ids
+            )
             if entity is None:
                 continue
             work = entity.work_remaining_us()
             if work <= EPSILON:
                 # Entity with an immediate action point (zero-cost phase).
                 self.kernel.entity_action(entity)
+                scheduler.on_slice_end(entity, now)
                 self._schedule_dispatch()
                 continue
             quantum = scheduler.quantum_us
@@ -332,10 +343,12 @@ class CPU:
                 self.kernel.is_net_thread(entity),
             )
             core.last_entity = entity
+            self._idle_cores -= 1
             self._running_ids.add(id(entity))
 
     def _start_interrupt(self, core: _Core, kind: str, job: InterruptJob) -> None:
         event = self.sim.after(job.cost_us, self._finish_slice, core)
+        self._idle_cores -= 1
         core.current = self._alloc_slice(
             kind,
             self.sim.clock._now,
@@ -357,12 +370,15 @@ class CPU:
         if run is None:  # pragma: no cover - defensive
             return
         core.current = None
+        self._idle_cores += 1
         now = self.sim.clock._now
-        self._account(run, run.planned_us, interrupt=run.kind != "entity")
+        self._account(run, run.planned_us, interrupt=run.kind != "entity", core=core)
         if run.kind == "entity":
             entity = run.entity
             self._running_ids.discard(id(entity))
-            self.kernel.scheduler.charge(entity, run.charge, run.planned_us, now)
+            scheduler = self.kernel.scheduler
+            scheduler.charge(entity, run.charge, run.planned_us, now)
+            scheduler.on_slice_end(entity, now)
             work_us = run.work_us
             self._release_slice(run)
             if entity.advance(work_us):
@@ -380,6 +396,7 @@ class CPU:
         if run is None or run.kind != "entity":
             return
         core.current = None
+        self._idle_cores += 1
         now = self.sim.now
         self.sim.cancel(run.event, run.event_seq)
         self._running_ids.discard(id(run.entity))
@@ -395,10 +412,12 @@ class CPU:
                 planned_us=run.planned_us,
             )
         entity = run.entity
+        scheduler = self.kernel.scheduler
         if elapsed > EPSILON:
-            self._account(run, elapsed, interrupt=False)
+            self._account(run, elapsed, interrupt=False, core=core)
             self.flush_charges()
-            self.kernel.scheduler.charge(entity, run.charge, elapsed, now)
+            scheduler.charge(entity, run.charge, elapsed, now)
+            scheduler.on_slice_end(entity, now)
             # Context-switch overhead is paid first; only time beyond it
             # advances the entity's work.
             switch_cost = run.planned_us - run.work_us
@@ -408,10 +427,14 @@ class CPU:
                 self.kernel.entity_action(entity)
         else:
             self._release_slice(run)
+            scheduler.on_slice_end(entity, now)
 
-    def _account(self, run: _RunSlice, amount_us: float, *, interrupt: bool) -> None:
+    def _account(
+        self, run: _RunSlice, amount_us: float, *, interrupt: bool, core: _Core
+    ) -> None:
         accounting = self.accounting
         accounting.total_cpu_us += amount_us
+        self.core_busy_us[core.index] += amount_us
         if interrupt:
             accounting.interrupt_cpu_us += amount_us
         trace = self.sim.trace
@@ -420,6 +443,7 @@ class CPU:
                 self.sim.clock._now,
                 "cpu.slice",
                 kind=run.kind,
+                core=core.index,
                 amount_us=amount_us,
                 charge=run.charge.name if run.charge is not None else None,
                 network=run.charge_network or interrupt,
@@ -436,7 +460,9 @@ class CPU:
         else:
             accounting.unaccounted_cpu_us += amount_us
         if self.sanitizer is not None:
-            self.sanitizer.on_slice(run, amount_us, interrupt=interrupt)
+            self.sanitizer.on_slice(
+                run, amount_us, interrupt=interrupt, core=core.index
+            )
 
     def flush_charges(self) -> None:
         """Book all coalesced charges into the container ledgers.
@@ -507,7 +533,7 @@ class CPU:
     @property
     def busy(self) -> bool:
         """True while any core is occupied."""
-        return any(core.current is not None for core in self.cores)
+        return self._idle_cores < self.n_cpus
 
     def idle_time(self, elapsed_us: float) -> float:
         """Aggregate idle core-time given elapsed simulation time."""

@@ -132,7 +132,12 @@ class Kernel:
                 self.containers.root,
                 quantum_us=self.config.quantum_us,
                 window_us=self.config.window_us,
+                n_cpus=self.config.n_cpus,
             )
+        # Let the scheduler evict per-container memos (weights, group
+        # homes, hierarchy derivations) as principals die; a no-op for
+        # policies without such caches.
+        self.containers.on_destroy.append(self.scheduler.note_container_destroyed)
         self.cpu = CPU(self, n_cpus=self.config.n_cpus)
         self.stack = TcpStack(self, wire_delay_us=self.config.wire_delay_us)
         self.containers.on_destroy.append(self.stack.shaper.forget)

@@ -11,7 +11,10 @@ the same (tree, params, seed) produce byte-identical files:
   Perfetto / ``chrome://tracing``.  Containers become processes
   (metadata-named), subsystems become threads, CPU slices become
   complete (``X``) events, and request spans become async (``b``/``e``)
-  events grouped per request id.
+  events grouped per request id.  A synthetic ``cores`` process adds
+  the machine view: one thread lane per core (``tid`` = core index),
+  each CPU slice duplicated into its core's lane so SMP dispatch,
+  migration, and idle gaps are visible on a per-core timeline.
 * **Collapsed flamegraph stacks** (``flame.txt``) -- one
   ``container;subsystem;phase <weight>`` line per triple, weight in
   integer nanoseconds (flamegraph.pl wants integers; microsecond
@@ -34,6 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Synthetic "process" id grouping request-span async events.
 REQUESTS_PID = 1_000_000
+
+#: Synthetic "process" id for the per-core timeline lanes (``tid`` =
+#: core index inside it).
+CORES_PID = 2_000_000
 
 #: Keys every trace-event must carry (the schema the verify gate checks).
 REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "name")
@@ -103,6 +110,31 @@ def chrome_trace(profiler: "SimProfiler", tracer: "RequestTracer") -> dict:
             "args": {"name": "requests"},
         }
     )
+    # Per-core lanes: disk slices occupy a device, not a core.
+    cores = sorted(
+        {s.core for s in profiler.slices or () if s.kind != "disk"}
+    )
+    if cores:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": CORES_PID,
+                "ts": 0,
+                "args": {"name": "cores"},
+            }
+        )
+        for core in cores:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": CORES_PID,
+                    "tid": core,
+                    "ts": 0,
+                    "args": {"name": f"core {core}"},
+                }
+            )
     for profile_slice in profiler.slices or ():
         events.append(
             {
@@ -116,6 +148,22 @@ def chrome_trace(profiler: "SimProfiler", tracer: "RequestTracer") -> dict:
                 "args": {"entity": profile_slice.entity},
             }
         )
+        if profile_slice.kind != "disk":
+            events.append(
+                {
+                    "ph": "X",
+                    "name": profile_slice.phase,
+                    "cat": profile_slice.subsystem,
+                    "ts": profile_slice.start_us,
+                    "dur": profile_slice.duration_us,
+                    "pid": CORES_PID,
+                    "tid": profile_slice.core,
+                    "args": {
+                        "container": profile_slice.container,
+                        "entity": profile_slice.entity,
+                    },
+                }
+            )
     for span in tracer.spans:
         if span.open:
             continue

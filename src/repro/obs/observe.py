@@ -79,6 +79,9 @@ class RegistryCollector:
 
     def __init__(self, registry: MetricsRegistry, bus: TraceBus) -> None:
         self.registry = registry
+        #: Per-core sim-time at which the last observed slice ended;
+        #: the gap to the next slice's start is booked as idle time.
+        self._core_last_end: dict[int, float] = {}
         bus.subscribe("cpu.slice", self._on_cpu_slice)
         bus.subscribe("sched", self._on_sched)
         bus.subscribe("net.enqueue", self._on_net_enqueue)
@@ -102,6 +105,20 @@ class RegistryCollector:
             registry.counter(container, "cpu", "network_us").inc(
                 data["amount_us"]
             )
+        # Machine view: busy/idle per core.  cpu.slice is published at
+        # slice end, so the slice started ``amount_us`` earlier; the gap
+        # since the core's previous slice ended is idle time (the tail
+        # after its final slice is unknowable until the run ends and
+        # stays unbooked).
+        core = data.get("core", 0)
+        lane = f"core:{core}"
+        start = record.time - data["amount_us"]
+        idle = start - self._core_last_end.get(core, 0.0)
+        if idle > 0:
+            registry.counter(lane, "core", "idle_us").inc(idle)
+        self._core_last_end[core] = record.time
+        registry.counter(lane, "core", "busy_us").inc(data["amount_us"])
+        registry.counter(lane, "core", "slices").inc()
 
     def _on_sched(self, record: TraceRecord) -> None:
         data = record.data
@@ -120,6 +137,13 @@ class RegistryCollector:
                 )
         elif event == "preempt":
             self.registry.counter(container, "sched", "preemptions").inc()
+        elif event == "steal":
+            self.registry.counter(
+                f"core:{data['core']}", "core", "steals"
+            ).inc()
+            self.registry.counter(
+                f"core:{data['victim']}", "core", "stolen_from"
+            ).inc()
 
     def _on_net_enqueue(self, record: TraceRecord) -> None:
         data = record.data

@@ -43,6 +43,9 @@ class ProfileSlice:
     phase: str
     kind: str
     entity: str
+    #: Core the slice ran on (0 on uniprocessor hosts; disk "slices"
+    #: occupy a device, not a core, and keep the 0 placeholder).
+    core: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -54,6 +57,7 @@ class ProfileSlice:
             "phase": self.phase,
             "kind": self.kind,
             "entity": self.entity,
+            "core": self.core,
         }
 
 
@@ -108,6 +112,7 @@ class SimProfiler:
                     phase=phase,
                     kind=kind,
                     entity=data.get("entity") or "",
+                    core=data.get("core", 0),
                 )
             )
 

@@ -134,6 +134,46 @@ class Scheduler(abc.ABC):
         other cores (SMP); they must not be selected again.
         """
 
+    def pick_for_cpu(
+        self, now: float, cpu: int, exclude: Optional[set] = None
+    ) -> Optional[Schedulable]:
+        """Choose the next entity for one core.
+
+        Schedulers with per-CPU run queues (``ContainerScheduler``)
+        override this with true dequeue-on-dispatch: the winner leaves
+        the ready structures until :meth:`on_slice_end` re-queues it.
+        The default delegates to :meth:`pick` with the exclude-set
+        protocol, which keeps single-queue policies (timeshare,
+        lottery) correct on SMP without changes: entities running on
+        other cores are filtered by ``exclude``.
+        """
+        return self.pick(now, exclude)
+
+    def on_slice_end(self, entity: Schedulable, now: float) -> None:
+        """The entity's slice finished or was preempted on its core.
+
+        Dequeue-on-dispatch schedulers re-queue the entity here (it was
+        removed from the ready structures by :meth:`pick_for_cpu`).
+        The default is a no-op: exclude-set schedulers never removed
+        it.  The dispatcher calls this after :meth:`charge`, before the
+        entity advances its work state.
+        """
+
+    def note_container_created(self, container: ResourceContainer) -> None:
+        """A container was created (manager ``on_create`` hook).
+
+        Cache-maintaining schedulers use this to keep epoch-guarded
+        caches warm across per-request principal churn.  Default: no-op.
+        """
+
+    def note_container_dying(self, container: ResourceContainer) -> None:
+        """A container is about to be destroyed, still attached
+        (manager ``before_destroy`` hook).  Default: no-op."""
+
+    def note_container_destroyed(self, container: ResourceContainer) -> None:
+        """A container was destroyed (manager ``on_destroy`` hook);
+        drop any per-container bookkeeping.  Default: no-op."""
+
     @abc.abstractmethod
     def charge(
         self,

@@ -6,7 +6,9 @@ Selection is a three-level key:
    of an entity's scheduler binding (section 4.3) forms strict layers:
    a priority-zero container -- the paper's denial-of-service defence
    value -- is serviced only when nothing with positive priority is
-   runnable.
+   runnable.  Layers are strict *machine-wide*: a core whose local
+   queue holds only low-priority work steals from a core holding
+   higher-priority work before running it.
 2. **Top-level group stride.**  Within a layer, the children of the
    root container form scheduling groups weighted by their fixed-share
    guarantee (time-share groups split the residual weight).  The
@@ -15,6 +17,9 @@ Selection is a three-level key:
    proportional shares under saturation (the section 5.8 property).  A
    group that wakes from idleness has its pass clamped up to the global
    virtual time so it cannot monopolise the CPU while it "catches up".
+   Pass values and the virtual time are *global* (shared by all CPUs),
+   so proportional shares hold machine-wide even though each core picks
+   from its own shard.
 3. **Round-robin within a group.**  Entities take turns by
    least-recently-ran order, so a thread that blocks often (an
    event-driven server) is never starved by CPU-bound peers (CGI
@@ -24,35 +29,46 @@ Selection is a three-level key:
 Hard CPU limits (``cpu_limit``) are enforced with accounting windows: a
 container subtree that has consumed ``limit * window`` within the
 current window is *capped out*, and entities that would charge it are
-throttled until the window rolls.  This matches the prototype enforcing
-fixed shares at coarse timescales while keeping the simulation cheap.
+throttled until the window rolls.  Window accounting is global, so caps
+bind machine-wide regardless of which cores a container's threads run
+on; as a placement policy, threads of a capped group are additionally
+kept co-located on one shard (see ``_place``).
 
-Data structures (see docs/ARCHITECTURE.md for the full discussion)
-------------------------------------------------------------------
+Data structures (see docs/ARCHITECTURE.md and docs/SMP.md)
+----------------------------------------------------------
 
-``pick()`` is index-driven, not scan-driven.  Entities that honour the
+``pick_for_cpu()`` is index-driven, not scan-driven.  The ready index
+is sharded per CPU (:class:`_ReadyShard`): entities that honour the
 push-notification contract (``sched_push_notify``; user threads and
-benchmark entities) live in per-``(priority, group)`` *ready buckets* --
-heaps ordered by the round-robin key ``(last-ran stamp, attach
+benchmark entities) live in per-``(priority, group)`` *ready buckets*
+-- heaps ordered by the round-robin key ``(last-ran stamp, attach
 order)`` -- and, per priority layer, a *group heap* orders the
 non-empty buckets by ``(group pass, head stamp, head order)``.  A pick
-walks layers from the highest priority, pops lazily-invalidated heap
-entries until the top entry matches current state, and returns its
-bucket head: O(log) in entities instead of O(n * depth).
+walks the core's own shard highest-priority-first, pops
+lazily-invalidated heap entries until the top entry matches current
+state, and dequeues its bucket head: the winner leaves the index while
+it runs (dequeue-on-dispatch) and is re-queued by ``on_slice_end``, so
+cores never re-filter each other's running entities.  A per-priority
+live-entry count lets an idle (or out-ranked) core detect work on
+other shards and *steal* it -- migrating the entity's home shard --
+in deterministic richest-victim-first order.
 
 Entities without the contract (kernel net threads, whose key follows
 their head packet; test fakes that flip ``runnable`` silently) are
 *volatile*: they are re-evaluated with the original linear logic every
 pick and compared against the indexed candidate under the exact same
-key, so behaviour is bit-for-bit identical to the old full scan.
+key, so behaviour is bit-for-bit identical to the old full scan.  They
+are never indexed, so the dispatcher's exclude-set still guards them.
 
-Stale index entries are never searched for: every mutation that could
-invalidate derived state (reparent, attribute replacement, container
-destruction) bumps the global hierarchy epoch (see
-:mod:`repro.core.container`), and the scheduler rebuilds its caches and
-index on the next entry point.  Bucket and heap entries are validated
-when they surface (lazy deletion), ineligible candidates (capped out or
-running on another core) are set aside and re-queued after the pick.
+Stale index entries are never searched for.  Mutations that can move an
+*existing* entity's placement key (reparent, attribute replacement)
+bump the global hierarchy *shape* epoch and the scheduler rebuilds its
+index on the next entry point; creating a container or destroying a
+leaf (per-request principal churn) bumps only the full epoch, which
+flushes the memoized group weights but leaves the ready shards and
+hierarchy memos intact.  Bucket and heap entries are validated when
+they surface (lazy deletion); ineligible candidates (capped out, or
+excluded volatiles) are set aside and re-queued after the pick.
 """
 
 from __future__ import annotations
@@ -60,7 +76,7 @@ from __future__ import annotations
 import heapq
 from typing import Optional
 
-from repro.core.container import ResourceContainer
+from repro.core.container import ResourceContainer, hierarchy_epoch
 from repro.core.hierarchy import HierarchyCache
 from repro.sched.base import Schedulable, Scheduler
 from repro.sched.state import SchedulerNodeState
@@ -79,6 +95,27 @@ def _push_notify(entity: Schedulable) -> bool:
     return bool(getattr(entity, "sched_push_notify", False))
 
 
+class _ReadyShard:
+    """One CPU's slice of the ready index (see module docstring)."""
+
+    __slots__ = ("index", "buckets", "layer_heaps", "gpos", "queued")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: (priority, gkey) -> heap of (stamp, order, eid).  gkey is the
+        #: top-level group's cid, or None for charge-nobody entities.
+        self.buckets: dict[tuple, list] = {}
+        #: priority -> heap of (pass, head_stamp, head_order, gkey);
+        #: entries are snapshots, lazily corrected as they surface.
+        self.layer_heaps: dict[int, list] = {}
+        #: (priority, gkey) -> the group's single *live* heap entry.
+        #: Surfacing entries that don't match are dead and dropped, so
+        #: the heap stays O(groups) instead of accreting snapshots.
+        self.gpos: dict[tuple, tuple] = {}
+        #: Live index entries homed here (load-balancing signal).
+        self.queued = 0
+
+
 class ContainerScheduler(Scheduler):
     """Hierarchical fixed-share + time-share scheduler over containers."""
 
@@ -89,11 +126,15 @@ class ContainerScheduler(Scheduler):
         root: ResourceContainer,
         quantum_us: float = 1_000.0,
         window_us: float = 10_000.0,
+        n_cpus: int = 1,
     ) -> None:
         super().__init__()
         self.root = root
         self.quantum_us = quantum_us
         self.window_us = window_us
+        if n_cpus < 1:
+            raise ValueError(f"need at least one CPU, got {n_cpus}")
+        self.n_cpus = n_cpus
         #: Global group virtual time: groups waking from idleness are
         #: clamped to this so stale passes cannot monopolise the CPU.
         self._group_vtime = 0.0
@@ -106,30 +147,41 @@ class ContainerScheduler(Scheduler):
         self._attach_seq = 0
         self._order: dict[int, int] = {}
         self.window_rolls = 0
+        #: Cross-shard migrations performed by idle/out-ranked cores.
+        self.steals = 0
         # -- indexed fast-path state (see module docstring) -------------
         self._hcache = HierarchyCache()
         #: gid -> memoized top-level weight (flushed with the epoch).
         self._weights: dict[int, float] = {}
+        #: Full-epoch stamp guarding ``_weights``/``_wtotals``.
+        self._weights_epoch = hierarchy_epoch()
+        #: Memoized (fixed_total, ts_total) over the root's children, so
+        #: a weight fill is O(1) instead of O(siblings) per group.
+        self._wtotals: Optional[tuple] = None
         #: id(entity) -> entity, for every attached entity.
         self._by_eid: dict[int, Schedulable] = {}
         #: Entities without the push-notify contract, re-scanned per pick.
         self._volatile: list[Schedulable] = []
-        #: id(entity) -> (priority, gkey, stamp) of its live bucket entry;
-        #: absent when the entity has no valid entry.  Bucket entries not
-        #: matching this are stale and dropped when they surface.
+        #: id(entity) -> (cpu, priority, gkey, stamp) of its live bucket
+        #: entry; absent when the entity has no valid entry.  Bucket
+        #: entries not matching this are stale and dropped when surfaced.
         self._pos: dict[int, tuple] = {}
-        #: (priority, gkey) -> heap of (stamp, order, eid).  gkey is the
-        #: top-level group's cid, or None for charge-nobody entities.
-        self._buckets: dict[tuple, list] = {}
-        #: priority -> heap of (pass, head_stamp, head_order, gkey);
-        #: entries are snapshots, lazily corrected as they surface.
-        self._layer_heaps: dict[int, list] = {}
-        #: (priority, gkey) -> the group's single *live* heap entry.
-        #: Surfacing entries that don't match are dead and dropped, so
-        #: the heap stays O(groups) instead of accreting snapshots.
-        self._gpos: dict[tuple, tuple] = {}
+        #: One ready shard per CPU.
+        self._shards = [_ReadyShard(i) for i in range(self.n_cpus)]
         #: gkey -> group container for entries in the index.
         self._groups: dict[int, ResourceContainer] = {}
+        #: id(entity) -> preferred shard (sticky affinity).
+        self._home: dict[int, int] = {}
+        #: id(entity) -> cpu, while dequeued by :meth:`pick_for_cpu`.
+        self._active: dict[int, int] = {}
+        #: Per-cpu count of active (dequeued, running) entities.
+        self._active_count = [0] * self.n_cpus
+        #: priority -> number of live index entries across all shards;
+        #: lets a core detect higher-priority work on other shards
+        #: without scanning them.
+        self._layer_counts: dict[int, int] = {}
+        #: gkey -> pinned shard for capped groups (kept co-located).
+        self._group_home: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -155,7 +207,11 @@ class ContainerScheduler(Scheduler):
         self._last_ran.pop(eid, None)
         self._order.pop(eid, None)
         self._by_eid.pop(eid, None)
-        self._pos.pop(eid, None)
+        self._pos_drop(eid)
+        self._home.pop(eid, None)
+        cpu = self._active.pop(eid, None)
+        if cpu is not None:
+            self._active_count[cpu] -= 1
         if _push_notify(entity):
             self._remove_hooks(entity)
         else:
@@ -181,26 +237,64 @@ class ContainerScheduler(Scheduler):
         if binding is not None and getattr(binding, "on_change", None) is not None:
             binding.on_change = None
 
+    def note_container_destroyed(self, container: ResourceContainer) -> None:
+        """Manager ``on_destroy`` hook: evict the dead container's
+        memos so leaf churn cannot accrete entries between rebuilds."""
+        cid = container.cid
+        self._groups.pop(cid, None)
+        self._weights.pop(cid, None)
+        self._group_home.pop(cid, None)
+        self._hcache.forget(cid)
+
     # ------------------------------------------------------------------
     # Index maintenance
     # ------------------------------------------------------------------
 
     def _sync_epoch(self) -> None:
-        """Flush epoch-guarded caches and rebuild the ready index after a
-        hierarchy mutation (reparent, attribute change, destruction)."""
-        if self._hcache.check():
+        """Flush epoch-guarded caches after a hierarchy mutation.
+
+        Two tiers: *any* mutation (including container create/destroy)
+        bumps the full epoch and flushes the memoized group weights;
+        only mutations that can move an existing entity's placement
+        (reparent, attribute replacement) bump the shape epoch and
+        force an index rebuild.  Per-request principal churn therefore
+        costs a weight-cache flush, not an O(n) rebuild.
+        """
+        epoch = hierarchy_epoch()
+        if epoch != self._weights_epoch:
+            self._weights_epoch = epoch
             self._weights.clear()
+            self._wtotals = None
+        if self._hcache.check():
             self._rebuild_index()
 
     def _rebuild_index(self) -> None:
-        self._buckets.clear()
-        self._layer_heaps.clear()
-        self._gpos.clear()
+        for shard in self._shards:
+            shard.buckets.clear()
+            shard.layer_heaps.clear()
+            shard.gpos.clear()
+            shard.queued = 0
         self._pos.clear()
         self._groups.clear()
+        self._layer_counts.clear()
+        self._group_home.clear()
+        active = self._active
         for entity in self._entities:
-            if _push_notify(entity) and entity.runnable:
+            if (
+                _push_notify(entity)
+                and entity.runnable
+                and id(entity) not in active
+            ):
                 self._index_insert(entity)
+
+    def _pos_drop(self, eid: int) -> Optional[tuple]:
+        """Retire the entity's live index entry (bookkeeping only; the
+        heap tuple itself is dropped lazily when it surfaces)."""
+        pos = self._pos.pop(eid, None)
+        if pos is not None:
+            self._shards[pos[0]].queued -= 1
+            self._layer_counts[pos[1]] -= 1
+        return pos
 
     def _entity_parts(self, entity: Schedulable):
         """(priority, gkey, group) the entity currently schedules under."""
@@ -210,26 +304,80 @@ class ContainerScheduler(Scheduler):
         group = self._hcache.top_level(container)
         return self._combined_priority(entity, container), group.cid, group
 
+    def _place(self, eid: int, gkey, group) -> int:
+        """Choose a shard for one entity (the container-aware balancer).
+
+        Policy, in order: (1) threads of a *capped* group are pinned to
+        one shard so the group's windowed cap drains predictably rather
+        than bouncing its threads across cores; (2) sticky affinity --
+        an entity stays on its previous home unless that shard is more
+        than one unit busier than the lightest (load = queued entries +
+        running entities); (3) otherwise the least-loaded shard, lowest
+        index first, which is what spreads a fixed-share group's
+        threads machine-wide so its share can exceed one core.
+        """
+        n = self.n_cpus
+        if n == 1:
+            return 0
+        if group is not None and group.attrs.cpu_limit is not None:
+            pinned = self._group_home.get(gkey)
+            if pinned is None:
+                pinned = self._group_home[gkey] = self._least_loaded()
+            return pinned
+        shards = self._shards
+        active = self._active_count
+        best = 0
+        best_load = shards[0].queued + active[0]
+        for i in range(1, n):
+            load = shards[i].queued + active[i]
+            if load < best_load:
+                best = i
+                best_load = load
+        home = self._home.get(eid)
+        if home is not None and home != best:
+            if shards[home].queued + active[home] <= best_load + 1:
+                return home
+        return best
+
+    def _least_loaded(self) -> int:
+        shards = self._shards
+        active = self._active_count
+        best = 0
+        best_load = shards[0].queued + active[0]
+        for i in range(1, self.n_cpus):
+            load = shards[i].queued + active[i]
+            if load < best_load:
+                best = i
+                best_load = load
+        return best
+
     def _index_insert(self, entity: Schedulable) -> None:
         eid = id(entity)
         priority, gkey, group = self._entity_parts(entity)
+        self._pos_drop(eid)  # supersede any previous live entry
+        cpu = self._place(eid, gkey, group)
+        self._home[eid] = cpu
+        shard = self._shards[cpu]
         bkey = (priority, gkey)
-        bucket = self._buckets.get(bkey)
+        bucket = shard.buckets.get(bkey)
         if bucket is None:
-            bucket = self._buckets[bkey] = []
+            bucket = shard.buckets[bkey] = []
         entry = (self._last_ran.get(eid, 0), self._order.get(eid, 0), eid)
         heapq.heappush(bucket, entry)
-        self._pos[eid] = (priority, gkey, entry[0])
+        self._pos[eid] = (cpu, priority, gkey, entry[0])
+        shard.queued += 1
+        self._layer_counts[priority] = self._layer_counts.get(priority, 0) + 1
         if gkey is not None:
             self._groups[gkey] = group
             if bucket[0] is entry:
                 # The bucket head improved: the group's snapshots in the
                 # layer heap understate nothing only if a fresh one is
                 # pushed (passes only grow; heads may shrink right here).
-                self._push_group_entry(priority, gkey, group, bucket)
+                self._push_group_entry(shard, priority, gkey, group, bucket)
 
     def _push_group_entry(
         self,
+        shard: _ReadyShard,
         priority: int,
         gkey: int,
         group: ResourceContainer,
@@ -238,12 +386,12 @@ class ContainerScheduler(Scheduler):
         head = bucket[0]
         entry = (_node_state(group).pass_value, head[0], head[1], gkey)
         bkey = (priority, gkey)
-        if self._gpos.get(bkey) == entry:
+        if shard.gpos.get(bkey) == entry:
             return  # the live entry already says exactly this
-        self._gpos[bkey] = entry  # the previous live entry is now dead
-        heap = self._layer_heaps.get(priority)
+        shard.gpos[bkey] = entry  # the previous live entry is now dead
+        heap = shard.layer_heaps.get(priority)
         if heap is None:
-            heap = self._layer_heaps[priority] = []
+            heap = shard.layer_heaps[priority] = []
         heapq.heappush(heap, entry)
 
     def _note_entity_change(self, entity: Schedulable) -> None:
@@ -253,11 +401,13 @@ class ContainerScheduler(Scheduler):
             return
         self._sync_epoch()
         if not entity.runnable:
-            self._pos.pop(eid, None)
+            self._pos_drop(eid)
             return
+        if eid in self._active:
+            return  # running: re-queued with fresh parts at slice end
         priority, gkey, _group = self._entity_parts(entity)
         pos = self._pos.get(eid)
-        if pos is not None and pos[0] == priority and pos[1] == gkey:
+        if pos is not None and pos[1] == priority and pos[2] == gkey:
             return  # placement unchanged; the existing entry stands
         self._index_insert(entity)
 
@@ -266,7 +416,11 @@ class ContainerScheduler(Scheduler):
         if eid not in self._order or not _push_notify(entity):
             return
         self._sync_epoch()
-        if entity.runnable and self._pos.get(eid) is None:
+        if (
+            entity.runnable
+            and eid not in self._active
+            and self._pos.get(eid) is None
+        ):
             self._index_insert(entity)
 
     # ------------------------------------------------------------------
@@ -334,9 +488,9 @@ class ContainerScheduler(Scheduler):
 
         Fixed-share groups weigh exactly their guaranteed share;
         time-share groups split the residual (1 - sum of fixed shares)
-        in proportion to their ``timeshare_weight``.  The sum over the
-        root's children is cached per group and flushed whenever the
-        hierarchy or any attribute record changes.
+        in proportion to their ``timeshare_weight``.  The sibling sums
+        are memoized once per epoch (``_wtotals``), so a flush costs
+        O(siblings) once instead of O(siblings) per group.
         """
         self._sync_epoch()
         weight = self._weights.get(group.cid)
@@ -345,20 +499,27 @@ class ContainerScheduler(Scheduler):
             self._weights[group.cid] = weight
         return weight
 
+    def _weight_totals(self) -> tuple:
+        totals = self._wtotals
+        if totals is None:
+            siblings = self.root.children
+            fixed_total = sum(
+                c.attrs.fixed_share
+                for c in siblings
+                if c.attrs.fixed_share is not None
+            )
+            ts_total = sum(
+                c.attrs.timeshare_weight
+                for c in siblings
+                if c.attrs.fixed_share is None
+            )
+            totals = self._wtotals = (fixed_total, ts_total)
+        return totals
+
     def _compute_group_weight(self, group: ResourceContainer) -> float:
-        siblings = self.root.children
-        fixed_total = sum(
-            c.attrs.fixed_share
-            for c in siblings
-            if c.attrs.fixed_share is not None
-        )
+        fixed_total, ts_total = self._weight_totals()
         if group.attrs.fixed_share is not None:
             return group.attrs.fixed_share
-        ts_total = sum(
-            c.attrs.timeshare_weight
-            for c in siblings
-            if c.attrs.fixed_share is None
-        )
         residual = max(1e-6, 1.0 - min(fixed_total, 1.0))
         if ts_total <= 0.0:
             return 1e-9
@@ -370,6 +531,30 @@ class ContainerScheduler(Scheduler):
 
     def pick(
         self, now: float, exclude: Optional[set] = None
+    ) -> Optional[Schedulable]:
+        """Single-queue compatibility pick (pre-SMP protocol).
+
+        Selects for core 0 and immediately re-queues the winner, which
+        is exactly the old immediate-reinsert semantics relied on by
+        unit tests and the legacy bench path.  The dispatcher uses
+        :meth:`pick_for_cpu` / :meth:`on_slice_end` instead.
+        """
+        entity = self.pick_for_cpu(now, 0, exclude)
+        if entity is not None:
+            eid = id(entity)
+            cpu = self._active.pop(eid, None)
+            if cpu is not None:
+                self._active_count[cpu] -= 1
+            if (
+                _push_notify(entity)
+                and entity.runnable
+                and self._pos.get(eid) is None
+            ):
+                self._index_insert(entity)
+        return entity
+
+    def pick_for_cpu(
+        self, now: float, cpu: int, exclude: Optional[set] = None
     ) -> Optional[Schedulable]:
         self._sync_epoch()
         deferred: list[tuple] = []
@@ -408,7 +593,10 @@ class ContainerScheduler(Scheduler):
                 best_group = group
 
         best_bkey: Optional[tuple] = None
-        candidate = self._indexed_candidate(exclude, deferred, best_key)
+        best_shard: Optional[_ReadyShard] = None
+        victim: Optional[int] = None
+        shard = self._shards[cpu]
+        candidate = self._indexed_candidate(shard, exclude, deferred, best_key)
         if candidate is not None:
             key, entity, group, bkey = candidate
             if best_key is None or key < best_key:
@@ -416,69 +604,119 @@ class ContainerScheduler(Scheduler):
                 best = entity
                 best_group = group
                 best_bkey = bkey
+                best_shard = shard
+        if self.n_cpus > 1:
+            stolen = self._steal_candidate(cpu, best_key, exclude, deferred)
+            if stolen is not None:
+                key, entity, group, bkey, vshard = stolen
+                best_key = key
+                best = entity
+                best_group = group
+                best_bkey = bkey
+                best_shard = vshard
+                victim = vshard.index
 
         if best is not None:
             self._pick_seq += 1
-            self._last_ran[id(best)] = self._pick_seq
+            eid = id(best)
+            self._last_ran[eid] = self._pick_seq
+            bucket = None
             if best_bkey is not None:
-                bucket = self._buckets[best_bkey]
+                bucket = best_shard.buckets[best_bkey]
                 heapq.heappop(bucket)  # the validated head == best
-                self._pos.pop(id(best), None)
+                self._pos_drop(eid)
+                # Dequeue-on-dispatch: the winner runs off-index.
+                self._active[eid] = cpu
+                self._active_count[cpu] += 1
+                self._home[eid] = cpu
             if best_group is not None:
                 state = _node_state(best_group)
                 # Clamp a long-idle group up to the global virtual time.
                 state.pass_value = max(state.pass_value, self._group_vtime)
                 self._group_vtime = state.pass_value
             if best_bkey is not None:
-                self._index_insert(best)  # re-queue under the new stamp
                 priority, gkey = best_bkey
-                if gkey is not None:
-                    bucket = self._buckets.get(best_bkey)
-                    if bucket:
-                        self._push_group_entry(
-                            priority, gkey, self._groups[gkey], bucket
+                if gkey is not None and bucket:
+                    # Refresh the group snapshot for the remaining head.
+                    self._push_group_entry(
+                        best_shard, priority, gkey, self._groups[gkey], bucket
+                    )
+                if victim is not None:
+                    self.steals += 1
+                    trace = self.trace
+                    if trace is not None and trace.active:
+                        container = best.charge_container()
+                        trace.publish(
+                            now,
+                            "sched.steal",
+                            core=cpu,
+                            victim=victim,
+                            entity=getattr(best, "name", ""),
+                            container=(
+                                container.name if container is not None else None
+                            ),
                         )
         self._requeue_deferred(deferred)
         return best
+
+    def on_slice_end(self, entity: Schedulable, now: float) -> None:
+        """Re-queue an entity dequeued by :meth:`pick_for_cpu`.
+
+        Called by the dispatcher after the slice's charge and before the
+        entity advances its work state (and after zero-work actions).
+        The round-robin stamp was already assigned at pick time, so the
+        entity re-enters its bucket exactly where the immediate-reinsert
+        protocol would have put it.
+        """
+        eid = id(entity)
+        cpu = self._active.pop(eid, None)
+        if cpu is not None:
+            self._active_count[cpu] -= 1
+        if eid not in self._order or not _push_notify(entity):
+            return  # detached mid-slice, or volatile (never indexed)
+        self._sync_epoch()
+        if entity.runnable and self._pos.get(eid) is None:
+            self._index_insert(entity)
 
     def _requeue_deferred(self, deferred: list) -> None:
         """Put capped/excluded entities back; refresh displaced heads."""
         if not deferred:
             return
-        touched: dict[tuple, list] = {}
-        for bkey, entry in deferred:
-            bucket = self._buckets.get(bkey)
+        touched: dict[tuple, tuple] = {}
+        for shard, bkey, entry in deferred:
+            bucket = shard.buckets.get(bkey)
             if bucket is None:
-                bucket = self._buckets[bkey] = []
+                bucket = shard.buckets[bkey] = []
             heapq.heappush(bucket, entry)
-            touched[bkey] = bucket
-        for (priority, gkey), bucket in touched.items():
+            touched[(shard.index, bkey)] = (shard, bucket)
+        for (_index, (priority, gkey)), (shard, bucket) in touched.items():
             if gkey is not None and bucket:
                 group = self._groups.get(gkey)
                 if group is not None:
-                    self._push_group_entry(priority, gkey, group, bucket)
+                    self._push_group_entry(shard, priority, gkey, group, bucket)
 
     def _indexed_candidate(
         self,
+        shard: _ReadyShard,
         exclude: Optional[set],
         deferred: list,
         best_volatile_key: Optional[tuple],
     ) -> Optional[tuple]:
-        """Best indexed entity as (key, entity, group, bkey), or None.
+        """Best indexed entity on one shard as (key, entity, group, bkey).
 
         Walks priority layers highest-first and stops as soon as a layer
         yields a candidate (strict layering) or the best volatile
         candidate is known to outrank everything below.
         """
-        priorities = set(self._layer_heaps)
-        if self._buckets.get((1, None)):
+        priorities = set(shard.layer_heaps)
+        if shard.buckets.get((1, None)):
             priorities.add(1)
         for priority in sorted(priorities, reverse=True):
             if best_volatile_key is not None and -best_volatile_key[0] > priority:
                 return None  # the volatile candidate strictly outranks the rest
-            found = self._layer_candidate(priority, exclude, deferred)
+            found = self._layer_candidate(shard, priority, exclude, deferred)
             if priority == 1:
-                none_found = self._none_candidate(exclude, deferred)
+                none_found = self._none_candidate(shard, exclude, deferred)
                 if none_found is not None and (
                     found is None or none_found[0] < found[0]
                 ):
@@ -489,34 +727,92 @@ class ContainerScheduler(Scheduler):
                 return None  # nothing indexed in the volatile's own layer
         return None
 
-    def _layer_candidate(
-        self, priority: int, exclude: Optional[set], deferred: list
+    def _steal_candidate(
+        self,
+        cpu: int,
+        floor_key: Optional[tuple],
+        exclude: Optional[set],
+        deferred: list,
     ) -> Optional[tuple]:
-        """Stride pick within one layer: the group with the smallest
-        (pass, head stamp, head order), via the lazy group heap."""
-        heap = self._layer_heaps.get(priority)
+        """Work found on other shards that this core must run.
+
+        Steals only layers *strictly above* the local candidate's
+        priority (strict machine-wide layering); an idle core with no
+        local candidate steals anything.  Victims are scanned richest
+        first (highest queued+active load, then lowest index), which is
+        deterministic and drains the most backed-up shard.  Returns
+        (key, entity, group, bkey, victim_shard) or None.
+        """
+        floor_priority = None if floor_key is None else -floor_key[0]
+        # Cheap refusal first: on the saturated fast path every layer
+        # with live entries is at (or below) the local candidate's
+        # priority and nothing below builds any per-pick structures.
+        top = None
+        for priority, count in self._layer_counts.items():
+            if count > 0 and (top is None or priority > top):
+                top = priority
+        if top is None or (
+            floor_priority is not None and top <= floor_priority
+        ):
+            return None
+        live = sorted(
+            (p for p, count in self._layer_counts.items() if count > 0),
+            reverse=True,
+        )
+        shards = self._shards
+        active = self._active_count
+        order = sorted(
+            (i for i in range(self.n_cpus) if i != cpu),
+            key=lambda i: (-(shards[i].queued + active[i]), i),
+        )
+        for priority in live:
+            if floor_priority is not None and priority <= floor_priority:
+                return None
+            for index in order:
+                vshard = shards[index]
+                found = self._layer_candidate(vshard, priority, exclude, deferred)
+                if priority == 1:
+                    none_found = self._none_candidate(vshard, exclude, deferred)
+                    if none_found is not None and (
+                        found is None or none_found[0] < found[0]
+                    ):
+                        found = none_found
+                if found is not None:
+                    return found + (vshard,)
+        return None
+
+    def _layer_candidate(
+        self,
+        shard: _ReadyShard,
+        priority: int,
+        exclude: Optional[set],
+        deferred: list,
+    ) -> Optional[tuple]:
+        """Stride pick within one shard's layer: the group with the
+        smallest (pass, head stamp, head order), via the lazy group heap."""
+        heap = shard.layer_heaps.get(priority)
         while heap:
             entry = heap[0]
             pass_value, head_stamp, head_order, gkey = entry
             bkey = (priority, gkey)
-            if self._gpos.get(bkey) != entry:
+            if shard.gpos.get(bkey) != entry:
                 heapq.heappop(heap)  # dead snapshot, superseded
                 continue
             group = self._groups.get(gkey)
             if group is None:
                 heapq.heappop(heap)
-                del self._gpos[bkey]
+                del shard.gpos[bkey]
                 continue
-            head = self._effective_head(bkey, exclude, deferred)
+            head = self._effective_head(shard, bkey, exclude, deferred)
             if head is None:
                 heapq.heappop(heap)  # bucket empty or fully ineligible
-                del self._gpos[bkey]
+                del shard.gpos[bkey]
                 continue
             stamp, order, eid = head
             current = (_node_state(group).pass_value, stamp, order)
             if (pass_value, head_stamp, head_order) != current:
                 corrected = current + (gkey,)
-                self._gpos[bkey] = corrected
+                shard.gpos[bkey] = corrected
                 heapq.heapreplace(heap, corrected)
                 continue
             key = (-priority, pass_value, stamp, order)
@@ -524,11 +820,11 @@ class ContainerScheduler(Scheduler):
         return None
 
     def _none_candidate(
-        self, exclude: Optional[set], deferred: list
+        self, shard: _ReadyShard, exclude: Optional[set], deferred: list
     ) -> Optional[tuple]:
         """Candidate among charge-nobody entities (pseudo-group: the
         global virtual time stands in for a pass value)."""
-        head = self._effective_head((1, None), exclude, deferred)
+        head = self._effective_head(shard, (1, None), exclude, deferred)
         if head is None:
             return None
         stamp, order, eid = head
@@ -536,40 +832,45 @@ class ContainerScheduler(Scheduler):
         return (key, self._by_eid[eid], None, (1, None))
 
     def _effective_head(
-        self, bkey: tuple, exclude: Optional[set], deferred: list
+        self,
+        shard: _ReadyShard,
+        bkey: tuple,
+        exclude: Optional[set],
+        deferred: list,
     ) -> Optional[tuple]:
         """The bucket's best *eligible* entry, validating lazily.
 
         Stale entries (superseded, detached, no longer runnable) are
-        dropped; eligible-but-barred ones (capped out, running on
-        another core) are set aside for :meth:`_requeue_deferred`.
+        dropped; eligible-but-barred ones (capped out, or excluded by
+        the legacy protocol) are set aside for :meth:`_requeue_deferred`.
         """
-        bucket = self._buckets.get(bkey)
+        bucket = shard.buckets.get(bkey)
         if bucket is None:
             return None
         priority, gkey = bkey
+        sidx = shard.index
         while bucket:
             entry = bucket[0]
             stamp, order, eid = entry
-            if self._pos.get(eid) != (priority, gkey, stamp):
+            if self._pos.get(eid) != (sidx, priority, gkey, stamp):
                 heapq.heappop(bucket)
                 continue
             entity = self._by_eid.get(eid)
             if entity is None or not entity.runnable:
                 heapq.heappop(bucket)
-                self._pos.pop(eid, None)
+                self._pos_drop(eid)
                 continue
             if exclude is not None and eid in exclude:
                 heapq.heappop(bucket)
-                deferred.append((bkey, entry))
+                deferred.append((shard, bkey, entry))
                 continue
             container = entity.charge_container()
             if container is not None and self._capped(container):
                 heapq.heappop(bucket)
-                deferred.append((bkey, entry))
+                deferred.append((shard, bkey, entry))
                 continue
             return entry
-        del self._buckets[bkey]
+        del shard.buckets[bkey]
         return None
 
     def _combined_priority(
@@ -613,6 +914,10 @@ class ContainerScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Introspection (tests, experiments)
     # ------------------------------------------------------------------
+
+    def queued_on(self, cpu: int) -> int:
+        """Live ready-index entries homed on one shard (tests/metrics)."""
+        return self._shards[cpu].queued
 
     def runnable_entities(self, now: float) -> list[Schedulable]:
         """Entities that are runnable and not throttled right now."""

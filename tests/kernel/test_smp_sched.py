@@ -1,0 +1,220 @@
+"""Per-CPU run-queue scheduler: determinism, equivalence, stealing.
+
+The SMP rework gave :class:`ContainerScheduler` one ready shard per
+core, dequeue-on-dispatch, and a container-aware balancer with work
+stealing.  These tests pin the properties that rework must not lose:
+
+* seeded SMP runs are byte-deterministic (same digest twice) at 2 and
+  4 cores, on both event-queue engines (wheel == heap);
+* the legacy single-queue ``pick()`` protocol and the per-CPU
+  ``pick_for_cpu``/``on_slice_end`` protocol produce the *same
+  schedule* on one CPU (the pre-SMP behaviour is a special case);
+* dequeue-on-dispatch means an entity can never be handed to two cores
+  at once, including across a steal;
+* stealing actually happens under a real multi-threaded server load,
+  is mirrored one-for-one by ``sched.steal`` trace records, and does
+  not break machine-wide fixed shares;
+* the charging-conservation sanitizer holds per core: the per-core
+  busy split recomposes to the machine-wide total at n_cpus=4.
+"""
+
+import hashlib
+
+import pytest
+
+from repro import Host, SystemMode, fixed_share_attrs, ip_addr
+from repro.apps.httpserver import MultiThreadedServer
+from repro.apps.webclient import HttpClient
+from repro.core.attributes import timeshare_attrs
+from repro.core.operations import ContainerManager
+from repro.experiments.bench_scalability import BenchEntity
+from repro.kernel.kernel import KernelConfig
+from repro.sched.container_sched import ContainerScheduler
+from repro.syscall import api
+from tests.sched.test_trace_digest import _fresh_id_counters
+
+
+def _server_host(n_cpus: int, seed: int = 29, **host_kwargs) -> Host:
+    """A multi-threaded web server under concurrent load (the workload
+    that exercises dispatch on every core, wakeups, and stealing)."""
+    config = KernelConfig(mode=SystemMode.RC, n_cpus=n_cpus)
+    host = Host(mode=SystemMode.RC, seed=seed, config=config, **host_kwargs)
+    host.kernel.fs.add_file("/index.html", 2048)
+    host.kernel.fs.warm("/index.html")
+    MultiThreadedServer(host.kernel, n_threads=8).install()
+    clients = [
+        HttpClient(host.kernel, ip_addr(10, 0, 0, i + 1), f"c{i}")
+        for i in range(12)
+    ]
+    for index, client in enumerate(clients):
+        client.start(at_us=2_000.0 + index * 170.0)
+    return host
+
+
+def _smp_digest(n_cpus: int, seed: int = 29, queue=None) -> str:
+    """Digest of every CPU slice (with its core) of a seeded SMP run."""
+    with _fresh_id_counters():
+        host = _server_host(n_cpus, seed=seed, queue=queue)
+        records = host.sim.trace.record(["cpu.slice"])
+        host.run(seconds=0.2)
+    digest = hashlib.sha256()
+    for record in records:
+        line = (
+            f"{record.time:.6f}|{record.data.get('kind')}"
+            f"|{record.data.get('core')}"
+            f"|{record.data.get('amount_us'):.6f}"
+            f"|{record.data.get('charge')}|{record.data.get('entity')}\n"
+        )
+        digest.update(line.encode())
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("n_cpus", [2, 4])
+def test_smp_schedule_digest_is_deterministic(n_cpus):
+    assert _smp_digest(n_cpus) == _smp_digest(n_cpus)
+
+
+def test_wheel_and_heap_engines_agree_at_4_cpus():
+    """The timing-wheel event queue must reproduce the binary heap's
+    dispatch order bit for bit, SMP dispatch included."""
+    assert _smp_digest(4, queue="wheel") == _smp_digest(4, queue="heap")
+
+
+def _flat_sched(leaves: int, n_cpus: int):
+    manager = ContainerManager()
+    sched = ContainerScheduler(
+        manager.root, quantum_us=1_000.0, window_us=10_000.0, n_cpus=n_cpus
+    )
+    entities = []
+    for i in range(leaves):
+        leaf = manager.create(f"p{i}", attrs=timeshare_attrs(weight=1.0))
+        entities.append(BenchEntity(f"e{i}", leaf))
+    for entity in entities:
+        sched.attach(entity)
+    return manager, sched, entities
+
+
+def test_legacy_pick_matches_per_cpu_protocol_on_one_cpu():
+    """On one CPU the new dequeue/requeue protocol must yield exactly
+    the schedule the old immediate-reinsert ``pick()`` yielded."""
+    _m1, legacy, _e1 = _flat_sched(7, n_cpus=1)
+    _m2, percpu, _e2 = _flat_sched(7, n_cpus=1)
+    legacy_seq = []
+    percpu_seq = []
+    now = 0.0
+    prev = None
+    for _ in range(50):
+        entity = legacy.pick(now)
+        legacy_seq.append(entity.name)
+        container = entity.charge_container()
+        container.charge_cpu(1_000.0)
+        legacy.charge(entity, container, 1_000.0, now)
+        if prev is not None:
+            container = prev.charge_container()
+            container.charge_cpu(1_000.0)
+            percpu.charge(prev, container, 1_000.0, now)
+            percpu.on_slice_end(prev, now)
+        prev = percpu.pick_for_cpu(now, 0)
+        percpu_seq.append(prev.name)
+        now += 1_000.0
+    assert legacy_seq == percpu_seq
+
+
+def test_dequeued_entity_is_never_offered_twice():
+    """Dequeue-on-dispatch: concurrent picks (including a steal) hand
+    out distinct entities; re-queue makes them eligible again."""
+    _manager, sched, _entities = _flat_sched(3, n_cpus=2)
+    first = sched.pick_for_cpu(0.0, 0)
+    second = sched.pick_for_cpu(0.0, 0)
+    # Core 0's shard is now empty; the third entity lives on shard 1
+    # and must be *stolen*, not duplicated.
+    third = sched.pick_for_cpu(0.0, 0)
+    names = {e.name for e in (first, second, third)}
+    assert len(names) == 3
+    assert sched.steals == 1
+    # Everything is in flight: both cores now find nothing.
+    assert sched.pick_for_cpu(0.0, 0) is None
+    assert sched.pick_for_cpu(0.0, 1) is None
+    # A completed slice makes its entity schedulable again.
+    sched.on_slice_end(first, 1_000.0)
+    assert sched.pick_for_cpu(1_000.0, 1) is first
+
+
+def test_steals_happen_and_are_traced_under_server_load():
+    host = _server_host(4)
+    records = host.sim.trace.record(["sched.steal"])
+    host.run(seconds=0.3)
+    sched = host.kernel.scheduler
+    assert sched.steals > 0
+    assert len(records) == sched.steals
+    for record in records:
+        assert record.data["core"] != record.data["victim"]
+
+
+def test_fixed_shares_hold_while_stealing():
+    """Machine-wide proportional shares survive cross-shard migration:
+    pass/vtime state is global, so a fixed-share group keeps its
+    guarantee even while the balancer migrates work between shards."""
+    host = _server_host(2, seed=31)
+
+    def spin():
+        while True:
+            yield api.Compute(5_000.0)
+
+    kernel = host.kernel
+    big = kernel.containers.create("big", attrs=fixed_share_attrs(0.6))
+    for i in range(3):
+        kernel.spawn_process(f"pb{i}", spin, parent_container=big)
+    host.run(seconds=0.5)
+    from repro.core.hierarchy import subtree_usage
+
+    assert host.kernel.scheduler.steals > 0
+    total = kernel.cpu.accounting.total_cpu_us
+    big_share = subtree_usage(big).cpu_us / total
+    # The 0.6 guarantee must hold against the web-server load -- and
+    # the spinners must not crowd out the timeshare layer either.
+    assert big_share >= 0.55
+    assert big_share <= 0.80
+
+
+def test_sanitizer_per_core_conservation_at_4_cpus():
+    host = _server_host(4, sanitize=True)
+    host.run(seconds=0.3)
+    sanitizer = host.kernel.sanitizer
+    assert sanitizer is not None
+    violations = sanitizer.finish()
+    assert violations == []
+    cpu = host.kernel.cpu
+    assert sum(cpu.core_busy_us) == pytest.approx(
+        cpu.accounting.total_cpu_us, abs=1e-6
+    )
+    for busy in cpu.core_busy_us:
+        assert busy <= host.now + 1e-6
+
+
+def test_alternate_policies_dispatch_on_smp_via_delegation():
+    """Schedulers without a native per-CPU protocol (lottery, unix
+    timeshare) fall back to the base-class delegation: ``pick_for_cpu``
+    routes to ``pick(now, exclude)`` with the dispatcher's running set,
+    so they keep working on a multi-core host with the old exclude-set
+    semantics -- no double dispatch, both cores productive."""
+    from repro.sched.lottery import LotteryScheduler
+
+    config = KernelConfig(mode=SystemMode.RC, n_cpus=2)
+    config.scheduler_factory = lambda kernel: LotteryScheduler(
+        kernel.sim.rng.fork("lottery")
+    )
+    host = Host(mode=SystemMode.RC, seed=37, config=config)
+
+    def spin():
+        while True:
+            yield api.Compute(1_000.0)
+
+    processes = [host.kernel.spawn_process(f"p{i}", spin) for i in range(2)]
+    host.run(seconds=0.2)
+    for process in processes:
+        usage = process.default_container.usage.cpu_us
+        # Each spinner got real time on its own core...
+        assert usage > host.now * 0.4
+        # ...and never ran on two cores at once.
+        assert usage <= host.now * 1.001

@@ -3,6 +3,7 @@
 import json
 
 from repro.obs.export import (
+    CORES_PID,
     REQUESTS_PID,
     chrome_trace,
     flamegraph_lines,
@@ -70,10 +71,17 @@ def test_chrome_trace_structure():
         e["args"]["name"] for e in by_ph["M"]
         if e["name"] == "process_name"
     }
-    assert {"httpd", "<unaccounted>", "requests"} <= process_names
-    # One X event per kept slice, carrying dur.
-    assert len(by_ph["X"]) == 2
+    assert {"httpd", "<unaccounted>", "requests", "cores"} <= process_names
+    # One X event per kept slice in the container lanes, carrying dur,
+    # plus a duplicate per CPU slice in the per-core machine lanes.
+    container_lane = [e for e in by_ph["X"] if e["pid"] != CORES_PID]
+    core_lane = [e for e in by_ph["X"] if e["pid"] == CORES_PID]
+    assert len(container_lane) == 2
+    assert len(core_lane) == 2
     assert all("dur" in e for e in by_ph["X"])
+    # Uniprocessor feed: everything lands in the core-0 lane.
+    assert {e["tid"] for e in core_lane} == {0}
+    assert all(e["args"]["container"] for e in core_lane)
     # Async begin/end events pair up and live under the requests pid.
     assert len(by_ph["b"]) == len(by_ph["e"])
     assert all(e["pid"] == REQUESTS_PID for e in by_ph["b"])

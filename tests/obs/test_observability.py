@@ -147,3 +147,81 @@ def test_observing_does_not_change_results():
                 host.now)
 
     assert client_stats(False) == client_stats(True)
+
+
+def _run_smp_workload(n_cpus=4, seed=47, seconds=0.2):
+    from repro.apps.httpserver import MultiThreadedServer
+    from repro.kernel.kernel import KernelConfig
+
+    config = KernelConfig(mode=SystemMode.RC, n_cpus=n_cpus)
+    host = Host(mode=SystemMode.RC, seed=seed, config=config, observe=True)
+    host.kernel.fs.add_file("/index.html", 2048)
+    host.kernel.fs.warm("/index.html")
+    MultiThreadedServer(host.kernel, n_threads=8).install()
+    for i in range(10):
+        HttpClient(
+            host.kernel, ip_addr(10, 0, 0, i + 1), f"c{i}",
+            think_time_us=500.0, rng=host.sim.rng.fork(f"c{i}"),
+        ).start(at_us=2_000.0 + i * 111.0)
+    host.run(seconds=seconds)
+    return host
+
+
+def test_smp_chrome_trace_has_one_lane_per_core():
+    host = _run_smp_workload()
+    obs = host.observability
+    document = chrome_trace(obs.profiler, obs.tracer)
+    assert validate_chrome_trace(document) == []
+    from repro.obs.export import CORES_PID
+
+    events = document["traceEvents"]
+    lane_names = {
+        e["args"]["name"] for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+        and e["pid"] == CORES_PID
+    }
+    assert lane_names == {f"core {i}" for i in range(4)}
+    # Every core saw work, and the core lanes mirror the dispatcher's
+    # per-core ledgers exactly.
+    by_core = {}
+    for event in events:
+        if event["ph"] == "X" and event["pid"] == CORES_PID:
+            by_core[event["tid"]] = by_core.get(event["tid"], 0.0) + event["dur"]
+    assert set(by_core) == {0, 1, 2, 3}
+    for core, busy in enumerate(host.kernel.cpu.core_busy_us):
+        assert by_core[core] == pytest.approx(busy, rel=1e-12)
+
+
+def test_smp_registry_core_counters_reconcile():
+    host = _run_smp_workload()
+    registry = host.observability.registry
+    cpu = host.kernel.cpu
+    for core, busy in enumerate(cpu.core_busy_us):
+        counter = registry.get(f"core:{core}", "core", "busy_us")
+        assert counter is not None
+        assert counter.value == pytest.approx(busy, rel=1e-12)
+        idle = registry.get(f"core:{core}", "core", "idle_us")
+        # Busy plus booked idle never exceeds elapsed time (the tail
+        # after the core's last slice stays unbooked).
+        booked = counter.value + (idle.value if idle is not None else 0.0)
+        assert booked <= host.now * (1 + 1e-9)
+    steal_total = sum(
+        registry.get(*key).value
+        for key in registry.keys()
+        if key[1] == "core" and key[2] == "steals"
+    )
+    assert steal_total == host.kernel.scheduler.steals > 0
+
+
+def test_smp_exports_are_byte_identical_across_runs(tmp_path):
+    def one_run(outdir):
+        with _fresh_id_counters():
+            host = _run_smp_workload(seconds=0.1)
+        paths = host.observability.export(outdir)
+        return {p.name: p.read_bytes() for p in paths}
+
+    first = one_run(tmp_path / "a")
+    second = one_run(tmp_path / "b")
+    assert first.keys() == second.keys()
+    for name in first:
+        assert first[name] == second[name], f"{name} differs between runs"
