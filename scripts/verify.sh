@@ -19,6 +19,9 @@
 #   0e. SMP charging conservation: a 4-core multi-threaded server run
 #      under the sanitizer must conserve CPU time per core
 #      (accounting-core-busy, core-busy-split, overcommitted-core)
+#   0f. whole-program analyzer (static gate: charging-flow CHG2xx,
+#      shard-protocol SMP3xx, units UNIT4xx), with a 10s wall budget --
+#      the shared-parse graph keeps lint+analyze in the hundreds of ms
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -111,6 +114,16 @@ if abs(split - total) > 1e-6:
 print(f"SMP conservation OK (4 cores, {total / 1e6:.3f}s CPU charged, "
       f"{host.kernel.scheduler.steals} steals, 0 violations)")
 PYEOF
+
+echo "== tier-0f: whole-program analyzer =="
+ANALYZE_START="$(date +%s)"
+python -m repro analyze
+ANALYZE_ELAPSED="$(( $(date +%s) - ANALYZE_START ))"
+if [ "$ANALYZE_ELAPSED" -ge 10 ]; then
+  echo "analyze gate FAILED its 10s wall budget (took ${ANALYZE_ELAPSED}s)"
+  exit 1
+fi
+echo "analyze gate OK (${ANALYZE_ELAPSED}s, budget 10s)"
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

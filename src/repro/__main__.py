@@ -11,6 +11,10 @@ Usage::
     python -m repro bench-sweep          # sweep-engine speedup benchmark
     python -m repro lint                 # determinism lint of src/repro
     python -m repro lint --rules         # the lint rule catalogue
+    python -m repro analyze              # whole-program invariant analyzer
+                                         # (charging / SMP protocol / units)
+    python -m repro analyze --format json
+    python -m repro check                # lint + analyze, one shared parse
     python -m repro sanitize fig11       # run fig11 under the
                                          # charging-conservation sanitizer
     python -m repro trace fig11 --smoke  # trace one tiny fig11 point and
@@ -307,7 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             *EXPERIMENTS, "all", "list", "bench", "bench-sweep",
             "bench-engine",
-            "lint", "sanitize", "trace", "report",
+            "lint", "analyze", "check", "sanitize", "trace", "report",
         ],
         help="which experiment to run ('bench' runs the scheduler "
         "scalability sweep and writes BENCH_scalability.json; "
@@ -315,7 +319,9 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_sweep.json; 'bench-engine' benchmarks event-dispatch "
         "throughput across queue implementations and writes "
         "BENCH_engine.json; 'lint' runs the determinism lint over the "
-        "repro source tree; 'sanitize <experiment>' re-runs an "
+        "repro source tree; 'analyze' runs the whole-program "
+        "charging/shard-protocol/units analyzer; 'check' runs lint + "
+        "analyze off one shared parse; 'sanitize <experiment>' re-runs an "
         "experiment with the charging-conservation sanitizer enabled; "
         "'trace <experiment>' re-runs one with observability attached "
         "and exports JSONL/Chrome-trace/flamegraph files; 'report' "
@@ -344,13 +350,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="with 'lint': rewrite the grandfathered-violation baseline "
-        "from the current tree",
+        help="with 'lint'/'analyze'/'check': rewrite the "
+        "grandfathered-violation baseline(s) from the current tree",
     )
     parser.add_argument(
         "--rules",
         action="store_true",
-        help="with 'lint': print the rule catalogue and exit",
+        help="with 'lint'/'analyze': print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="fmt",
+        help="with 'analyze'/'check': findings as human text (default) "
+        "or machine-readable JSON",
     )
     parser.add_argument(
         "--full",
@@ -391,6 +405,22 @@ def main(argv: list[str] | None = None) -> int:
 
         return run_lint(
             update_baseline=args.update_baseline, show_rules=args.rules
+        )
+
+    if args.experiment == "analyze":
+        from repro.analysis.analyze import run_analyze
+
+        return run_analyze(
+            update_baseline=args.update_baseline,
+            show_rules=args.rules,
+            fmt=args.fmt,
+        )
+
+    if args.experiment == "check":
+        from repro.analysis.analyze import run_check
+
+        return run_check(
+            fmt=args.fmt, update_baseline=args.update_baseline
         )
 
     if args.experiment == "sanitize":

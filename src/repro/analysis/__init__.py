@@ -1,6 +1,8 @@
 """Static and runtime verification of the reproduction's invariants.
 
-Two coordinated passes keep the repo's flagship properties honest:
+Three coordinated checkers keep the repo's flagship properties honest,
+all driven off one shared single-parse module graph
+(:mod:`repro.analysis.graph`):
 
 * :mod:`repro.analysis.lint` -- an AST-based **determinism lint** over
   the ``repro`` source tree.  The sweep engine's content-addressed cache
@@ -10,6 +12,18 @@ Two coordinated passes keep the repo's flagship properties honest:
   hash-ordered set iteration that reaches simulation state silently
   breaks that contract; the lint makes those patterns build failures.
 
+* :mod:`repro.analysis.analyze` -- the **whole-program invariant
+  analyzer**: a charging-completeness dataflow pass
+  (:mod:`repro.analysis.charging`, CHG2xx) proving every registered
+  resource-consuming primitive routes into a ledger charge or an
+  explicit unaccounted sink on every path; an SMP shard-protocol
+  conformance pass (:mod:`repro.analysis.smp_rules`, SMP3xx) enforcing
+  the ``pick_for_cpu``/``on_slice_end`` dequeue-on-dispatch pairing and
+  the mediation points for global stride/vtime/cap state; and a units
+  checker (:mod:`repro.analysis.units`, UNIT4xx) that lifts the
+  ``_us``/``_bytes``/``_kb`` naming convention into a checked dimension
+  discipline.
+
 * :mod:`repro.analysis.sanitizer` -- an opt-in runtime
   **charging-conservation sanitizer**.  The paper's central claim is
   that every unit of kernel work is charged to exactly one explicit
@@ -18,10 +32,13 @@ Two coordinated passes keep the repo's flagship properties honest:
   that charged CPU + unaccounted interrupt time equals busy CPU time,
   that no ledger goes negative, that no charge lands on a destroyed
   container, and that scheduler-side charges reconcile with container
-  ledgers.
+  ledgers.  Its :data:`~repro.analysis.sanitizer.DIMENSION_CHECKS` map
+  is cross-checked against the static pass's primitive registry, so the
+  static and dynamic checkers agree on the charging surface.
 
-Both run from the CLI: ``python -m repro lint`` and
-``python -m repro sanitize <experiment>``.
+All run from the CLI: ``python -m repro lint``, ``python -m repro
+analyze``, ``python -m repro check`` (lint + analyze off one parse),
+and ``python -m repro sanitize <experiment>``.
 """
 
 from repro.analysis.rules import RULES, Rule

@@ -1,0 +1,243 @@
+"""The whole-program analyzer driver: ``python -m repro analyze``.
+
+Runs the three whole-program passes (CHG2xx charging completeness,
+SMP3xx shard-protocol conformance, UNIT4xx units checking) off one
+shared :class:`~repro.analysis.graph.ModuleGraph`, applies the
+generalised suppression machinery (``# analysis: allow[RULE]`` pragmas,
+the reasoned per-file allowlist below, and the reasoned committed
+baseline in ``analyze_baseline.json``), and reports.
+
+``python -m repro check`` runs the determinism lint *and* the analyzer
+off a single graph, so the whole static gate parses each file exactly
+once.
+
+Exit codes: 0 clean; 1 new violations, stale baseline entries, or
+baseline entries missing a justification; 2 internal errors (reserved).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.charging import check_charging
+from repro.analysis.graph import (
+    ModuleGraph,
+    Violation,
+    filter_suppressed,
+    load_baseline_entries,
+    reconcile_baseline,
+    write_baseline_entries,
+)
+from repro.analysis.smp_rules import check_smp
+from repro.analysis.units import check_units
+
+#: Default committed baseline, next to this module.  Unlike the lint's
+#: baseline, every entry must carry a non-empty ``reason`` or it
+#: absorbs nothing.
+ANALYZE_BASELINE_PATH = (
+    Path(__file__).resolve().parent / "analyze_baseline.json"
+)
+
+#: Per-file waivers: package-relative path -> {rule id -> reason}.
+FILE_ALLOWLIST: dict = {}
+
+#: Subtree/file prefix -> rules no suppression mechanism can waive
+#: there.  The CPU and disk device are the two places where simulated
+#: time itself is consumed; if either ever stops charging, every ledger
+#: and the whole sanitizer story is fiction, so the charging rules are
+#: absolute for them.
+UNWAIVABLE: dict = {
+    "kernel/cpu.py": ("CHG201", "CHG202"),
+    "io/device.py": ("CHG201", "CHG202"),
+}
+
+
+def unwaivable_rules(rel: str) -> frozenset:
+    """Rules that cannot be waived for the package-relative path."""
+    rules: set = set()
+    for prefix, rule_ids in UNWAIVABLE.items():
+        if rel.startswith(prefix):
+            rules.update(rule_ids)
+    return frozenset(rules)
+
+
+def analyze_graph(
+    graph: ModuleGraph,
+    allowlist: "dict | None" = None,
+) -> list:
+    """All three passes over a graph, with suppressions applied."""
+    if allowlist is None:
+        allowlist = FILE_ALLOWLIST
+    raw = check_charging(graph) + check_smp(graph) + check_units(graph)
+    by_module: dict = {}
+    for violation in raw:
+        by_module.setdefault(violation.path, []).append(violation)
+    kept: list = []
+    for rel in sorted(by_module):
+        module = graph.modules[rel]
+        kept.extend(
+            filter_suppressed(
+                by_module[rel],
+                module,
+                allowlist.get(rel, {}),
+                unwaivable_rules(rel),
+            )
+        )
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return kept
+
+
+def analyze_tree(
+    root: "Path | None" = None,
+    allowlist: "dict | None" = None,
+) -> list:
+    return analyze_graph(ModuleGraph.load(root), allowlist)
+
+
+# ---------------------------------------------------------------------------
+# CLI entry (dispatched from repro.__main__)
+# ---------------------------------------------------------------------------
+
+
+def _emit_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _violation_dict(violation: Violation) -> dict:
+    return {
+        "path": violation.path,
+        "rule": violation.rule,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+        "code": violation.code,
+    }
+
+
+def run_analyze(
+    update_baseline: bool = False,
+    show_rules: bool = False,
+    root: "Path | None" = None,
+    baseline_path: "Path | None" = None,
+    fmt: str = "text",
+    graph: "ModuleGraph | None" = None,
+) -> int:
+    """Run the analyzer; print findings; return a process exit code."""
+    from repro.analysis.rules import RULES, describe
+
+    if show_rules:
+        for rule_id in sorted(RULES):
+            if not rule_id.startswith("DET"):
+                print(describe(rule_id))
+                print()
+        return 0
+    if baseline_path is None:
+        baseline_path = ANALYZE_BASELINE_PATH
+    if graph is None:
+        graph = ModuleGraph.load(root)
+    violations = analyze_graph(graph)
+    entries = load_baseline_entries(baseline_path)
+
+    if update_baseline:
+        reasons = {
+            (e["path"], e["rule"], e["code"]): str(e.get("reason", ""))
+            for e in entries
+        }
+        kept = []
+        refused = 0
+        missing_reason = 0
+        for violation in sorted(
+            violations, key=lambda v: (v.path, v.line)
+        ):
+            if violation.rule in unwaivable_rules(violation.path):
+                refused += 1
+                continue
+            reason = reasons.get(violation.fingerprint(), "")
+            if not reason.strip():
+                missing_reason += 1
+            kept.append(
+                {
+                    "path": violation.path,
+                    "rule": violation.rule,
+                    "code": violation.code,
+                    "reason": reason,
+                }
+            )
+        path = write_baseline_entries(kept, baseline_path)
+        print(
+            f"analyze: baseline updated ({len(kept)} entries) -> {path}"
+        )
+        if refused:
+            print(
+                f"analyze: refused to grandfather {refused} unwaivable "
+                "violation(s); they must be fixed"
+            )
+        if missing_reason:
+            print(
+                f"analyze: {missing_reason} entr(y/ies) need a written "
+                '"reason" before the baseline absorbs them'
+            )
+        return 1 if (refused or missing_reason) else 0
+
+    new, grandfathered, stale, unjustified = reconcile_baseline(
+        violations, entries, unwaivable_rules
+    )
+    if fmt == "json":
+        _emit_json(
+            {
+                "new": [_violation_dict(v) for v in new],
+                "grandfathered": [
+                    _violation_dict(v) for v in grandfathered
+                ],
+                "stale_baseline": stale,
+                "unjustified_baseline": unjustified,
+                "ok": not (new or stale or unjustified),
+            }
+        )
+        return 1 if (new or stale or unjustified) else 0
+    for violation in new:
+        print(violation.render())
+    if grandfathered:
+        print(
+            f"analyze: {len(grandfathered)} grandfathered violation(s) "
+            "tracked in the reasoned baseline"
+        )
+    for entry in stale:
+        print(
+            "analyze: stale baseline entry (violation no longer "
+            f"matches): {entry['path']} {entry['rule']} -- retire it "
+            "with --update-baseline"
+        )
+    for entry in unjustified:
+        print(
+            "analyze: baseline entry without a reason absorbs nothing: "
+            f"{entry.get('path')} {entry.get('rule')}"
+        )
+    if new:
+        print(
+            f"analyze: {len(new)} new violation(s); see "
+            "`python -m repro analyze --rules` for the catalogue, "
+            "suppress a line with `# analysis: allow[<RULE>]` only "
+            "with a reviewed reason"
+        )
+    if new or stale or unjustified:
+        return 1
+    print("analyze: OK (charging, shard-protocol, and units invariants hold)")
+    return 0
+
+
+def run_check(
+    root: "Path | None" = None,
+    fmt: str = "text",
+    update_baseline: bool = False,
+) -> int:
+    """Lint + analyze off one shared graph (one parse per file)."""
+    from repro.analysis.lint import run_lint
+
+    graph = ModuleGraph.load(root)
+    lint_rc = run_lint(update_baseline=update_baseline, graph=graph)
+    analyze_rc = run_analyze(
+        update_baseline=update_baseline, fmt=fmt, graph=graph
+    )
+    return max(lint_rc, analyze_rc)

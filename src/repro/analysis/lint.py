@@ -36,13 +36,22 @@ import ast
 import json
 import re
 from collections import Counter
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.analysis.graph import (
+    ModuleGraph,
+    ModuleInfo,
+    Violation,
+    collect_pragmas,
+    package_root,
+)
 from repro.analysis.rules import RULES
 
-#: ``# det: allow[DET101]`` (optionally with trailing prose).
+#: ``# det: allow[DET101]`` (optionally with trailing prose).  Kept for
+#: reference; pragma collection now lives in
+#: :func:`repro.analysis.graph.collect_pragmas`, which also accepts the
+#: generalised ``# analysis: allow[...]`` spelling.
 _PRAGMA_RE = re.compile(r"#\s*det:\s*allow\[(DET\d+)\]")
 
 #: Default committed baseline, next to this module.
@@ -144,95 +153,30 @@ _ENTROPY_CALLS = {
 _ORDER_REALISING = {"list", "tuple", "enumerate", "iter", "next", "reversed"}
 
 
-@dataclass(frozen=True)
-class Violation:
-    """One lint finding, with enough context to fix or baseline it."""
+def _scope_set_names(module: ModuleInfo) -> dict:
+    """Per-scope local names that can only be bare sets, derived from
+    the binding candidates the graph's load walk collected (scope key:
+    def node, or None for the module pseudo-scope).
 
-    path: str  # package-relative, forward slashes
-    rule: str
-    line: int
-    col: int
-    message: str
-    code: str  # stripped source line, the baseline fingerprint payload
-
-    def fingerprint(self) -> tuple:
-        """Line-number-free identity used for baseline matching."""
-        return (self.path, self.rule, self.code)
-
-    def render(self) -> str:
-        return (
-            f"{self.path}:{self.line}:{self.col}: "
-            f"{self.rule} {self.message}\n    {self.code}"
-        )
-
-
-class _ScopeSets(ast.NodeVisitor):
-    """Collect, per function/module scope, local names that can only be
-    bare sets (every binding is a set display/comprehension/constructor).
-
-    Deliberately conservative: a single non-set binding, a parameter, or
-    a loop-target binding disqualifies the name.
+    Deliberately conservative: a rebound name, a parameter, or a name
+    bound by a loop target / ``with ... as`` / augmented assignment
+    disqualifies itself, so only a name whose single binding is a set
+    display/comprehension/constructor qualifies.
     """
-
-    def __init__(self) -> None:
-        #: scope node -> set of definitely-set-typed local names.
-        self.scopes: dict[ast.AST, set[str]] = {}
-        self._set_bound: dict[ast.AST, set[str]] = {}
-        self._other_bound: dict[ast.AST, set[str]] = {}
-        self._stack: list[ast.AST] = []
-
-    def _bind(self, name: str, is_set: bool) -> None:
-        scope = self._stack[-1]
-        (self._set_bound if is_set else self._other_bound)[scope].add(name)
-
-    def _enter(self, node: ast.AST) -> None:
-        self._stack.append(node)
-        self._set_bound[node] = set()
-        self._other_bound[node] = set()
-
-    def _leave(self, node: ast.AST) -> None:
-        self._stack.pop()
-        self.scopes[node] = self._set_bound[node] - self._other_bound[node]
-
-    def visit_Module(self, node: ast.Module) -> None:
-        self._enter(node)
-        self.generic_visit(node)
-        self._leave(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._enter(node)
-        for arg in _all_args(node.args):
-            self._bind(arg, is_set=False)
-        self.generic_visit(node)
-        self._leave(node)
-
-    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        is_set = _is_bare_set(node.value)
-        for target in node.targets:
-            if isinstance(target, ast.Name):
-                self._bind(target.id, is_set)
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if isinstance(node.target, ast.Name) and node.value is not None:
-            self._bind(node.target.id, _is_bare_set(node.value))
-        self.generic_visit(node)
-
-    def visit_For(self, node: ast.For) -> None:
-        for name_node in ast.walk(node.target):
-            if isinstance(name_node, ast.Name):
-                self._bind(name_node.id, is_set=False)
-        self.generic_visit(node)
-
-    def visit_With(self, node: ast.With) -> None:
-        for item in node.items:
-            if item.optional_vars is not None:
-                for name_node in ast.walk(item.optional_vars):
-                    if isinstance(name_node, ast.Name):
-                        self._bind(name_node.id, is_set=False)
-        self.generic_visit(node)
+    scopes: dict = {}
+    for fn, (bindings, disqualified) in module.fn_bindings.items():
+        params = frozenset(_all_args(fn.args)) if fn is not None else ()
+        names = {
+            name
+            for name, value in bindings.items()
+            if value is not None
+            and name not in disqualified
+            and name not in params
+            and _is_bare_set(value)
+        }
+        if names:
+            scopes[fn] = names
+    return scopes
 
 
 def _all_args(args: ast.arguments) -> list[str]:
@@ -257,7 +201,11 @@ def _is_bare_set(node: ast.AST) -> bool:
     return False
 
 
-class _Linter(ast.NodeVisitor):
+class _Linter:
+    """DET rule checks over the graph's prebuilt node index.  Each check
+    receives the node plus its enclosing-def chain (innermost first) --
+    the traversal happened once, during graph load."""
+
     def __init__(
         self,
         rel: str,
@@ -276,7 +224,6 @@ class _Linter(ast.NodeVisitor):
         self.violations: list[Violation] = []
         #: alias -> dotted module/name it stands for.
         self.aliases: dict[str, str] = {}
-        self._scope_stack: list[ast.AST] = []
 
     # -- reporting ---------------------------------------------------------
 
@@ -301,7 +248,7 @@ class _Linter(ast.NodeVisitor):
 
     # -- import tracking ---------------------------------------------------
 
-    def visit_Import(self, node: ast.Import) -> None:
+    def handle_import(self, node: ast.Import) -> None:
         for alias in node.names:
             self.aliases[alias.asname or alias.name.split(".")[0]] = (
                 alias.name if alias.asname else alias.name.split(".")[0]
@@ -317,11 +264,9 @@ class _Linter(ast.NodeVisitor):
                     "process-dependent order -- use Simulation.at/after "
                     "or get the file reviewed onto the allowlist",
                 )
-        self.generic_visit(node)
 
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
         if node.module is None or node.level:
-            self.generic_visit(node)
             return
         if node.module == "heapq" and not self.rel.startswith(
             _DET106_EXEMPT_PREFIXES
@@ -345,7 +290,6 @@ class _Linter(ast.NodeVisitor):
             self.aliases[alias.asname or alias.name] = (
                 f"{node.module}.{alias.name}"
             )
-        self.generic_visit(node)
 
     # -- name resolution ---------------------------------------------------
 
@@ -363,33 +307,22 @@ class _Linter(ast.NodeVisitor):
 
     # -- scope-aware set lookups -------------------------------------------
 
-    def _in_scope_set_name(self, node: ast.AST) -> bool:
+    def _in_scope_set_name(self, node: ast.AST, chain: tuple) -> bool:
         if not isinstance(node, ast.Name):
             return False
-        for scope in reversed(self._scope_stack):
-            names = self.set_scopes.get(scope, ())
+        scopes = self.set_scopes
+        for fn in chain:
+            names = scopes.get(fn, ())
             if node.id in names:
                 return True
-        return False
+        return node.id in scopes.get(None, ())  # module pseudo-scope
 
-    def _is_set_valued(self, node: ast.AST) -> bool:
-        return _is_bare_set(node) or self._in_scope_set_name(node)
-
-    def visit_Module(self, node: ast.Module) -> None:
-        self._scope_stack.append(node)
-        self.generic_visit(node)
-        self._scope_stack.pop()
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._scope_stack.append(node)
-        self.generic_visit(node)
-        self._scope_stack.pop()
-
-    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    def _is_set_valued(self, node: ast.AST, chain: tuple) -> bool:
+        return _is_bare_set(node) or self._in_scope_set_name(node, chain)
 
     # -- the rules ---------------------------------------------------------
 
-    def visit_Call(self, node: ast.Call) -> None:
+    def check_call(self, node: ast.Call, chain: tuple) -> None:
         dotted = self._dotted(node.func)
         if dotted in _WALL_CLOCK_CALLS:
             self._flag(
@@ -421,7 +354,7 @@ class _Linter(ast.NodeVisitor):
             isinstance(node.func, ast.Name)
             and node.func.id in _ORDER_REALISING
             and node.args
-            and self._is_set_valued(node.args[0])
+            and self._is_set_valued(node.args[0], chain)
         ):
             self._flag(
                 node,
@@ -450,33 +383,25 @@ class _Linter(ast.NodeVisitor):
                 f"global-random call {dotted}(); draw from the "
                 "simulation's SeededRng (sim/rng.py) instead",
             )
-        self.generic_visit(node)
 
-    def visit_For(self, node: ast.For) -> None:
-        if self._is_set_valued(node.iter):
+    def check_for(self, node: ast.For, chain: tuple) -> None:
+        if self._is_set_valued(node.iter, chain):
             self._flag(
                 node,
                 "DET105",
                 "for-loop over a bare set iterates in hash-salted order; "
                 "wrap the set in sorted(...)",
             )
-        self.generic_visit(node)
 
-    def _check_comprehension(self, node) -> None:
+    def check_comprehension(self, node, chain: tuple) -> None:
         for gen in node.generators:
-            if self._is_set_valued(gen.iter):
+            if self._is_set_valued(gen.iter, chain):
                 self._flag(
                     gen.iter,
                     "DET105",
                     "comprehension over a bare set iterates in "
                     "hash-salted order; wrap the set in sorted(...)",
                 )
-        self.generic_visit(node)
-
-    visit_ListComp = _check_comprehension
-    visit_SetComp = _check_comprehension
-    visit_DictComp = _check_comprehension
-    visit_GeneratorExp = _check_comprehension
 
 
 # ---------------------------------------------------------------------------
@@ -484,13 +409,45 @@ class _Linter(ast.NodeVisitor):
 # ---------------------------------------------------------------------------
 
 
-def _pragmas(lines: Sequence[str]) -> dict[int, set]:
-    """line number -> rule ids waived on that line."""
-    out: dict[int, set] = {}
-    for index, line in enumerate(lines, start=1):
-        for match in _PRAGMA_RE.finditer(line):
-            out.setdefault(index, set()).add(match.group(1))
-    return out
+def lint_module(
+    module: ModuleInfo, allowed: Iterable[str] = ()
+) -> list[Violation]:
+    """Lint one pre-parsed module off the shared graph's node index."""
+    linter = _Linter(
+        rel=module.rel,
+        lines=module.lines,
+        allowed=frozenset(allowed),
+        pragmas=module.pragmas,
+        set_scopes=_scope_set_names(module),
+        unwaivable=unwaivable_rules(module.rel),
+    )
+    index = module.index
+    # Imports first (they build the alias table the call checks consult),
+    # in source order so a re-bound alias resolves like it always did.
+    imports = [
+        (node, linter.handle_import) for node, _c in index[ast.Import]
+    ]
+    imports.extend(
+        (node, linter.handle_import_from)
+        for node, _c in index[ast.ImportFrom]
+    )
+    imports.sort(key=lambda pair: pair[0].lineno)
+    for node, handle in imports:
+        handle(node)
+    for node, chain in index[ast.Call]:
+        linter.check_call(node, chain)
+    for node, chain in index[ast.For]:
+        linter.check_for(node, chain)
+    for comp_type in (
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    ):
+        for node, chain in index[comp_type]:
+            linter.check_comprehension(node, chain)
+    linter.violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return linter.violations
 
 
 def lint_source(
@@ -501,28 +458,21 @@ def lint_source(
     Rules that are :func:`unwaivable_rules` for ``rel`` ignore both
     ``allowed`` and inline pragmas.
     """
-    tree = ast.parse(source, filename=rel)
-    lines = source.splitlines()
-    scoper = _ScopeSets()
-    scoper.visit(tree)
-    linter = _Linter(
-        rel=rel,
-        lines=lines,
-        allowed=frozenset(allowed),
-        pragmas=_pragmas(lines),
-        set_scopes=scoper.scopes,
-        unwaivable=unwaivable_rules(rel),
-    )
-    linter.visit(tree)
-    linter.violations.sort(key=lambda v: (v.line, v.col, v.rule))
-    return linter.violations
+    return lint_module(ModuleInfo.parse(rel, source), allowed)
 
 
-def package_root() -> Path:
-    """The installed ``repro`` package directory (the lint target)."""
-    import repro
-
-    return Path(repro.__file__).resolve().parent
+def lint_graph(
+    graph: ModuleGraph,
+    allowlist: "dict[str, dict[str, str]] | None" = None,
+) -> list[Violation]:
+    """Lint every module of an already-parsed :class:`ModuleGraph`."""
+    if allowlist is None:
+        allowlist = FILE_ALLOWLIST
+    violations: list[Violation] = []
+    for rel in sorted(graph.modules):
+        module = graph.modules[rel]
+        violations.extend(lint_module(module, allowlist.get(rel, {})))
+    return violations
 
 
 def lint_tree(
@@ -530,18 +480,7 @@ def lint_tree(
     allowlist: "dict[str, dict[str, str]] | None" = None,
 ) -> list[Violation]:
     """Lint every ``*.py`` under ``root`` (default: the repro package)."""
-    if root is None:
-        root = package_root()
-    if allowlist is None:
-        allowlist = FILE_ALLOWLIST
-    violations: list[Violation] = []
-    for path in sorted(root.rglob("*.py")):
-        rel = path.relative_to(root).as_posix()
-        allowed = allowlist.get(rel, {})
-        violations.extend(
-            lint_source(path.read_text(encoding="utf-8"), rel, allowed)
-        )
-    return violations
+    return lint_graph(ModuleGraph.load(root), allowlist)
 
 
 # ---------------------------------------------------------------------------
@@ -611,6 +550,7 @@ def run_lint(
     show_rules: bool = False,
     root: "Path | None" = None,
     baseline_path: "Path | None" = None,
+    graph: "ModuleGraph | None" = None,
 ) -> int:
     """Run the tree lint; print findings; return a process exit code."""
     from repro.analysis.rules import describe
@@ -620,7 +560,9 @@ def run_lint(
             print(describe(rule_id))
             print()
         return 0
-    violations = lint_tree(root=root)
+    if graph is None:
+        graph = ModuleGraph.load(root)
+    violations = lint_graph(graph)
     if update_baseline:
         fixable = [
             v for v in violations

@@ -111,6 +111,110 @@ RULES: dict[str, Rule] = {
             "tie-breaker, reviewed.",
         ),
         Rule(
+            id="CHG201",
+            name="uncharged-subsystem",
+            flags="a registered resource-consuming primitive (see "
+            "repro.analysis.charging.PRIMITIVES) from which no ledger "
+            "charge, Scheduler.note_charge, or explicit unaccounted_* "
+            "sink is reachable over the call graph",
+            breaks="ledgers: consumption that never reaches a ledger is "
+            "invisible to billing, caps, and the sanitizer's "
+            "conservation checks -- exactly the unattributed-work hole "
+            "resource containers exist to close.  Every consuming "
+            "subsystem must charge a container or book to an "
+            "unaccounted sink.",
+        ),
+        Rule(
+            id="CHG202",
+            name="uncharged-path",
+            flags="a control-flow path through a consuming primitive "
+            "that consumes and then returns (or falls off the end) "
+            "without a ledger charge or unaccounted_* booking; falsy "
+            "returns and raises count as rejection paths",
+            breaks="ledgers: a single uncharged branch (a cache-miss "
+            "path, an anonymous-owner path) leaks consumption on "
+            "inputs the sanitizer's seeds never exercised, so "
+            "conservation holds in CI and fails in the field.",
+        ),
+        Rule(
+            id="SMP301",
+            name="discarded-pick",
+            flags="a pick_for_cpu(...) call whose result is thrown away "
+            "(bare expression statement)",
+            breaks="trace digests and ledgers: pick_for_cpu dequeues "
+            "the winner from its per-core shard; discarding it leaks "
+            "the entity out of every run queue, so it is never "
+            "scheduled or charged again and per-seed schedules "
+            "diverge from the reference.",
+        ),
+        Rule(
+            id="SMP302",
+            name="unpaired-pick",
+            flags="a function that calls pick_for_cpu but from which no "
+            "on_slice_end call is reachable within its module",
+            breaks="trace digests and ledgers: the dequeue-on-dispatch "
+            "protocol requires every picked entity to be handed back "
+            "via on_slice_end when its slice ends; a caller that "
+            "cannot reach the hand-back starves the entity and the "
+            "charges it would have accrued.",
+        ),
+        Rule(
+            id="SMP303",
+            name="unmediated-global-write",
+            flags="writes to global stride/vtime/cap scheduler state "
+            "(pass_value, _group_vtime, charged_us_total, "
+            "window_usage_us) outside sched/, core/container.py, or "
+            "io/scheduler.py",
+            breaks="ledgers and trace digests: shares only hold "
+            "machine-wide because stride state is mutated at known "
+            "mediation points; an outside write skews vtime or cap "
+            "windows, so charged totals stop reconciling and "
+            "schedules become order-dependent.",
+        ),
+        Rule(
+            id="SMP304",
+            name="shard-trespass",
+            flags="any access to per-core shard internals (_shards, "
+            "layer_heaps, gpos) outside sched/",
+            breaks="trace digests: shard heap order and gpos indices "
+            "are only consistent between scheduler entry points; "
+            "outside mutation corrupts the ready index, and outside "
+            "reads observe mid-protocol state, both of which make "
+            "schedules (and hence digests) irreproducible.",
+        ),
+        Rule(
+            id="UNIT401",
+            name="mixed-units-arith",
+            flags="addition/subtraction (incl. +=/-=) between operands "
+            "of different inferred dimensions (_us vs _bytes vs _kb "
+            "...)",
+            breaks="ledgers: microseconds added to bytes still sums, "
+            "so a mixed charge silently corrupts a ledger cell in a "
+            "way conservation totals can fail to catch; billing then "
+            "reports garbage with full confidence.",
+        ),
+        Rule(
+            id="UNIT402",
+            name="unit-dropping-assign",
+            flags="assignment binding a value of one dimension to a "
+            "name suffixed with a different one (total_us = "
+            "size_bytes)",
+            breaks="ledgers: the name is the unit contract every "
+            "reader and every ledger field relies on; a mismatched "
+            "bind launders bytes into a *_us cell (or vice versa) and "
+            "poisons every downstream charge computed from it.",
+        ),
+        Rule(
+            id="UNIT403",
+            name="mixed-units-compare",
+            flags="ordering/equality comparison between operands of "
+            "different inferred dimensions (timeout_ms < deadline_us)",
+            breaks="trace digests and ledgers: a threshold compared in "
+            "the wrong unit flips scheduling/admission decisions by "
+            "factors of 1e3, so runs take different control-flow paths "
+            "than intended and charge accordingly.",
+        ),
+        Rule(
             id="DET105",
             name="set-iteration",
             flags="iterating a bare set/frozenset (literal, set() call, "

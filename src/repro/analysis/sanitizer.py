@@ -54,6 +54,31 @@ EPS = 1e-6
 #: Full-ledger sweeps are O(live containers); run one every N slices.
 SWEEP_EVERY = 512
 
+#: Resource dimension -> the check ids that reconcile it at runtime.
+#: This is the dynamic half of the charging surface: the static CHG2xx
+#: pass registers consuming primitives with a ``sanitizer_check``, and
+#: a cross-check test asserts each named check appears here under the
+#: primitive's dimension -- so the static analyzer and the runtime
+#: sanitizer can never silently disagree about what is covered.
+#: ``ledger-integrity`` covers the memory and net dimensions because it
+#: sweeps ResourceUsage.validate() over every live container, which
+#: checks memory_bytes/memory_peak_bytes/net_tx_bytes/packet counters.
+DIMENSION_CHECKS: dict = {
+    "cpu": (
+        "busy-split",
+        "core-busy-split",
+        "ledger-conservation",
+        "accounting-total",
+        "scheduler-reconcile",
+    ),
+    "disk": (
+        "disk-busy-split",
+        "disk-ledger-conservation",
+    ),
+    "memory": ("ledger-integrity",),
+    "net": ("ledger-integrity",),
+}
+
 #: Sanitizers installed in this process, in construction order.  The
 #: CLI drains this after an experiment run to report on hosts it never
 #: held a reference to (point runners build hosts internally).

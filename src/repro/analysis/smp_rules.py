@@ -1,0 +1,163 @@
+"""SMP3xx: shard-protocol conformance pass.
+
+PR 7 sharded the container scheduler's ready index per core behind a
+dequeue-on-dispatch protocol: ``pick_for_cpu`` removes the winner from
+its shard, and the dispatcher *must* hand it back through
+``on_slice_end`` when the slice ends -- otherwise the entity leaks out
+of every shard and is never scheduled again.  Stride/vtime/cap state
+stayed global so shares hold machine-wide, which means only the
+documented mediation points may write it.  These rules make the
+protocol machine-checked so future callers can't quietly violate it.
+
+* **SMP301** -- a ``pick_for_cpu(...)`` call whose result is discarded
+  (a bare expression statement).  The picked entity was dequeued from
+  its shard; dropping the return value leaks it.
+* **SMP302** -- a function calls ``pick_for_cpu`` but no
+  ``on_slice_end`` call is reachable from it (call graph restricted to
+  the function's own module -- the pairing is a local protocol, not
+  something a distant module discharges on your behalf).
+* **SMP303** -- a write to global stride/vtime/cap state
+  (``pass_value``, ``_group_vtime``, ``charged_us_total``,
+  ``window_usage_us``) outside the documented mediation points.
+* **SMP304** -- any touch of per-core shard internals (``_shards``,
+  ``layer_heaps``, ``gpos``) outside ``sched/``: shard structures are
+  owned by the scheduler core, and cross-context mutation races the
+  owning CPU's dispatch (simulated "cores" interleave, but the
+  structures' invariants -- gpos consistency, heap order -- only hold
+  between scheduler entry points).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.graph import ModuleGraph, Violation, call_name
+
+#: Global stride/vtime/cap state: writes allowed only at mediation points.
+GLOBAL_STATE_ATTRS = frozenset(
+    {"pass_value", "_group_vtime", "charged_us_total", "window_usage_us"}
+)
+
+#: Documented mediation points for SMP303 writes.  ``sched/`` owns the
+#: CPU stride state; ``core/container.py`` propagates window usage up
+#: the container hierarchy; ``io/scheduler.py`` runs its *own* stride
+#: scheduler over disk flows and owns that copy of the state.
+MEDIATION_POINTS = ("sched/", "core/container.py", "io/scheduler.py")
+
+#: Per-core shard internals: no access at all outside sched/.
+SHARD_ATTRS = frozenset({"_shards", "layer_heaps", "gpos"})
+
+SHARD_OWNER_PREFIX = "sched/"
+
+
+def _is_mediated(rel: str) -> bool:
+    return rel.startswith(MEDIATION_POINTS)
+
+
+def _scan_module(module) -> list:
+    """SMP301/SMP303/SMP304 off the graph's prebuilt node index -- the
+    load walk already bucketed every node by type, so this pass never
+    traverses a tree."""
+    violations: list = []
+    index = module.index
+    # SMP301: discarded pick.
+    for node, _chain in index[ast.Expr]:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and call_name(value) == "pick_for_cpu"
+        ):
+            violations.append(
+                module.violation(
+                    node,
+                    "SMP301",
+                    "pick_for_cpu() result discarded: the winner was "
+                    "dequeued from its per-core shard and is now leaked "
+                    "-- bind the result and return it via on_slice_end",
+                )
+            )
+    # SMP303: global-state writes outside mediation points.
+    if not _is_mediated(module.rel):
+        stores = [
+            (node, node.targets) for node, _c in index[ast.Assign]
+        ]
+        stores.extend(
+            (node, (node.target,)) for node, _c in index[ast.AugAssign]
+        )
+        stores.extend(
+            (node, (node.target,))
+            for node, _c in index[ast.AnnAssign]
+            if node.value is not None
+        )
+        for node, targets in stores:
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in GLOBAL_STATE_ATTRS
+                ):
+                    violations.append(
+                        module.violation(
+                            node,
+                            "SMP303",
+                            "write to global scheduler state "
+                            f".{target.attr} outside the documented "
+                            "mediation points "
+                            f"({', '.join(MEDIATION_POINTS)}); shares "
+                            "only hold machine-wide when "
+                            "stride/vtime/cap state is mutated at "
+                            "scheduler entry points",
+                        )
+                    )
+    # SMP304: shard internals outside sched/.
+    if not module.rel.startswith(SHARD_OWNER_PREFIX):
+        for node, _chain in index[ast.Attribute]:
+            if node.attr in SHARD_ATTRS:
+                violations.append(
+                    module.violation(
+                        node,
+                        "SMP304",
+                        f"per-core shard internal .{node.attr} touched "
+                        "outside sched/; shard invariants only hold "
+                        "between scheduler entry points -- go through "
+                        "pick_for_cpu/on_slice_end/requeue",
+                    )
+                )
+    return violations
+
+
+def _check_pairing(graph: ModuleGraph, module) -> list:
+    """SMP302: every pick_for_cpu caller must reach on_slice_end."""
+    violations: list = []
+    for qualname in sorted(module.functions):
+        fn = module.functions[qualname]
+        if "pick_for_cpu" not in fn.call_names:
+            continue
+        if fn.name in ("pick_for_cpu", "on_slice_end"):
+            continue  # the protocol's own implementation/overrides
+        reachable = graph.reachable(fn, same_module_only=True)
+        if any("on_slice_end" in f.call_names for f in reachable):
+            continue
+        if any(f.name == "on_slice_end" for f in reachable):
+            continue
+        violations.append(
+            module.violation(
+                fn.node,
+                "SMP302",
+                f"{qualname} calls pick_for_cpu but no on_slice_end "
+                "call is reachable from it in this module; a picked "
+                "entity that is never handed back leaks out of every "
+                "per-core shard",
+            )
+        )
+    return violations
+
+
+def check_smp(graph: ModuleGraph) -> list:
+    """Run SMP301-SMP304 over every module of the graph."""
+    violations: list = []
+    for rel in sorted(graph.modules):
+        module = graph.modules[rel]
+        violations.extend(_scan_module(module))
+        violations.extend(_check_pairing(graph, module))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations

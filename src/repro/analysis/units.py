@@ -1,0 +1,336 @@
+"""UNIT4xx: dimension checker over naming conventions.
+
+The tree encodes units in names -- ``_us`` for simulated microseconds,
+``_bytes``/``_kb``/``_mb`` for sizes, ``_ms``/``_ns``/``_s`` where host
+interfaces leak in.  A charge of ``size_bytes`` into a ``*_us`` ledger
+field is exactly the class of bug the conservation sanitizer can only
+catch if the *totals* disagree; mixed within one expression it can
+cancel out and silently corrupt billing.  This pass lifts the naming
+convention into a checked discipline.
+
+Inference is deliberately conservative so it can run clean on the real
+tree without drowning it in waivers:
+
+* A name carries the dimension of its suffix (``deadline_us`` -> us)
+  unless it contains ``_per_`` (``cost_per_kb_us`` is a *rate*, not a
+  time) or the file declares otherwise via ``# analysis: unit[name=dim]``
+  (``unit[name=none]`` strips an inferred dimension).
+* Constants are wildcards; ``*`` and ``/`` launder dimensions (they are
+  how legitimate conversions are written); ``min``/``max``/``sum``/
+  ``abs``/``round``/``int``/``float`` pass their argument's dimension
+  through.
+* Within one function, a plain-named local assigned exactly once
+  inherits the dimension of its initialiser, so dropping a value into a
+  short local does not hide it from the checker.
+* Only two *concrete, different* dimensions are ever flagged.
+
+Rules:
+
+* **UNIT401** -- mixed-dimension ``+``/``-`` (incl. ``+=``/``-=``).
+* **UNIT402** -- assignment binds a value of one dimension to a name
+  suffixed with a different one (``total_us = size_bytes``).
+* **UNIT403** -- ordering/equality comparison between different
+  dimensions (``timeout_ms < deadline_us``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.graph import ModuleGraph, ModuleInfo, Violation
+
+#: Suffix -> dimension, longest-match-first so ``_bytes`` beats ``_s``.
+SUFFIXES = (
+    ("_bytes", "bytes"),
+    ("_kb", "kb"),
+    ("_mb", "mb"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+    ("_ns", "ns"),
+    ("_sec", "s"),
+    ("_s", "s"),
+)
+
+#: Calls that return their (single or variadic) argument's dimension.
+_PASSTHROUGH_CALLS = frozenset(
+    {"min", "max", "sum", "abs", "round", "int", "float"}
+)
+
+
+#: Suffix lookups dominate the pass (every Name in every checked
+#: expression), and names repeat heavily across a tree -- memoise the
+#: override-free result.
+_DIM_CACHE: dict = {}
+
+
+def dimension_of_name(
+    name: str, overrides: "dict | None" = None
+) -> Optional[str]:
+    """Dimension a bare name carries, or None when unknown/dimensionless."""
+    if overrides and name in overrides:
+        return overrides[name]
+    try:
+        return _DIM_CACHE[name]
+    except KeyError:
+        pass
+    lowered = name.lower()
+    dimension = None
+    if "_per_" not in lowered and not lowered.startswith("per_"):
+        for suffix, dim in SUFFIXES:
+            if lowered.endswith(suffix):
+                dimension = dim
+                break
+    _DIM_CACHE[name] = dimension
+    return dimension
+
+
+class _UnitsVisitor:
+    """Rule logic for one module, driven off the graph's prebuilt node
+    index (tree traversal happened once, at load).  ``_chain`` holds the
+    enclosing-def chain of the node under check, innermost first; the
+    single-binding local scope of each function is materialised lazily,
+    on the first name lookup that actually needs it -- most functions
+    never do, and the eager per-function walk dominated the pass."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.violations: list = []
+        self._chain: tuple = ()
+        #: function def node -> its single-binding locals (lazy).
+        self._scopes: dict = {}
+
+    # -- dimension inference ----------------------------------------------
+
+    def _scope_of(self, fn) -> dict:
+        scope = self._scopes.get(id(fn))
+        if scope is None:
+            # Guard first: materialising probes initialiser expressions,
+            # whose name lookups must see only *enclosing* scopes.
+            self._scopes[id(fn)] = {}
+            saved = self._chain
+            self._chain = saved[saved.index(fn) + 1 :]
+            try:
+                scope = _single_binding_dims(
+                    fn, self.module.fn_bindings, self._name_dim
+                )
+            finally:
+                self._chain = saved
+            self._scopes[id(fn)] = scope
+        return scope
+
+    def _name_dim(self, name: str) -> Optional[str]:
+        declared = dimension_of_name(name, self.module.unit_overrides)
+        if declared is not None:
+            return declared
+        if name in self.module.unit_overrides:
+            return None  # explicitly cleared
+        for fn in self._chain:
+            scope = self._scope_of(fn)
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _dim(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self._name_dim(node.id)
+        if isinstance(node, ast.Attribute):
+            return dimension_of_name(node.attr, self.module.unit_overrides)
+        if isinstance(node, ast.Subscript):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(
+                index.value, str
+            ):
+                return dimension_of_name(
+                    index.value, self.module.unit_overrides
+                )
+            return self._dim(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _PASSTHROUGH_CALLS
+                and node.args
+            ):
+                dims = {self._dim(arg) for arg in node.args}
+                dims.discard(None)
+                if len(dims) == 1:
+                    return dims.pop()
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self._dim(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                left = self._dim(node.left)
+                right = self._dim(node.right)
+                return left if left is not None else right
+            # *, /, //, % etc. are how conversions are written: the
+            # result's dimension is unknowable by name alone.
+            return None
+        if isinstance(node, ast.IfExp):
+            body = self._dim(node.body)
+            return body if body is not None else self._dim(node.orelse)
+        return None
+
+    # -- the rules ---------------------------------------------------------
+
+    def _flag(self, node, rule, message) -> None:
+        self.violations.append(self.module.violation(node, rule, message))
+
+    def _check_add_sub(self, node, left, right) -> None:
+        ldim = self._dim(left)
+        rdim = self._dim(right)
+        if ldim is not None and rdim is not None and ldim != rdim:
+            self._flag(
+                node,
+                "UNIT401",
+                f"mixed-dimension arithmetic: {ldim} +/- {rdim}; "
+                "convert explicitly (the quantities cannot share a "
+                "ledger cell)",
+            )
+
+    def check_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_add_sub(node, node.left, node.right)
+
+    def check_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_add_sub(node, node.target, node.value)
+
+    def _check_bind(self, target: ast.AST, value: ast.AST, node) -> None:
+        tdim = None
+        if isinstance(target, ast.Name):
+            tdim = dimension_of_name(
+                target.id, self.module.unit_overrides
+            )
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            tdim = self._dim(target)
+        if tdim is None:
+            return
+        vdim = self._dim(value)
+        if vdim is not None and vdim != tdim:
+            self._flag(
+                node,
+                "UNIT402",
+                f"unit-dropping assignment: a {vdim} value bound to a "
+                f"{tdim}-suffixed target; rename or convert explicitly",
+            )
+
+    def check_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_bind(target, node.value, node)
+
+    def check_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_bind(node.target, node.value, node)
+
+    def check_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(
+                op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+            ):
+                continue
+            ldim = self._dim(operands[index])
+            rdim = self._dim(operands[index + 1])
+            if ldim is not None and rdim is not None and ldim != rdim:
+                self._flag(
+                    node,
+                    "UNIT403",
+                    f"mixed-dimension comparison: {ldim} vs {rdim}; "
+                    "the ordering is meaningless without an explicit "
+                    "conversion",
+                )
+
+
+#: Node type -> unbound check method; the graph's index holds the
+#: matching nodes, so the pass touches nothing else.
+_CHECKS = (
+    (ast.BinOp, _UnitsVisitor.check_BinOp),
+    (ast.AugAssign, _UnitsVisitor.check_AugAssign),
+    (ast.Assign, _UnitsVisitor.check_Assign),
+    (ast.AnnAssign, _UnitsVisitor.check_AnnAssign),
+    (ast.Compare, _UnitsVisitor.check_Compare),
+)
+
+
+def _single_binding_dims(
+    node: ast.FunctionDef, fn_bindings: dict, name_dim
+) -> dict:
+    """Locals of ``node`` assigned exactly once, with the dimension of
+    that single initialiser (plain-named locals only).  The binding
+    candidates were collected during the graph's load walk
+    (``ModuleInfo.fn_bindings``); this just probes the initialisers."""
+    slot = fn_bindings.get(node)
+    if slot is None:
+        return {}
+    bindings, disqualified = slot
+    args = node.args
+    params = {
+        arg.arg
+        for arg in (
+            args.posonlyargs
+            + args.args
+            + args.kwonlyargs
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+    }
+    probe = _UnitsProbe(name_dim)
+    out: dict = {}
+    for name, value in bindings.items():
+        if value is None or name in disqualified or name in params:
+            continue  # rebound, mutated in place, or shadows a param
+        if dimension_of_name(name) is not None:
+            continue  # suffixed names speak for themselves
+        dim = probe.dim(value)
+        if dim is not None:
+            out[name] = dim
+    return out
+
+
+class _UnitsProbe:
+    """Suffix-only expression dimension, for the local-inference pass."""
+
+    def __init__(self, name_dim) -> None:
+        self._name_dim = name_dim
+
+    def dim(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self._name_dim(node.id)
+        if isinstance(node, ast.Attribute):
+            return dimension_of_name(node.attr)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left = self.dim(node.left)
+            return left if left is not None else self.dim(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.dim(node.operand)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _PASSTHROUGH_CALLS
+                and node.args
+            ):
+                dims = {self.dim(arg) for arg in node.args}
+                dims.discard(None)
+                if len(dims) == 1:
+                    return dims.pop()
+        return None
+
+
+def check_units(graph: ModuleGraph) -> list:
+    """Run UNIT401-UNIT403 over every module of the graph."""
+    violations: list = []
+    for rel in sorted(graph.modules):
+        module = graph.modules[rel]
+        visitor = _UnitsVisitor(module)
+        for node_type, check in _CHECKS:
+            for node, chain in module.index[node_type]:
+                visitor._chain = chain
+                check(visitor, node)
+        violations.extend(visitor.violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations

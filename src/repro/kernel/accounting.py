@@ -36,6 +36,11 @@ class ResourceUsage:
     disk_bytes: int = 0
     packets_received: int = 0
     packets_dropped: int = 0
+    #: Response bytes transmitted on this principal's connections
+    #: (charged at segment handoff to the wire, before QoS shaping
+    #: delays -- the consumption happens when the kernel commits the
+    #: buffer, not when the client hears about it).
+    net_tx_bytes: int = 0
     syscalls: int = 0
     connections_accepted: int = 0
 
@@ -58,6 +63,12 @@ class ResourceUsage:
             raise ValueError(f"negative disk byte charge: {size_bytes}")
         self.disk_us += service_us
         self.disk_bytes += size_bytes
+
+    def charge_net_tx(self, size_bytes: int) -> None:
+        """Add transmitted response bytes (charged at segment handoff)."""
+        if size_bytes < 0:
+            raise ValueError(f"negative transmit charge: {size_bytes}")
+        self.net_tx_bytes += size_bytes
 
     def charge_memory(self, delta_bytes: int) -> None:
         """Adjust memory consumption (may be negative on free)."""
@@ -97,7 +108,7 @@ class ResourceUsage:
                 f"> cpu_us={self.cpu_us}"
             )
         for name in ("disk_bytes", "packets_received", "packets_dropped",
-                     "syscalls", "connections_accepted"):
+                     "net_tx_bytes", "syscalls", "connections_accepted"):
             if getattr(self, name) < 0:
                 problems.append(f"{name} is negative ({getattr(self, name)})")
         return problems
@@ -114,6 +125,7 @@ class ResourceUsage:
             disk_bytes=self.disk_bytes,
             packets_received=self.packets_received,
             packets_dropped=self.packets_dropped,
+            net_tx_bytes=self.net_tx_bytes,
             syscalls=self.syscalls,
             connections_accepted=self.connections_accepted,
         )
@@ -130,6 +142,7 @@ class ResourceUsage:
             disk_bytes=self.disk_bytes + other.disk_bytes,
             packets_received=self.packets_received + other.packets_received,
             packets_dropped=self.packets_dropped + other.packets_dropped,
+            net_tx_bytes=self.net_tx_bytes + other.net_tx_bytes,
             syscalls=self.syscalls + other.syscalls,
             connections_accepted=self.connections_accepted
             + other.connections_accepted,

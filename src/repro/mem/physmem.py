@@ -24,6 +24,12 @@ class MemoryAccountant:
     #: (the testbed machine had 128 MB; kernel buffers get a slice).
     capacity_bytes: int = 64 * 1024 * 1024
     charged_bytes: int = 0
+    #: Cumulative bytes admitted with no container to bill (SOFTIRQ-mode
+    #: anonymous allocations).  This is the explicit unaccounted sink for
+    #: the memory dimension: consumption either lands on a container
+    #: ledger or is declared here, never silently dropped.  Cumulative
+    #: (never decremented) like SystemAccounting.unaccounted_cpu_us.
+    unaccounted_bytes: int = 0
     stats_denied: int = 0
     #: Per-kind totals, for experiment reporting.
     by_kind: dict = field(default_factory=dict)
@@ -54,6 +60,8 @@ class MemoryAccountant:
             # see aggregated consumption.
             for node in ancestors_and_self(container):
                 node.usage.charge_memory(size_bytes)
+        else:
+            self.unaccounted_bytes += size_bytes
         self.charged_bytes += size_bytes
         self.by_kind[kind] = self.by_kind.get(kind, 0) + size_bytes
         return True

@@ -387,6 +387,10 @@ class TcpStack:
         subject to the container's egress QoS shaping (if any)."""
         if conn.state is ConnState.CLOSED:
             return
+        # The transmit consumes the bytes the moment the kernel commits
+        # the segment, regardless of shaping delay: bill the principal
+        # now so egress traffic is attributed like every other dimension.
+        conn.charge_target().usage.charge_net_tx(size_bytes)
         trace = self.kernel.sim.trace
         if trace.active:
             trace.publish(

@@ -529,7 +529,7 @@ class ContainerScheduler(Scheduler):
     # Selection
     # ------------------------------------------------------------------
 
-    def pick(
+    def pick(  # analysis: allow[SMP302]
         self, now: float, exclude: Optional[set] = None
     ) -> Optional[Schedulable]:
         """Single-queue compatibility pick (pre-SMP protocol).
@@ -537,7 +537,9 @@ class ContainerScheduler(Scheduler):
         Selects for core 0 and immediately re-queues the winner, which
         is exactly the old immediate-reinsert semantics relied on by
         unit tests and the legacy bench path.  The dispatcher uses
-        :meth:`pick_for_cpu` / :meth:`on_slice_end` instead.
+        :meth:`pick_for_cpu` / :meth:`on_slice_end` instead.  The
+        immediate ``_index_insert`` below *is* the hand-back, so the
+        pick/on_slice_end pairing rule is waived here by design.
         """
         entity = self.pick_for_cpu(now, 0, exclude)
         if entity is not None:

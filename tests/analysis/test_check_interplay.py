@@ -1,0 +1,231 @@
+"""Pragma / allowlist / baseline interplay across lint and analyze:
+pragma wins over baseline, stale baseline entries are reported, and
+unwaivable rules stay refused through every mechanism."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint
+from repro.analysis.analyze import (
+    analyze_graph,
+    run_analyze,
+    unwaivable_rules,
+)
+from repro.analysis.graph import ModuleGraph
+
+# ---------------------------------------------------------------------------
+# Pragmas across both tools
+# ---------------------------------------------------------------------------
+
+
+def test_generalized_pragma_suppresses_lint_rules():
+    # The new `# analysis: allow[...]` spelling works for DET rules too.
+    source = (
+        "import time\n\ndef f():\n"
+        "    return time.time()  # analysis: allow[DET101]\n"
+    )
+    assert lint.lint_source(source, "m.py") == []
+
+
+def test_det_pragma_suppresses_analyzer_rules():
+    # And the legacy `# det: allow[...]` spelling reaches analyzer rules.
+    graph = ModuleGraph.from_sources(
+        {
+            "apps/t.py": (
+                "def f(state):\n"
+                "    state.pass_value = 1.0  # det: allow[SMP303]\n"
+            )
+        }
+    )
+    assert analyze_graph(graph) == []
+
+
+def test_pragma_only_covers_its_own_line_and_rule():
+    graph = ModuleGraph.from_sources(
+        {
+            "apps/t.py": (
+                "def f(state):\n"
+                "    state.pass_value = 1.0  # analysis: allow[UNIT401]\n"
+                "    state._group_vtime = 2.0\n"
+            )
+        }
+    )
+    rules = [v.rule for v in analyze_graph(graph)]
+    assert rules == ["SMP303", "SMP303"]  # wrong rule id waives nothing
+
+
+def test_file_allowlist_waives_exactly_the_named_rule():
+    graph = ModuleGraph.from_sources(
+        {
+            "apps/t.py": (
+                "def f(state, size_bytes):\n"
+                "    state.pass_value = 1.0\n"
+                "    total_us = size_bytes\n"
+            )
+        }
+    )
+    violations = analyze_graph(
+        graph, allowlist={"apps/t.py": {"SMP303": "test reason"}}
+    )
+    assert [v.rule for v in violations] == ["UNIT402"]
+
+
+# ---------------------------------------------------------------------------
+# Pragma wins over baseline (the fingerprint never reaches reconcile)
+# ---------------------------------------------------------------------------
+
+
+def _write_tree(tmp_path, sources):
+    root = tmp_path / "tree"
+    for rel, text in sources.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return root
+
+
+def test_pragma_beats_baseline_and_strands_the_entry(tmp_path, capsys):
+    root = _write_tree(
+        tmp_path,
+        {
+            "apps/t.py": (
+                "def f(state):\n"
+                "    state.pass_value = 1.0  # analysis: allow[SMP303]\n"
+            )
+        },
+    )
+    baseline = tmp_path / "b.json"
+    baseline.write_text(
+        json.dumps(
+            [
+                {
+                    "path": "apps/t.py",
+                    "rule": "SMP303",
+                    "code": "state.pass_value = 1.0  "
+                    "# analysis: allow[SMP303]",
+                    "reason": "grandfathered before the pragma landed",
+                }
+            ]
+        )
+    )
+    # The pragma suppresses the violation before baseline matching, so
+    # the baseline entry is now stale -- and stale entries fail the run
+    # until retired.
+    rc = run_analyze(root=root, baseline_path=baseline)
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "stale baseline entry" in out
+    # Retiring it with --update-baseline clears the failure.
+    assert (
+        run_analyze(
+            update_baseline=True, root=root, baseline_path=baseline
+        )
+        == 0
+    )
+    assert json.loads(baseline.read_text()) == []
+    assert run_analyze(root=root, baseline_path=baseline) == 0
+
+
+def test_stale_lint_baseline_is_surfaced_as_grandfather_budget():
+    # The lint keeps its original one-for-one absorption: a baseline
+    # fingerprint only absorbs one live occurrence; a second identical
+    # violation is new.
+    violation = lint.lint_source(
+        "import time\n\ndef f():\n    return time.time()\n", "m.py"
+    )[0]
+    from collections import Counter
+
+    twice = [violation, violation]
+    new, old = lint.split_by_baseline(
+        twice, Counter([violation.fingerprint()])
+    )
+    assert len(old) == 1 and len(new) == 1
+
+
+# ---------------------------------------------------------------------------
+# Unwaivable rules stay refused everywhere
+# ---------------------------------------------------------------------------
+
+
+def test_obs_wall_clock_unwaivable_through_every_spelling():
+    source = (
+        "import time\n\ndef f():\n"
+        "    return time.time()  # analysis: allow[DET101]\n"
+    )
+    violations = lint.lint_source(
+        source, "obs/export.py", allowed=("DET101",)
+    )
+    assert [v.rule for v in violations] == ["DET101"]
+
+
+def test_cpu_charging_rules_unwaivable_in_analyze():
+    assert unwaivable_rules("kernel/cpu.py") == {"CHG201", "CHG202"}
+    assert unwaivable_rules("io/device.py") == {"CHG201", "CHG202"}
+    assert unwaivable_rules("net/tcp.py") == frozenset()
+    # A pragma on the consuming primitive in kernel/cpu.py is ignored.
+    graph = ModuleGraph.from_sources(
+        {
+            "kernel/cpu.py": (
+                "class CPU:\n"
+                "    def _account(self, amount_us):  "
+                "# analysis: allow[CHG201]\n"
+                "        self.busy_us += amount_us\n"
+            )
+        }
+    )
+    assert [v.rule for v in analyze_graph(graph)] == ["CHG201"]
+
+
+def test_analyze_baseline_cannot_absorb_unwaivable(tmp_path, capsys):
+    root = _write_tree(
+        tmp_path,
+        {
+            "kernel/cpu.py": (
+                "class CPU:\n"
+                "    def _account(self, amount_us):\n"
+                "        self.busy_us += amount_us\n"
+            )
+        },
+    )
+    baseline = tmp_path / "b.json"
+    violation = analyze_graph(ModuleGraph.load(root))[0]
+    baseline.write_text(
+        json.dumps(
+            [
+                {
+                    "path": violation.path,
+                    "rule": violation.rule,
+                    "code": violation.code,
+                    "reason": "hand-edited attempt to grandfather",
+                }
+            ]
+        )
+    )
+    assert run_analyze(root=root, baseline_path=baseline) == 1
+    # --update-baseline refuses to write it, too.
+    rc = run_analyze(
+        update_baseline=True, root=root, baseline_path=baseline
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "refused to grandfather" in out
+    assert json.loads(baseline.read_text()) == []
+
+
+# ---------------------------------------------------------------------------
+# The committed analyzer baseline stays honest
+# ---------------------------------------------------------------------------
+
+
+def test_committed_analyze_baseline_entries_are_justified():
+    from repro.analysis.analyze import ANALYZE_BASELINE_PATH
+    from repro.analysis.graph import load_baseline_entries
+
+    for entry in load_baseline_entries(ANALYZE_BASELINE_PATH):
+        assert str(entry.get("reason", "")).strip(), (
+            f"baseline entry for {entry.get('path')} needs a written "
+            "justification"
+        )
+        assert entry["rule"] not in unwaivable_rules(entry["path"])

@@ -109,8 +109,11 @@ def test_clean_fixture_passes(source):
 
 
 def test_every_rule_has_a_trigger_fixture():
+    # The analyzer families (CHG/SMP/UNIT) have their own fixture
+    # meta-test in test_analyze.py; the lint owns the DET family.
     covered = {rule for rule, _src in TRIGGER_FIXTURES}
-    assert covered == set(RULES), "each catalogued rule needs a fixture"
+    det_rules = {r for r in RULES if r.startswith("DET")}
+    assert covered == det_rules, "each lint rule needs a fixture"
 
 
 def test_rule_catalogue_names_what_breaks():

@@ -1,0 +1,88 @@
+"""Static/dynamic agreement on the charging surface: every consuming
+primitive the CHG2xx pass registers must either name a runtime
+sanitizer check that reconciles its dimension, or carry a reasoned
+baseline entry admitting the dimension is unmetered."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import sanitizer
+from repro.analysis.charging import PRIMITIVES
+from repro.analysis.analyze import ANALYZE_BASELINE_PATH
+from repro.analysis.graph import load_baseline_entries
+
+
+def _sanitizer_check_ids() -> set:
+    """Every check id the sanitizer can actually emit, from its AST:
+    the first argument of each _violate(...) / _compare(...) call."""
+    source = Path(sanitizer.__file__).read_text(encoding="utf-8")
+    ids: set = set()
+    for node in ast.walk(ast.parse(source)):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(
+            func, "id", None
+        )
+        if name in ("_violate", "_compare") and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                first.value, str
+            ):
+                ids.add(first.value)
+    return ids
+
+
+def test_dimension_checks_name_only_real_sanitizer_checks():
+    emitted = _sanitizer_check_ids()
+    assert emitted, "failed to extract check ids from the sanitizer"
+    for dimension, checks in sanitizer.DIMENSION_CHECKS.items():
+        for check in checks:
+            assert check in emitted, (
+                f"DIMENSION_CHECKS[{dimension!r}] names {check!r}, "
+                "which the sanitizer never emits"
+            )
+
+
+def test_every_metered_primitive_is_covered_by_its_dimension():
+    for primitive in PRIMITIVES:
+        if primitive.sanitizer_check is None:
+            continue
+        covered = sanitizer.DIMENSION_CHECKS.get(primitive.dimension, ())
+        assert primitive.sanitizer_check in covered, (
+            f"{primitive.qualname} ({primitive.dimension}) names "
+            f"sanitizer check {primitive.sanitizer_check!r}, but "
+            "DIMENSION_CHECKS does not list it for that dimension"
+        )
+
+
+def test_unmetered_primitives_carry_a_reasoned_baseline_entry():
+    entries = load_baseline_entries(ANALYZE_BASELINE_PATH)
+    for primitive in PRIMITIVES:
+        if primitive.sanitizer_check is not None:
+            continue
+        matching = [
+            e
+            for e in entries
+            if e["path"] == primitive.rel
+            and e["rule"].startswith("CHG")
+            and str(e.get("reason", "")).strip()
+        ]
+        assert matching, (
+            f"{primitive.qualname} has no runtime sanitizer coverage "
+            f"({primitive.dimension}); it must charge statically or be "
+            "baselined with a written reason"
+        )
+
+
+def test_every_ledger_dimension_with_a_primitive_has_runtime_checks():
+    static_dimensions = {
+        p.dimension for p in PRIMITIVES if p.sanitizer_check is not None
+    }
+    for dimension in static_dimensions:
+        assert sanitizer.DIMENSION_CHECKS.get(dimension), (
+            f"dimension {dimension!r} is metered statically but has no "
+            "runtime reconciliation checks"
+        )
