@@ -22,6 +22,9 @@
 #   0f. whole-program analyzer (static gate: charging-flow CHG2xx,
 #      shard-protocol SMP3xx, units UNIT4xx), with a 10s wall budget --
 #      the shared-parse graph keeps lint+analyze in the hundreds of ms
+#   0g. monitor determinism: the fig_overload_onset monitored run twice
+#      must export byte-identical dashboards + monitor JSONL, and the
+#      unmodified host must carry a burn-rate alert
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -124,6 +127,19 @@ if [ "$ANALYZE_ELAPSED" -ge 10 ]; then
   exit 1
 fi
 echo "analyze gate OK (${ANALYZE_ELAPSED}s, budget 10s)"
+
+echo "== tier-0g: monitor determinism =="
+python -m repro monitor fig_overload_onset --trace-out "$TRACE_TMP/mon1" >/dev/null
+python -m repro monitor fig_overload_onset --trace-out "$TRACE_TMP/mon2" >/dev/null
+for host in host-000 host-001; do
+  for artifact in dashboard.txt monitor.jsonl; do
+    cmp "$TRACE_TMP/mon1/$host/$artifact" "$TRACE_TMP/mon2/$host/$artifact" \
+      || { echo "monitor determinism FAILED: $host/$artifact differs"; exit 1; }
+  done
+done
+grep -q '"kind":"burn_rate"' "$TRACE_TMP/mon1/host-000/monitor.jsonl" \
+  || { echo "monitor FAILED: no burn-rate alert on the unmodified host"; exit 1; }
+echo "monitor determinism OK (dashboards byte-identical across runs)"
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

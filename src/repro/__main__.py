@@ -20,6 +20,10 @@ Usage::
     python -m repro trace fig11 --smoke  # trace one tiny fig11 point and
                                          # export JSONL/Chrome-trace/flame
     python -m repro report               # summarize a trace export dir
+    python -m repro monitor fig_overload_onset
+                                         # re-run with windowed telemetry
+                                         # and render the SLO dashboard
+    python -m repro bench-obs            # observability overhead benchmark
 
 Every figure harness expands into a grid of independent simulation
 points; ``--jobs N`` fans the grid out to N worker processes (output is
@@ -84,6 +88,12 @@ def _run_ablations(fast: bool, jobs: int, cache: bool):
     from repro.experiments import ablations
 
     return ablations.run(fast=fast, jobs=jobs, cache=cache)
+
+
+def _run_fig_onset(fast: bool, jobs: int, cache: bool):
+    from repro.experiments import fig_overload_onset
+
+    return fig_overload_onset.run(fast=fast, jobs=jobs, cache=cache)
 
 
 def _render_any(result) -> str:
@@ -226,6 +236,63 @@ def _run_trace(args) -> int:
     return 0 if problems == 0 else 1
 
 
+def _run_monitor(args) -> int:
+    """Re-run one experiment with windowed telemetry on every host it
+    builds; render each host's dashboard and write the byte-stable
+    monitor exports (``dashboard.txt`` + ``monitor.jsonl``)."""
+    from repro.obs import observe
+    from repro.obs.monitor import render_dashboard, write_monitor_exports
+
+    target = args.target
+    if target is None or target not in EXPERIMENTS:
+        print(
+            "monitor: pick an experiment, one of: " + ", ".join(EXPERIMENTS),
+            file=sys.stderr,
+        )
+        return 2
+    outdir = args.trace_out or observe.default_outdir()
+    description, runner = EXPERIMENTS[target]
+    previous_trace = os.environ.get(observe.TRACE_ENV)
+    previous_windows = os.environ.get(observe.WINDOWS_ENV)
+    os.environ[observe.TRACE_ENV] = "1"
+    os.environ[observe.WINDOWS_ENV] = "100000"
+    try:
+        # Serial and cache-bypassing for the same reason as trace: every
+        # point must execute in *this* process so its hosts register
+        # their observabilities where we can drain them.
+        print(f"== monitored run: {description} ==")
+        result = runner(fast=not args.full, jobs=1, cache=False)
+    finally:
+        for key, previous in (
+            (observe.TRACE_ENV, previous_trace),
+            (observe.WINDOWS_ENV, previous_windows),
+        ):
+            if previous is None:
+                del os.environ[key]
+            else:
+                os.environ[key] = previous
+    print(_render_any(result))
+    monitored = [
+        obs for obs in observe.drain_installed() if obs.pipeline is not None
+    ]
+    if not monitored:
+        print("monitor: no hosts carried a window pipeline", file=sys.stderr)
+        return 1
+    for index, obs in enumerate(monitored):
+        # One subdirectory per observed host, in construction order
+        # (a single-host run exports directly into outdir).
+        hostdir = (
+            outdir if len(monitored) == 1
+            else os.path.join(outdir, f"host-{index:03d}")
+        )
+        print(f"\n-- host {index} --")
+        print(render_dashboard(obs))
+        for path in write_monitor_exports(obs, hostdir):
+            print(f"   [wrote {path}]")
+    print(f"\nmonitor: {len(monitored)} host(s) exported to {outdir}")
+    return 0
+
+
 def _run_report(args) -> int:
     """Summarize a previously written trace export directory."""
     import json
@@ -298,6 +365,10 @@ EXPERIMENTS = {
     ),
     "virtual": ("Section 5.8: virtual servers", _run_virtual),
     "ablations": ("Design-choice ablations", _run_ablations),
+    "fig_overload_onset": (
+        "Overload onset: burn-rate alerts vs throughput collapse",
+        _run_fig_onset,
+    ),
 }
 
 
@@ -310,8 +381,9 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             *EXPERIMENTS, "all", "list", "bench", "bench-sweep",
-            "bench-engine",
+            "bench-engine", "bench-obs",
             "lint", "analyze", "check", "sanitize", "trace", "report",
+            "monitor",
         ],
         help="which experiment to run ('bench' runs the scheduler "
         "scalability sweep and writes BENCH_scalability.json; "
@@ -325,13 +397,18 @@ def main(argv: list[str] | None = None) -> int:
         "experiment with the charging-conservation sanitizer enabled; "
         "'trace <experiment>' re-runs one with observability attached "
         "and exports JSONL/Chrome-trace/flamegraph files; 'report' "
-        "summarizes a trace export directory)",
+        "summarizes a trace export directory; 'monitor <experiment>' "
+        "re-runs one with windowed telemetry and SLO rules attached, "
+        "renders the dashboard, and exports dashboard.txt + "
+        "monitor.jsonl; 'bench-obs' benchmarks observability overhead "
+        "and writes BENCH_obs.json)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="experiment to check (only with 'sanitize' / 'trace')",
+        help="experiment to check (only with 'sanitize' / 'trace' / "
+        "'monitor')",
     )
     parser.add_argument(
         "--trace-out",
@@ -398,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'bench':10s} Scheduler scalability sweep (10/100/1000)")
         print(f"{'bench-sweep':10s} Parallel sweep engine / cache benchmark")
         print(f"{'bench-engine':10s} Event-engine throughput (heap vs wheel)")
+        print(f"{'bench-obs':10s} Observability overhead (off/observe/windows)")
         return 0
 
     if args.experiment == "lint":
@@ -431,6 +509,23 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment == "report":
         return _run_report(args)
+
+    if args.experiment == "monitor":
+        return _run_monitor(args)
+
+    if args.experiment == "bench-obs":
+        from repro.experiments import bench_obs
+
+        result = bench_obs.run()
+        path = bench_obs.write_json(result)
+        if args.json:
+            import json
+
+            print(json.dumps(result, indent=2))
+        else:
+            print(bench_obs.render(result))
+        print(f"[wrote {path}]", file=sys.stderr)
+        return 0
 
     if args.experiment == "bench":
         from repro.experiments import bench_scalability

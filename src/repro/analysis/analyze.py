@@ -50,6 +50,12 @@ FILE_ALLOWLIST: dict = {}
 UNWAIVABLE: dict = {
     "kernel/cpu.py": ("CHG201", "CHG202"),
     "io/device.py": ("CHG201", "CHG202"),
+    # The telemetry pipeline is pure *readout*: it must never consume
+    # unattributed resources itself, and its window math is all in
+    # sim-microseconds -- a charging hole or a ms/us mix under obs/
+    # would corrupt every dashboard silently, so both rule families
+    # are absolute there.
+    "obs/": ("CHG201", "CHG202", "UNIT401", "UNIT402", "UNIT403"),
 }
 
 

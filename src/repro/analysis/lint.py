@@ -91,6 +91,10 @@ FILE_ALLOWLIST: dict[str, dict[str, str]] = {
         "DET101": "bench harness: measures host wall time of engine "
         "event dispatch; results go to BENCH_engine.json, not the cache",
     },
+    "experiments/bench_obs.py": {
+        "DET101": "bench harness: measures host wall time of the "
+        "telemetry pipeline; results go to BENCH_obs.json, not the cache",
+    },
     "kernel/events.py": {
         "DET106": "ProcessEventQueue is an IOEvent priority queue (not "
         "a timer queue) and already pairs every entry with a "
@@ -103,11 +107,12 @@ FILE_ALLOWLIST: dict[str, dict[str, str]] = {
 _DET106_EXEMPT_PREFIXES = ("sim/", "sched/")
 
 #: Subtree prefix -> rules no suppression mechanism can waive there.
-#: The exporters promise byte-identical output for a given (tree,
-#: params, seed); a wall-clock read anywhere under ``obs/`` would break
-#: that silently, so DET101 is absolute in that subtree.
+#: The exporters (and, since the telemetry PR, the monitor dashboard
+#: gate) promise byte-identical output for a given (tree, params,
+#: seed); a wall-clock read or an unseeded RNG anywhere under ``obs/``
+#: would break that silently, so DET101/DET102 are absolute there.
 UNWAIVABLE: dict[str, tuple] = {
-    "obs/": ("DET101",),
+    "obs/": ("DET101", "DET102"),
 }
 
 

@@ -1,0 +1,224 @@
+"""Overload onset: burn-rate alerts fire before throughput collapses.
+
+The paper's end-of-run figures (Fig. 14) show *that* a SYN flood
+destroys an unmodified server's throughput; they cannot show *when the
+system knew*.  This experiment puts the PR 9 streaming-telemetry layer
+on the same scenario and ramps the flood instead of holding it
+constant: a clean baseline, then stepwise-increasing SYN rates up to
+well past the CPU-saturation point.
+
+The claim under test: the SLO engine's multi-window **burn-rate**
+alerts (SYN-drop budget, latency budget) fire strictly *before* the
+window where useful throughput collapses, because the listen backlog
+fills and starts shedding SYNs at rates far below CPU saturation --
+a leading indicator that end-of-run totals average away entirely.
+
+Each point boots one host with windowed telemetry attached
+(:meth:`~repro.kernel.kernel.Kernel.attach_observability`), drives the
+ramp, and reduces the pipeline's rollups and alerts to a JSON record:
+per-window rates, the alert log, the collapse window, and the lead
+time between first burn-rate alert and collapse.  ``python -m repro
+monitor fig_overload_onset`` re-runs the same points with dashboard
+export; the tier-0g verify gate pins the monitor JSONL byte-identical
+across seeded runs.
+"""
+
+from __future__ import annotations
+
+from repro import SystemMode
+from repro.apps.httpserver import EventDrivenServer, ListenSpec, SynFloodDefense
+from repro.apps.synflood import SynFlooder
+from repro.experiments import sweep
+
+#: Throughput collapse: a post-flood window delivering less than this
+#: fraction of the clean-baseline request rate.
+COLLAPSE_FRACTION = 0.5
+
+#: Telemetry window span (sim us) used by every point.
+WINDOW_US = 100_000.0
+
+
+@sweep.point_runner("fig_overload_onset")
+def _run_point(
+    defended: bool,
+    peak_rate: float,
+    ramp_steps: int,
+    baseline_s: float,
+    step_s: float,
+    tail_s: float,
+    seed: int = 23,
+) -> dict:
+    """One ramped-flood run reduced to its telemetry story."""
+    from repro.experiments.common import make_host, static_clients
+
+    mode = SystemMode.RC if defended else SystemMode.UNMODIFIED
+    host = make_host(mode, seed=seed)
+    obs = host.kernel.attach_observability(window_us=WINDOW_US)
+    if defended:
+        server = EventDrivenServer(
+            host.kernel,
+            specs=[ListenSpec("default", notify_syn_drop=True)],
+            use_containers=True,
+            event_api="eventapi",
+            defense=SynFloodDefense(threshold=5),
+        )
+    else:
+        server = EventDrivenServer(
+            host.kernel, use_containers=False, event_api="select"
+        )
+    server.install()
+    static_clients(host, 25, timeout_us=400_000.0)
+    # The ramp: the flood starts after a clean baseline at 1/ramp_steps
+    # of the peak and steps up to the full peak.  SynFlooder re-reads
+    # rate_per_sec on every batch tick, so mutating it reshapes the
+    # arrival process from the next tick on.
+    flooder = SynFlooder(
+        host.kernel,
+        rate_per_sec=peak_rate / ramp_steps,
+        batch=8,
+        rng=host.sim.rng.fork("flood"),
+    )
+    flooder.start(at_us=baseline_s * 1e6)
+
+    def _step_to(rate: float):
+        def apply() -> None:
+            flooder.rate_per_sec = rate
+        return apply
+
+    for step in range(1, ramp_steps):
+        host.sim.at(
+            (baseline_s + step * step_s) * 1e6,
+            _step_to(peak_rate * (step + 1) / ramp_steps),
+        )
+    total_s = baseline_s + ramp_steps * step_s + tail_s
+    host.run(seconds=total_s)
+    obs.finish()
+    return _reduce(obs, baseline_s=baseline_s)
+
+
+def _reduce(obs, baseline_s: float) -> dict:
+    """Collapse pipeline state into the point's JSON result."""
+    pipeline = obs.pipeline
+    windows = []
+    for rollup in pipeline.rollups:
+        p99 = None
+        for key, summary in rollup.latency.items():
+            if key[1] == "client" and key[2] == "latency_us":
+                if p99 is None or summary["p99"] > p99:
+                    p99 = summary["p99"]
+        windows.append(
+            {
+                "t_s": rollup.end_us / 1e6,
+                "req_rate": rollup.rate_sum("app", "requests"),
+                "syn_rate": rollup.rate_sum("net", "syns"),
+                "syn_drop_rate": rollup.rate_sum("net", "syn_drops"),
+                "p99_ms": p99 / 1e3 if p99 is not None else None,
+            }
+        )
+    alerts = [
+        {
+            "t_s": alert.time_us / 1e6,
+            "rule": alert.rule,
+            "kind": alert.kind,
+            "severity": alert.severity,
+        }
+        for alert in pipeline.alerts
+    ]
+    baseline_windows = [
+        w["req_rate"] for w in windows if w["t_s"] <= baseline_s
+    ]
+    baseline_rate = (
+        sum(baseline_windows) / len(baseline_windows)
+        if baseline_windows
+        else 0.0
+    )
+    collapse_s = None
+    for window in windows:
+        if window["t_s"] <= baseline_s:
+            continue
+        if window["req_rate"] < COLLAPSE_FRACTION * baseline_rate:
+            collapse_s = window["t_s"]
+            break
+    first_burn_alert_s = None
+    for alert in alerts:
+        if alert["kind"] == "burn_rate":
+            first_burn_alert_s = alert["t_s"]
+            break
+    return {
+        "windows": windows,
+        "alerts": alerts,
+        "baseline_rate": baseline_rate,
+        "collapse_s": collapse_s,
+        "first_burn_alert_s": first_burn_alert_s,
+        "worst_health": obs.watchdog.worst_state(),
+    }
+
+
+def grid(fast: bool = True) -> list:
+    """One ramped-flood point per mode (unmodified is the headline)."""
+    ramp_steps = 4 if fast else 8
+    return [
+        sweep.point(
+            "fig_overload_onset",
+            seed=23,
+            defended=defended,
+            peak_rate=20_000.0,
+            ramp_steps=ramp_steps,
+            baseline_s=1.0,
+            step_s=0.5 if fast else 1.0,
+            tail_s=0.5,
+        )
+        for defended in (False, True)
+    ]
+
+
+class OnsetResult:
+    """Render of the overload-onset comparison."""
+
+    def __init__(self, by_mode: dict) -> None:
+        self.by_mode = by_mode
+
+    def render(self) -> str:
+        lines = [
+            "Overload onset under a ramped SYN flood "
+            "(burn-rate alerts vs throughput collapse)",
+            f"{'mode':14s}{'baseline req/s':>16s}{'1st burn alert':>16s}"
+            f"{'collapse':>12s}{'lead':>10s}{'health':>12s}",
+        ]
+        for mode, result in self.by_mode.items():
+            burn = result["first_burn_alert_s"]
+            collapse = result["collapse_s"]
+            lead = (
+                f"{collapse - burn:.1f}s"
+                if burn is not None and collapse is not None
+                else "-"
+            )
+            lines.append(
+                f"{mode:14s}"
+                f"{result['baseline_rate']:>16.1f}"
+                f"{(f'{burn:.1f}s' if burn is not None else '-'):>16s}"
+                f"{(f'{collapse:.1f}s' if collapse is not None else 'none'):>12s}"
+                f"{lead:>10s}"
+                f"{result['worst_health']:>12s}"
+            )
+        return "\n".join(lines)
+
+
+def run(fast: bool = True, jobs: int = 1, cache: bool = True) -> OnsetResult:
+    """Run the onset comparison for both modes."""
+    points = grid(fast=fast)
+    values = sweep.run_points(points, jobs=jobs, cache=cache)
+    by_mode = {}
+    for point, value in zip(points, values):
+        params = dict(point.params)
+        mode = "defended" if params["defended"] else "unmodified"
+        by_mode[mode] = value
+    return OnsetResult(by_mode)
+
+
+def main() -> None:
+    print(run(fast=True).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -177,6 +177,7 @@ class DiskDevice:
                 path=path,
                 bytes=size_bytes,
                 container=container.name if container is not None else None,
+                queued=len(self.scheduler),
             )
         if self._current is None:
             self._start_next()
@@ -198,6 +199,12 @@ class DiskDevice:
                 rid=request.rid,
                 device=self.name,
                 wait_us=request.wait_us,
+                container=(
+                    request.container.name
+                    if request.container is not None
+                    else None
+                ),
+                queued=len(self.scheduler),
             )
         self.sim.after(request.service_us, self._complete, request)
 
@@ -229,6 +236,7 @@ class DiskDevice:
                 container=container.name if container is not None else None,
                 service_us=request.service_us,
                 wait_us=request.wait_us,
+                queued=len(self.scheduler),
             )
         if request.on_complete is not None:
             request.on_complete(request)

@@ -535,6 +535,11 @@ class CPU:
         """True while any core is occupied."""
         return self._idle_cores < self.n_cpus
 
+    @property
+    def idle_cores(self) -> int:
+        """Cores with nothing dispatched right now (telemetry probe)."""
+        return self._idle_cores
+
     def idle_time(self, elapsed_us: float) -> float:
         """Aggregate idle core-time given elapsed simulation time."""
         return max(0.0, elapsed_us * self.n_cpus - self.accounting.total_cpu_us)

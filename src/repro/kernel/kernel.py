@@ -182,7 +182,57 @@ class Kernel:
             if getattr(sim, "observe", False) or _observe.env_enabled():
                 self.observability = _observe.Observability(sim)
                 sim.observability = self.observability
+        if self.observability is not None:
+            self._register_obs_sampler(self.observability)
         self._start_timers()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_observability(self, window_us: Optional[float] = None):
+        """Ensure this kernel's simulation is observed; idempotent.
+
+        ``window_us`` opts into windowed telemetry when the
+        observability is created here (an already-attached instance
+        keeps its own window configuration).  Either way the kernel's
+        live-state gauge sampler is registered with the window
+        pipeline, so telemetry windows see memory residency, disk
+        queue depth, busy cores, and the SYN backlog.
+        """
+        from repro.obs import observe as _observe
+
+        obs = self.observability
+        if obs is None:
+            obs = _observe.Observability(self.sim, window_us=window_us)
+            self.observability = obs
+            self.sim.observability = obs
+        self._register_obs_sampler(obs)
+        return obs
+
+    def _register_obs_sampler(self, obs) -> None:
+        pipeline = getattr(obs, "pipeline", None)
+        if pipeline is not None and self._obs_sample not in pipeline._samplers:
+            pipeline.add_sampler(self._obs_sample)
+
+    def _obs_sample(self, now: float):
+        """Live-state gauges read at every telemetry window close.
+
+        Pure reads only: sampling must never perturb the simulation.
+        """
+        yield (
+            "<host>", "cpu", "busy_cores",
+            float(self.cpu.n_cpus - self.cpu.idle_cores),
+        )
+        yield (
+            "<host>", "mem", "resident_bytes",
+            float(self.memory.charged_bytes),
+        )
+        yield ("<host>", "disk", "queue_depth", float(self.disk.queued))
+        backlog = 0
+        for socket in self.stack.listeners:
+            backlog += len(socket.syn_queue)
+        yield ("<host>", "net", "syn_backlog", float(backlog))
 
     # ------------------------------------------------------------------
     # Timers

@@ -97,3 +97,16 @@ class MemoryAccountant:
                 node.usage.charge_memory(-size_bytes)
         self.charged_bytes -= size_bytes
         self.by_kind[kind] = self.by_kind.get(kind, 0) - size_bytes
+
+    def residency(self) -> dict:
+        """Pure-read occupancy snapshot for telemetry samplers."""
+        return {
+            "resident_bytes": self.charged_bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "utilization": (
+                self.charged_bytes / self.capacity_bytes
+                if self.capacity_bytes
+                else 0.0
+            ),
+            "denied": self.stats_denied,
+        }

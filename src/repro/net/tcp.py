@@ -290,6 +290,7 @@ class TcpStack:
             self.stats_stray += 1
             return
         socket.stats_syns_received += 1
+        evicted_one = False
         if len(socket.syn_queue) >= socket.backlog:
             # BSD-style behaviour: evict the oldest embryonic connection
             # to make room.  A flood therefore mostly evicts its own
@@ -297,6 +298,7 @@ class TcpStack:
             # CPU exhaustion, which Fig. 14 shows.
             evicted = socket.syn_queue.popleft()
             evicted.dropped = True
+            evicted_one = True
             socket.stats_syns_dropped += 1
             self.kernel.note_syn_drop(socket, evicted.src_addr)
         half_open = HalfOpen(
@@ -307,6 +309,16 @@ class TcpStack:
             created_at=self.kernel.sim.now,
         )
         socket.syn_queue.append(half_open)
+        trace = self.kernel.sim.trace
+        if trace.active:
+            trace.publish(
+                self.kernel.sim.now,
+                "net.synq",
+                port=packet.dst_port,
+                depth=len(socket.syn_queue),
+                dropped=evicted_one,
+                container=socket.charge_target().name,
+            )
         client = packet.payload
         if client is not None:
             self.kernel.sim.after(

@@ -17,14 +17,23 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_exports,
 )
+from repro.obs.loghist import LogHistogram
+from repro.obs.monitor import (
+    dashboard_lines,
+    monitor_jsonl_lines,
+    render_dashboard,
+    write_monitor_exports,
+)
 from repro.obs.observe import (
     Observability,
     RegistryCollector,
     TRACE_ENV,
     TRACE_OUT_ENV,
+    WINDOWS_ENV,
     default_outdir,
     drain_installed,
     env_enabled,
+    env_window_us,
     installed,
 )
 from repro.obs.profile import UNACCOUNTED, ProfileSlice, SimProfiler
@@ -35,31 +44,60 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.slo import (
+    Alert,
+    BurnRateRule,
+    OverloadWatchdog,
+    ThresholdRule,
+    TopKRule,
+    default_rules,
+)
 from repro.obs.spans import SPAN_CATEGORIES, RequestTracer, Span
+from repro.obs.timeseries import (
+    SeriesBuffer,
+    TimeSeriesPipeline,
+    WindowRollup,
+)
 
 __all__ = [
+    "Alert",
+    "BurnRateRule",
     "Counter",
     "DEFAULT_BUCKETS_US",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "Observability",
+    "OverloadWatchdog",
     "ProfileSlice",
     "RegistryCollector",
     "RequestTracer",
     "SPAN_CATEGORIES",
+    "SeriesBuffer",
     "SimProfiler",
     "Span",
     "TRACE_ENV",
     "TRACE_OUT_ENV",
+    "ThresholdRule",
+    "TimeSeriesPipeline",
+    "TopKRule",
     "UNACCOUNTED",
+    "WINDOWS_ENV",
+    "WindowRollup",
     "chrome_trace",
+    "dashboard_lines",
     "default_outdir",
+    "default_rules",
     "drain_installed",
     "env_enabled",
+    "env_window_us",
     "flamegraph_lines",
     "installed",
     "jsonl_lines",
+    "monitor_jsonl_lines",
+    "render_dashboard",
     "validate_chrome_trace",
     "write_exports",
+    "write_monitor_exports",
 ]

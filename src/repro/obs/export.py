@@ -62,8 +62,19 @@ def jsonl_lines(profiler: "SimProfiler", tracer: "RequestTracer") -> list:
     return lines
 
 
-def chrome_trace(profiler: "SimProfiler", tracer: "RequestTracer") -> dict:
-    """The trace-event document (see the module docstring for mapping)."""
+def chrome_trace(
+    profiler: "SimProfiler",
+    tracer: "RequestTracer",
+    alerts: "list | None" = None,
+    rollups: "list | None" = None,
+) -> dict:
+    """The trace-event document (see the module docstring for mapping).
+
+    With windowed telemetry attached, SLO alerts become global instant
+    (``i``) events and window rollups become counter (``C``) series on
+    the synthetic ``cores`` process, so dashboards line the alert
+    timeline up with per-core scheduler activity.
+    """
     events: list = []
     # Stable integer pids: containers in sorted-name order.
     containers = sorted(
@@ -114,7 +125,7 @@ def chrome_trace(profiler: "SimProfiler", tracer: "RequestTracer") -> dict:
     cores = sorted(
         {s.core for s in profiler.slices or () if s.kind != "disk"}
     )
-    if cores:
+    if cores or alerts or rollups:
         events.append(
             {
                 "ph": "M",
@@ -182,6 +193,35 @@ def chrome_trace(profiler: "SimProfiler", tracer: "RequestTracer") -> dict:
             args["container"] = span.container
         events.append({"ph": "b", "ts": span.start_us, "args": args, **common})
         events.append({"ph": "e", "ts": span.end_us, "args": {}, **common})
+    for alert in alerts or ():
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",  # global scope: draw the line across all lanes
+                "name": f"{alert.severity}:{alert.rule}",
+                "cat": "alert",
+                "ts": alert.time_us,
+                "pid": CORES_PID,
+                "tid": 0,
+                "args": alert.to_dict(),
+            }
+        )
+    # Counter lanes: per-window aggregate rates, one series per
+    # (subsystem, metric) summed across containers -- bounded
+    # cardinality no matter how many principals the host carries.
+    for rollup in rollups or ():
+        pairs = sorted({(key[1], key[2]) for key in rollup.deltas})
+        for subsystem, metric in pairs:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": f"{subsystem}/{metric}",
+                    "cat": "rollup",
+                    "ts": rollup.end_us,
+                    "pid": CORES_PID,
+                    "args": {"rate": rollup.rate_sum(subsystem, metric)},
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -232,6 +272,8 @@ def write_exports(
     tracer: "RequestTracer",
     outdir: "str | Path",
     metrics_snapshot: "Iterable | None" = None,
+    alerts: "list | None" = None,
+    rollups: "list | None" = None,
 ) -> list:
     """Write all export files into ``outdir``; returns their paths."""
     out = Path(outdir)
@@ -247,7 +289,9 @@ def write_exports(
 
     chrome_path = out / "trace-events.json"
     chrome_path.write_text(
-        _dumps(chrome_trace(profiler, tracer)) + "\n", encoding="utf-8"
+        _dumps(chrome_trace(profiler, tracer, alerts=alerts, rollups=rollups))
+        + "\n",
+        encoding="utf-8",
     )
     paths.append(chrome_path)
 

@@ -32,7 +32,9 @@ from typing import TYPE_CHECKING, Optional
 from repro.obs.export import write_exports
 from repro.obs.profile import SimProfiler
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import OverloadWatchdog, default_rules
 from repro.obs.spans import RequestTracer
+from repro.obs.timeseries import TimeSeriesPipeline
 from repro.sim.tracing import TraceBus, TraceRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,6 +47,11 @@ TRACE_ENV = "REPRO_TRACE"
 #: Default export directory for the trace CLI (overridable per-run with
 #: ``--trace-out``).
 TRACE_OUT_ENV = "REPRO_TRACE_OUT"
+
+#: Environment switch for windowed telemetry: a tumbling-window span in
+#: microseconds (empty/"0" leaves windows off).  Reaches hosts built
+#: deep inside experiment point runners, same as ``REPRO_TRACE``.
+WINDOWS_ENV = "REPRO_OBS_WINDOWS"
 
 #: Observabilities attached in this process, in construction order.
 #: The trace CLI drains this after an experiment run to export hosts it
@@ -60,6 +67,17 @@ def env_enabled() -> bool:
 def default_outdir() -> str:
     """Export directory: ``REPRO_TRACE_OUT`` or ``.traceout``."""
     return os.environ.get(TRACE_OUT_ENV) or ".traceout"
+
+
+def env_window_us() -> float:
+    """Window span requested via ``REPRO_OBS_WINDOWS``; 0 = off."""
+    raw = os.environ.get(WINDOWS_ENV, "")
+    if not raw:
+        return 0.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 0.0
 
 
 def installed() -> list:
@@ -86,6 +104,8 @@ class RegistryCollector:
         bus.subscribe("sched", self._on_sched)
         bus.subscribe("net.enqueue", self._on_net_enqueue)
         bus.subscribe("net.demux", self._on_net_demux)
+        bus.subscribe("net.synq", self._on_net_synq)
+        bus.subscribe("net.tx", self._on_net_tx)
         bus.subscribe("app.request", self._on_app_request)
         bus.subscribe("client.complete", self._on_client_complete)
         bus.subscribe("disk.request", self._on_disk_request)
@@ -159,6 +179,22 @@ class RegistryCollector:
         name = "early_drops" if data.get("dropped") else "demuxed"
         self.registry.counter(container, "net", name).inc()
 
+    def _on_net_synq(self, record: TraceRecord) -> None:
+        data = record.data
+        container = self._principal(data.get("container"))
+        registry = self.registry
+        registry.counter(container, "net", "syns").inc()
+        if data.get("dropped"):
+            registry.counter(container, "net", "syn_drops").inc()
+        # Level at the last SYN arrival; the kernel sampler separately
+        # reads the exact backlog at each window close.
+        registry.gauge(container, "net", "syn_queue_depth").set(data["depth"])
+
+    def _on_net_tx(self, record: TraceRecord) -> None:
+        data = record.data
+        container = self._principal(data.get("container"))
+        self.registry.counter(container, "net", "tx_bytes").inc(data["bytes"])
+
     def _on_app_request(self, record: TraceRecord) -> None:
         data = record.data
         if data["event"] != "end":
@@ -202,9 +238,32 @@ class Observability:
         sim: "Simulation",
         keep_slices: bool = True,
         register: bool = True,
+        window_us: "float | None" = None,
+        rules: "list | None" = None,
     ) -> None:
         self.sim = sim
         self.registry = MetricsRegistry()
+        # Windowed telemetry (PR 9) is a second opt-in on top of
+        # tracing: ``window_us`` explicitly, or ``REPRO_OBS_WINDOWS``.
+        # The pipeline must subscribe before the collector so that a
+        # boundary-crossing record closes elapsed windows *before* the
+        # collector folds it into the registry.
+        if window_us is None:
+            window_us = env_window_us()
+        self.window_us = float(window_us) if window_us else 0.0
+        self.pipeline: Optional[TimeSeriesPipeline] = None
+        self.watchdog: Optional[OverloadWatchdog] = None
+        if self.window_us > 0:
+            self.pipeline = TimeSeriesPipeline(
+                self.registry,
+                sim.trace,
+                window_us=self.window_us,
+                rules=(
+                    rules if rules is not None
+                    else default_rules(self.window_us)
+                ),
+            )
+            self.watchdog = OverloadWatchdog(self.pipeline)
         self.collector = RegistryCollector(self.registry, sim.trace)
         self.tracer = RequestTracer(sim.trace)
         self.profiler = SimProfiler(sim.trace, keep_slices=keep_slices)
@@ -215,13 +274,22 @@ class Observability:
     # Export / reporting
     # ------------------------------------------------------------------
 
+    def finish(self) -> None:
+        """Close out the window pipeline at the simulation's clock."""
+        if self.pipeline is not None:
+            self.pipeline.finish(self.sim.now)
+
     def export(self, outdir: "str | None" = None) -> list:
         """Write JSONL + Chrome-trace + flamegraph + metrics exports."""
+        self.finish()
+        pipeline = self.pipeline
         return write_exports(
             self.profiler,
             self.tracer,
             outdir if outdir is not None else default_outdir(),
             metrics_snapshot=self.registry.snapshot(),
+            alerts=pipeline.alerts if pipeline is not None else None,
+            rollups=list(pipeline.rollups) if pipeline is not None else None,
         )
 
     def summary(self) -> str:
@@ -234,7 +302,10 @@ class Observability:
             f"{len(self.tracer.spans)} span(s), "
             f"{len(completed)} completed request(s); "
             f"{len(self.registry)} metric(s)",
-            "",
-            self.profiler.render(),
         ]
+        if self.pipeline is not None:
+            lines.append(self.pipeline.summary())
+        if self.watchdog is not None:
+            lines.append(f"health: worst {self.watchdog.worst_state()}")
+        lines.extend(["", self.profiler.render()])
         return "\n".join(lines)

@@ -1,0 +1,524 @@
+"""SLO rules, burn-rate alerting, and the overload watchdog.
+
+Rules are evaluated by the :class:`~repro.obs.timeseries.TimeSeriesPipeline`
+at every window close, in registration order, against the fresh
+:class:`~repro.obs.timeseries.WindowRollup`.  Everything is a pure
+function of sim-time observations, so alert streams are byte-identical
+across seeded runs.
+
+Three rule families:
+
+* :class:`ThresholdRule` -- a windowed value (aggregate counter rate,
+  gauge level, or latency quantile) crosses a fixed threshold.
+* :class:`BurnRateRule` -- the SRE-workbook multi-window burn rate: a
+  "bad events / total events" ratio is compared to an error-budget
+  objective over a *fast* window span (detects onset quickly) **and**
+  a *slow* span (suppresses blips); the alert fires only when both
+  arms burn faster than ``factor`` times budget.  ``bad`` can come
+  from a counter (e.g. SYN drops vs SYNs) or from the per-window
+  latency histograms (samples above a latency objective vs all
+  samples) -- the latter uses the bucket-resolution
+  :meth:`~repro.obs.loghist.LogHistogram.count_above`.
+* :class:`TopKRule` -- noisy-neighbor attribution: when a resource
+  dimension is busy, name the top-k containers by share; fires when
+  the top consumer's share exceeds a bound.
+
+The :class:`OverloadWatchdog` subscribes to the pipeline's alert
+stream and distils it into a per-container health state -- ``ok`` /
+``warn`` / ``saturated`` -- with hysteresis: state escalates on the
+severity of fresh alerts and decays one level after
+``recovery_windows`` consecutive clean windows.  Every transition is
+recorded with its sim time, which is what the ``python -m repro
+monitor`` dashboard renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.timeseries import TimeSeriesPipeline, WindowRollup
+
+#: Alert severities, mildest first (the watchdog maps them to states).
+SEVERITIES = ("warn", "page")
+
+#: Container-name prefixes that are machine lanes or sinks, never
+#: tenant principals; attribution rules skip them.
+NON_TENANT_PREFIXES = ("core:", "<")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One deterministic alert record."""
+
+    seq: int                 # per-pipeline monotonic id
+    time_us: float           # window-close sim time
+    rule: str                # rule name
+    kind: str                # "threshold" | "burn_rate" | "top_k"
+    severity: str            # "warn" | "page"
+    container: str           # principal blamed; "*" = host-wide
+    value: float             # observed value
+    threshold: float         # configured bound it crossed
+    window_us: float         # evaluation span the value covers
+    message: str             # human-readable one-liner
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "time_us": self.time_us,
+            "rule": self.rule,
+            "kind": self.kind,
+            "severity": self.severity,
+            "container": self.container,
+            "value": self.value,
+            "threshold": self.threshold,
+            "window_us": self.window_us,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"[{self.time_us / 1e6:9.3f}s] {self.severity.upper():4s} "
+            f"{self.rule}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class AlertDraft:
+    """An alert minus its pipeline-assigned seq and timestamp."""
+
+    rule: str
+    kind: str
+    severity: str
+    container: str
+    value: float
+    threshold: float
+    window_us: float
+    message: str
+
+    def stamp(self, seq: int, time_us: float) -> Alert:
+        return Alert(
+            seq=seq,
+            time_us=time_us,
+            rule=self.rule,
+            kind=self.kind,
+            severity=self.severity,
+            container=self.container,
+            value=self.value,
+            threshold=self.threshold,
+            window_us=self.window_us,
+            message=self.message,
+        )
+
+
+class ThresholdRule:
+    """Fire when a windowed value crosses a bound.
+
+    ``source`` selects what "the value" is:
+
+    * ``"rate"``  -- per-second sum of counter deltas across containers;
+    * ``"gauge"`` -- max gauge level across containers;
+    * ``"p50"``/``"p95"``/``"p99"``/``"p999"`` -- the given quantile of
+      the window's merged latency histograms, taken as the worst
+      (maximum) across containers.
+    """
+
+    kind = "threshold"
+
+    def __init__(
+        self,
+        name: str,
+        subsystem: str,
+        metric: str,
+        *,
+        source: str = "rate",
+        threshold: float,
+        above: bool = True,
+        severity: str = "warn",
+    ) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.name = name
+        self.subsystem = subsystem
+        self.metric = metric
+        self.source = source
+        self.threshold = float(threshold)
+        self.above = above
+        self.severity = severity
+
+    def _value(self, rollup: "WindowRollup") -> Optional[float]:
+        if self.source == "rate":
+            return rollup.rate_sum(self.subsystem, self.metric)
+        if self.source == "gauge":
+            return rollup.gauge_max(self.subsystem, self.metric)
+        worst = None
+        for key, summary in rollup.latency.items():
+            if key[1] == self.subsystem and key[2] == self.metric:
+                value = summary.get(self.source)
+                if value is not None and (worst is None or value > worst):
+                    worst = value
+        return worst
+
+    def evaluate(self, rollup: "WindowRollup",
+                 pipeline: "TimeSeriesPipeline") -> list:
+        value = self._value(rollup)
+        if value is None:
+            return []
+        crossed = value >= self.threshold if self.above else value <= self.threshold
+        if not crossed:
+            return []
+        relation = ">=" if self.above else "<="
+        return [
+            AlertDraft(
+                rule=self.name,
+                kind=self.kind,
+                severity=self.severity,
+                container="*",
+                value=value,
+                threshold=self.threshold,
+                window_us=rollup.span_us,
+                message=(
+                    f"{self.subsystem}/{self.metric} {self.source} "
+                    f"{value:g} {relation} {self.threshold:g}"
+                ),
+            )
+        ]
+
+
+class BurnRateRule:
+    """Multi-window error-budget burn rate (fast AND slow arms).
+
+    ``bad``/``total`` select counters as ``(subsystem, metric)``; or
+    pass ``latency=(subsystem, metric, objective_us)`` to derive
+    bad/total from the window's latency histograms (bad = samples
+    provably above the objective).  ``objective`` is the allowed
+    bad/total ratio; the burn rate is ``observed_ratio / objective``.
+    The rule keeps its own per-window ring, so each instance belongs
+    to exactly one pipeline.
+    """
+
+    kind = "burn_rate"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        bad: "tuple | None" = None,
+        total: "tuple | None" = None,
+        latency: "tuple | None" = None,
+        objective: float,
+        factor: float = 2.0,
+        fast_windows: int = 1,
+        slow_windows: int = 5,
+        min_total: float = 1.0,
+        severity: str = "page",
+    ) -> None:
+        if (latency is None) == (bad is None or total is None):
+            raise ValueError("pass either bad+total counters or latency=")
+        if objective <= 0:
+            raise ValueError(f"objective must be > 0, got {objective}")
+        if fast_windows < 1 or slow_windows < fast_windows:
+            raise ValueError(
+                f"need 1 <= fast_windows <= slow_windows, got "
+                f"{fast_windows}/{slow_windows}"
+            )
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.name = name
+        self.bad = bad
+        self.total = total
+        self.latency = latency
+        self.objective = float(objective)
+        self.factor = float(factor)
+        self.fast_windows = fast_windows
+        self.slow_windows = slow_windows
+        self.min_total = float(min_total)
+        self.severity = severity
+        self._ring: list = []  # (bad, total) per window, newest last
+
+    def _window_counts(self, rollup: "WindowRollup",
+                       pipeline: "TimeSeriesPipeline") -> tuple:
+        if self.latency is not None:
+            subsystem, metric, objective_us = self.latency
+            label = f"above_{float(objective_us):g}"
+            bad = 0.0
+            total = 0.0
+            for key, summary in rollup.latency.items():
+                if key[1] == subsystem and key[2] == metric:
+                    total += summary["count"]
+                    bad += summary.get(label, 0.0)
+            return bad, total
+        return (
+            rollup.delta_sum(*self.bad),
+            rollup.delta_sum(*self.total),
+        )
+
+    @staticmethod
+    def _burn(ring: list, objective: float) -> "tuple[float, float]":
+        bad = sum(entry[0] for entry in ring)
+        total = sum(entry[1] for entry in ring)
+        if total <= 0:
+            return 0.0, total
+        return (bad / total) / objective, total
+
+    def evaluate(self, rollup: "WindowRollup",
+                 pipeline: "TimeSeriesPipeline") -> list:
+        self._ring.append(self._window_counts(rollup, pipeline))
+        if len(self._ring) > self.slow_windows:
+            del self._ring[0]
+        fast_burn, fast_total = self._burn(
+            self._ring[len(self._ring) - self.fast_windows:], self.objective
+        )
+        slow_burn, slow_total = self._burn(self._ring, self.objective)
+        if slow_total < self.min_total:
+            return []
+        if fast_burn < self.factor or slow_burn < self.factor:
+            return []
+        return [
+            AlertDraft(
+                rule=self.name,
+                kind=self.kind,
+                severity=self.severity,
+                container="*",
+                value=fast_burn,
+                threshold=self.factor,
+                window_us=rollup.span_us * self.slow_windows,
+                message=(
+                    f"burning error budget at {fast_burn:.1f}x (fast) / "
+                    f"{slow_burn:.1f}x (slow) vs objective "
+                    f"{self.objective:g}"
+                ),
+            )
+        ]
+
+
+class TopKRule:
+    """Noisy-neighbor attribution over one counter dimension."""
+
+    kind = "top_k"
+
+    def __init__(
+        self,
+        name: str,
+        subsystem: str,
+        metric: str,
+        *,
+        k: int = 3,
+        min_total: float,
+        share_threshold: float = 0.5,
+        severity: str = "warn",
+        exclude_prefixes: tuple = NON_TENANT_PREFIXES,
+    ) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.name = name
+        self.subsystem = subsystem
+        self.metric = metric
+        self.k = k
+        self.min_total = float(min_total)
+        self.share_threshold = float(share_threshold)
+        self.severity = severity
+        self.exclude_prefixes = exclude_prefixes
+
+    def evaluate(self, rollup: "WindowRollup",
+                 pipeline: "TimeSeriesPipeline") -> list:
+        shares = []
+        total = 0.0
+        for container, delta in rollup.pair_items(self.subsystem, self.metric):
+            if container.startswith(self.exclude_prefixes):
+                continue
+            total += delta
+            shares.append((container, delta))
+        if total < self.min_total or not shares:
+            return []
+        shares.sort(key=lambda item: (-item[1], item[0]))
+        top_name, top_delta = shares[0]
+        top_share = top_delta / total
+        if top_share < self.share_threshold:
+            return []
+        listing = ", ".join(
+            f"{container}={delta / total:.0%}"
+            for container, delta in shares[: self.k]
+        )
+        return [
+            AlertDraft(
+                rule=self.name,
+                kind=self.kind,
+                severity=self.severity,
+                container=top_name,
+                value=top_share,
+                threshold=self.share_threshold,
+                window_us=rollup.span_us,
+                message=(
+                    f"{self.subsystem}/{self.metric}: top-{self.k} "
+                    f"consumers {listing} of {total:g}"
+                ),
+            )
+        ]
+
+
+def default_rules(window_us: float) -> list:
+    """The stock monitoring rulebook (the monitor CLI's default).
+
+    Thresholds are phrased against the standard instrumentation
+    vocabulary: SYN-queue depth and drop ratios from ``net.synq``
+    records, request latency from ``client.complete``, residency from
+    the kernel's memory sampler, and CPU attribution from the charged
+    ledgers.
+    """
+    return [
+        # Overload leading indicator: the listen backlog filling up.
+        ThresholdRule(
+            "syn-backlog", "net", "syn_queue_depth",
+            source="gauge", threshold=256.0, severity="warn",
+        ),
+        # SYN service SLO: <=1% of SYNs may be dropped; page when the
+        # budget burns >=2x over both one window and five.
+        BurnRateRule(
+            "syn-drop-burn",
+            bad=("net", "syn_drops"),
+            total=("net", "syns"),
+            objective=0.01,
+            factor=2.0,
+            fast_windows=1,
+            slow_windows=5,
+            min_total=50.0,
+            severity="page",
+        ),
+        # Latency SLO: <=5% of requests may exceed 50 ms end-to-end.
+        BurnRateRule(
+            "latency-slo-burn",
+            latency=("client", "latency_us", 50_000.0),
+            objective=0.05,
+            factor=2.0,
+            fast_windows=1,
+            slow_windows=5,
+            min_total=20.0,
+            severity="page",
+        ),
+        # Kernel-memory residency approaching the physical capacity.
+        ThresholdRule(
+            "mem-residency", "mem", "resident_bytes",
+            source="gauge", threshold=0.9 * 64 * 1024 * 1024,
+            severity="warn",
+        ),
+        # Noisy neighbor: one tenant eating most of the charged CPU
+        # (only meaningful when at least half a window's worth of CPU
+        # was charged to tenants at all).
+        TopKRule(
+            "cpu-noisy-neighbor", "cpu", "charged_us",
+            k=3, min_total=0.5 * window_us, share_threshold=0.6,
+            severity="warn",
+        ),
+    ]
+
+
+#: Health states, healthiest first.
+HEALTH_STATES = ("ok", "warn", "saturated")
+
+#: Severity -> minimum health state it forces.
+_SEVERITY_STATE = {"warn": "warn", "page": "saturated"}
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One watchdog state change."""
+
+    time_us: float
+    container: str
+    previous: str
+    state: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "time_us": self.time_us,
+            "container": self.container,
+            "previous": self.previous,
+            "state": self.state,
+            "reason": self.reason,
+        }
+
+
+class OverloadWatchdog:
+    """Distils the alert stream into per-container health states.
+
+    Containers escalate instantly on alerts (warn -> ``warn``, page ->
+    ``saturated``; host-wide ``*`` alerts land on the synthetic
+    ``<host>`` principal) and recover one level per
+    ``recovery_windows`` consecutive alert-free windows.
+    """
+
+    def __init__(self, pipeline, recovery_windows: int = 3) -> None:
+        if recovery_windows < 1:
+            raise ValueError(
+                f"recovery_windows must be >= 1, got {recovery_windows}"
+            )
+        self.pipeline = pipeline
+        self.recovery_windows = recovery_windows
+        self.states: dict[str, str] = {}
+        self.transitions: list[HealthTransition] = []
+        self._clean_windows: dict[str, int] = {}
+        pipeline.alert_watchers.append(self._on_alert)
+        pipeline.window_hooks.append(self._on_window)
+
+    @staticmethod
+    def _principal(alert: Alert) -> str:
+        return "<host>" if alert.container == "*" else alert.container
+
+    def _set_state(self, time_us: float, container: str, state: str,
+                   reason: str) -> None:
+        previous = self.states.get(container, "ok")
+        if state == previous:
+            return
+        self.states[container] = state
+        self.transitions.append(
+            HealthTransition(
+                time_us=time_us,
+                container=container,
+                previous=previous,
+                state=state,
+                reason=reason,
+            )
+        )
+
+    def _on_alert(self, alert: Alert) -> None:
+        container = self._principal(alert)
+        forced = _SEVERITY_STATE[alert.severity]
+        current = self.states.get(container, "ok")
+        if HEALTH_STATES.index(forced) > HEALTH_STATES.index(current):
+            self._set_state(
+                alert.time_us, container, forced, f"alert {alert.rule}"
+            )
+        self._clean_windows[container] = 0
+
+    def _on_window(self, rollup) -> None:
+        flagged = {}
+        for alert in rollup.alerts:
+            flagged[self._principal(alert)] = True
+        for container in sorted(self.states):
+            if self.states[container] == "ok" or container in flagged:
+                continue
+            clean = self._clean_windows.get(container, 0) + 1
+            if clean >= self.recovery_windows:
+                index = HEALTH_STATES.index(self.states[container])
+                self._set_state(
+                    rollup.end_us,
+                    container,
+                    HEALTH_STATES[index - 1],
+                    f"{clean} clean windows",
+                )
+                clean = 0
+            self._clean_windows[container] = clean
+
+    def health(self) -> dict:
+        """Current state per container (sorted), ``ok`` omitted-free."""
+        return {name: self.states[name] for name in sorted(self.states)}
+
+    def worst_state(self) -> str:
+        worst = "ok"
+        for state in self.states.values():
+            if HEALTH_STATES.index(state) > HEALTH_STATES.index(worst):
+                worst = state
+        return worst

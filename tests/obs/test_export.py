@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.export import (
     CORES_PID,
     REQUESTS_PID,
@@ -121,6 +123,75 @@ def test_flamegraph_sanitizes_separator_and_skips_zero():
                 kind="entity", network=False, phase="none", entity="t")
     lines = flamegraph_lines(profiler)
     assert lines == ["a_b;app;x_y 1000"]
+
+
+def _alert(seq=0, time_us=100.0, severity="page"):
+    from repro.obs.slo import Alert
+
+    return Alert(
+        seq=seq, time_us=time_us, rule="syn-drop-burn", kind="burn_rate",
+        severity=severity, container="*", value=6.0, threshold=2.0,
+        window_us=500.0, message="burning",
+    )
+
+
+def _rollup(index=0):
+    from repro.obs.timeseries import WindowRollup
+
+    rollup = WindowRollup(index, index * 100.0, (index + 1) * 100.0)
+    rollup.deltas = {
+        ("httpd", "net", "syns"): 40.0,
+        ("httpd", "cpu", "charged_us"): 90.0,
+        ("other", "cpu", "charged_us"): 10.0,
+    }
+    return rollup
+
+
+def test_chrome_trace_alert_instants():
+    profiler, tracer = _populated()
+    document = chrome_trace(profiler, tracer, alerts=[_alert()])
+    assert validate_chrome_trace(document) == []
+    instants = [
+        e for e in document["traceEvents"] if e["ph"] == "i"
+    ]
+    assert len(instants) == 1
+    event = instants[0]
+    assert event["name"] == "page:syn-drop-burn"
+    assert event["s"] == "g"  # global scope: visible across all lanes
+    assert event["pid"] == CORES_PID
+    assert event["ts"] == 100.0
+    assert event["args"]["rule"] == "syn-drop-burn"
+
+
+def test_chrome_trace_rollup_counters_bound_cardinality():
+    profiler, tracer = _populated()
+    document = chrome_trace(profiler, tracer, rollups=[_rollup()])
+    assert validate_chrome_trace(document) == []
+    counters = [
+        e for e in document["traceEvents"] if e["ph"] == "C"
+    ]
+    # One series per (subsystem, metric), summed across containers --
+    # two containers' cpu/charged_us collapse into one lane.
+    assert {e["name"] for e in counters} == {
+        "net/syns", "cpu/charged_us",
+    }
+    charged = next(e for e in counters if e["name"] == "cpu/charged_us")
+    assert charged["args"]["rate"] == pytest.approx((90.0 + 10.0) * 1e4)
+    assert charged["ts"] == 100.0
+
+
+def test_chrome_trace_cores_process_appears_for_alerts_alone():
+    """Alerts need a host process even when no CPU slices exist."""
+    bus = TraceBus()
+    profiler = SimProfiler(bus)
+    tracer = RequestTracer(bus)
+    document = chrome_trace(profiler, tracer, alerts=[_alert()])
+    names = {
+        e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert "cores" in names
 
 
 def test_write_exports_creates_all_files(tmp_path):

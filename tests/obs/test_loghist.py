@@ -1,0 +1,156 @@
+"""Property tests for the log-bucketed latency histogram.
+
+Pins the two guarantees the windowed-telemetry layer builds on: merges
+are associative/commutative (per-window histograms re-aggregate into
+sliding windows in any grouping), and quantile estimates carry the
+one-sided relative error bound ``exact <= estimate <= max(exact *
+growth, min_value)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.loghist import DEFAULT_GROWTH, LogHistogram
+
+#: Latency-like positive samples spanning the whole dynamic range the
+#: pipeline sees (sub-us to tens of seconds).
+samples = st.floats(
+    min_value=0.0, max_value=5e7, allow_nan=False, allow_infinity=False
+)
+
+
+def _exact_quantile(values: list, q: float) -> float:
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _fill(values: list) -> LogHistogram:
+    hist = LogHistogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        LogHistogram(growth=1.0)
+    with pytest.raises(ValueError):
+        LogHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        LogHistogram().observe(-1.0)
+    with pytest.raises(ValueError):
+        LogHistogram().quantile(1.5)
+
+
+def test_empty_histogram_reads_none():
+    hist = LogHistogram()
+    assert hist.mean() is None
+    assert hist.quantile(0.99) is None
+    assert hist.count_above(10.0) == 0
+
+
+@given(st.lists(samples, min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_bucket_invariant(values):
+    """Every sample lands in the bucket whose bounds contain it."""
+    hist = _fill(values)
+    for value in values:
+        index = hist.bucket_index(value)
+        assert value <= hist.upper_bound(index)
+        if index > 0:
+            assert value > hist.upper_bound(index - 1)
+
+
+def test_boundary_samples_bucket_deterministically():
+    """Samples placed exactly on bucket upper bounds stay in-bucket
+    despite float log() rounding (the one-step correction)."""
+    hist = LogHistogram()
+    for index in range(0, 120, 7):
+        value = hist.upper_bound(index)
+        assert hist.bucket_index(value) == index
+
+
+@given(st.lists(samples, min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_quantile_error_bound(values):
+    """exact <= estimate <= max(exact * growth, min_value)."""
+    hist = _fill(values)
+    for q in (0.5, 0.95, 0.99, 0.999):
+        exact = _exact_quantile(values, q)
+        estimate = hist.quantile(q)
+        assert estimate >= exact or math.isclose(estimate, exact)
+        ceiling = max(exact * hist.growth, hist.min_value)
+        assert estimate <= ceiling or math.isclose(estimate, ceiling)
+
+
+@given(
+    st.lists(st.lists(samples, max_size=60), min_size=3, max_size=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_merge_associative_and_commutative(groups):
+    """(a + b) + c == a + (b + c) == (c + b) + a, field for field."""
+    a, b, c = (_fill(group) for group in groups)
+
+    left = _fill(groups[0]).merge(_fill(groups[1])).merge(_fill(groups[2]))
+    bc = _fill(groups[1]).merge(_fill(groups[2]))
+    right = _fill(groups[0]).merge(bc)
+    reversed_ = _fill(groups[2]).merge(_fill(groups[1])).merge(_fill(groups[0]))
+
+    for other in (right, reversed_):
+        assert left.counts == other.counts
+        assert left.count == other.count
+        assert left.min == other.min
+        assert left.max == other.max
+        assert math.isclose(left.sum, other.sum, abs_tol=1e-6)
+    # The merge equals folding every sample into one histogram.
+    flat = _fill([v for group in groups for v in group])
+    assert left.counts == flat.counts
+
+
+def test_merge_rejects_mismatched_scales():
+    with pytest.raises(ValueError):
+        LogHistogram(growth=1.15).merge(LogHistogram(growth=1.5))
+
+
+def test_merge_does_not_alias_other():
+    a = _fill([1.0, 10.0])
+    b = _fill([100.0])
+    a.merge(b)
+    assert b.count == 1 and len(b.counts) == 1
+
+
+@given(st.lists(samples, min_size=1, max_size=200), samples)
+@settings(max_examples=100, deadline=None)
+def test_count_above_is_a_provable_undercount(values, threshold):
+    """count_above never exceeds the true count above the threshold,
+    and misses at most one bucket's population."""
+    hist = _fill(values)
+    true_above = sum(1 for v in values if v > threshold)
+    counted = hist.count_above(threshold)
+    assert counted <= true_above
+    sharing = hist.counts.get(hist.bucket_index(threshold), 0)
+    assert true_above - counted <= sharing
+
+
+def test_memory_is_bounded_by_buckets_not_samples():
+    hist = LogHistogram()
+    for i in range(100_000):
+        hist.observe(1.0 + (i % 64))
+    assert hist.count == 100_000
+    assert len(hist.counts) < 40  # 1..65us spans ~30 buckets at 15% growth
+
+
+def test_summary_labels_and_copy():
+    hist = _fill([5.0, 50.0, 500.0])
+    summary = hist.summary()
+    assert summary["count"] == 3
+    assert {"p50", "p95", "p99", "p99_9"} <= set(summary)
+    twin = hist.copy()
+    twin.observe(5000.0)
+    assert hist.count == 3 and twin.count == 4

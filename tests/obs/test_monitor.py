@@ -1,0 +1,157 @@
+"""Monitor dashboard rendering, JSONL export, and overload onset.
+
+The dashboard renderers are pure functions of pipeline/watchdog state,
+so most tests drive a small real pipeline and check the rendered bytes
+are deterministic.  The onset test runs a shrunk version of the
+``fig_overload_onset`` point and pins the headline claim: burn-rate
+alerts fire before (never after) the throughput-collapse window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.monitor import (
+    dashboard_lines,
+    monitor_jsonl_lines,
+    render_dashboard,
+    sparkline,
+    write_monitor_exports,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import OverloadWatchdog, ThresholdRule
+from repro.obs.timeseries import TimeSeriesPipeline
+from repro.sim.tracing import TraceBus
+
+WINDOW = 100.0
+
+
+class _Obs:
+    """Duck-typed stand-in for Observability (monitor only reads
+    ``pipeline`` and ``watchdog``)."""
+
+    def __init__(self, pipeline, watchdog):
+        self.pipeline = pipeline
+        self.watchdog = watchdog
+
+
+def _monitored_obs() -> _Obs:
+    bus = TraceBus()
+    registry = MetricsRegistry()
+    rule = ThresholdRule("depth", "net", "depth", source="gauge",
+                         threshold=10.0)
+    pipeline = TimeSeriesPipeline(registry, bus, window_us=WINDOW,
+                                  rules=[rule])
+    watchdog = OverloadWatchdog(pipeline)
+    requests = registry.counter("httpd", "app", "requests")
+    depth = registry.gauge("httpd", "net", "depth")
+    for index in range(6):
+        requests.inc(10 + index)
+        depth.set(4.0 * index)  # crosses 10 from window 3 on
+        bus.publish(20.0 + index * WINDOW, "client.complete",
+                    req=index, client="httpd",
+                    latency_us=1000.0 * (index + 1))
+        pipeline._advance((index + 1) * WINDOW + 1.0)
+    return _Obs(pipeline, watchdog)
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert len(line) == 4
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_dashboard_sections_present():
+    text = render_dashboard(_monitored_obs())
+    assert "== monitor dashboard ==" in text
+    assert "-- trends (per window) --" in text
+    assert "req/s" in text
+    assert "-- container health --" in text
+    assert "<host>" in text and "warn" in text
+    assert "-- alert log --" in text
+    assert "WARN depth" in text
+
+
+def test_dashboard_without_pipeline_degrades():
+    assert dashboard_lines(_Obs(None, None)) == [
+        "monitor: no window pipeline attached"
+    ]
+    assert monitor_jsonl_lines(_Obs(None, None)) == []
+
+
+def test_alert_log_elides_the_middle():
+    obs = _monitored_obs()
+    pipeline = obs.pipeline
+    gauge = pipeline.registry.gauge("httpd", "net", "depth")
+    for index in range(6, 40):
+        gauge.set(99.0)
+        pipeline._advance((index + 1) * WINDOW + 1.0)
+    text = render_dashboard(obs)
+    assert "elided" in text
+
+
+def test_monitor_jsonl_structure_and_determinism():
+    lines_a = monitor_jsonl_lines(_monitored_obs())
+    lines_b = monitor_jsonl_lines(_monitored_obs())
+    assert lines_a == lines_b
+    import json
+
+    records = [json.loads(line) for line in lines_a]
+    kinds = [record["type"] for record in records]
+    assert kinds[0] == "meta"
+    assert kinds[-1] == "health"
+    assert "window" in kinds and "alert" in kinds and "transition" in kinds
+    meta = records[0]
+    assert meta["windows_closed"] == 6
+    assert meta["alerts"] == len([k for k in kinds if k == "alert"])
+    assert records[-1]["worst"] == "warn"
+
+
+def test_write_monitor_exports_round_trips(tmp_path):
+    obs = _monitored_obs()
+    paths = write_monitor_exports(obs, tmp_path)
+    assert [path.name for path in paths] == ["dashboard.txt", "monitor.jsonl"]
+    assert (tmp_path / "dashboard.txt").read_text() == (
+        render_dashboard(obs) + "\n"
+    )
+    # A second identical pipeline produces byte-identical files.
+    again = tmp_path / "again"
+    write_monitor_exports(_monitored_obs(), again)
+    assert (again / "monitor.jsonl").read_bytes() == (
+        tmp_path / "monitor.jsonl"
+    ).read_bytes()
+
+
+def test_overload_onset_alerts_lead_collapse():
+    """Shrunk fig_overload_onset point: the burn-rate alert fires, the
+    host saturates, and detection never lags the collapse window."""
+    from repro.experiments.fig_overload_onset import _run_point
+
+    result = _run_point(
+        defended=False,
+        peak_rate=20_000.0,
+        ramp_steps=4,
+        baseline_s=0.4,
+        step_s=0.3,
+        tail_s=0.1,
+        seed=23,
+    )
+    assert result["baseline_rate"] > 0.0
+    first_burn = result["first_burn_alert_s"]
+    assert first_burn is not None
+    assert result["worst_health"] == "saturated"
+    assert first_burn > 0.4  # never during the clean baseline
+    collapse = result["collapse_s"]
+    if collapse is not None:
+        assert first_burn < collapse
+    burn_rules = {
+        alert["rule"] for alert in result["alerts"]
+        if alert["kind"] == "burn_rate"
+    }
+    assert burn_rules & {"syn-drop-burn", "latency-slo-burn"}
+    assert all(
+        window["t_s"] == pytest.approx((index + 1) * 0.1)
+        for index, window in enumerate(result["windows"][:8])
+    )

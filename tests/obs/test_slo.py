@@ -1,0 +1,283 @@
+"""SLO rules, burn-rate gating, top-k attribution, and the watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    BurnRateRule,
+    OverloadWatchdog,
+    ThresholdRule,
+    TopKRule,
+    default_rules,
+)
+from repro.obs.timeseries import TimeSeriesPipeline, WindowRollup
+from repro.sim.tracing import TraceBus
+
+WINDOW = 100.0
+
+
+def _rollup(index=0, deltas=None, gauges=None, latency=None,
+            span=WINDOW) -> WindowRollup:
+    rollup = WindowRollup(index, index * span, (index + 1) * span)
+    rollup.deltas = dict(deltas or {})
+    rollup.gauges = dict(gauges or {})
+    rollup.latency = dict(latency or {})
+    return rollup
+
+
+def _pipeline(rules=None):
+    bus = TraceBus()
+    registry = MetricsRegistry()
+    pipeline = TimeSeriesPipeline(
+        registry, bus, window_us=WINDOW, rules=rules
+    )
+    return bus, registry, pipeline
+
+
+# ---------------------------------------------------------------------------
+# ThresholdRule
+# ---------------------------------------------------------------------------
+
+
+def test_threshold_rule_on_rate():
+    rule = ThresholdRule("r", "net", "syns", source="rate", threshold=1e4)
+    quiet = _rollup(deltas={("a", "net", "syns"): 0.5})
+    assert rule.evaluate(quiet, None) == []
+    # 2 SYNs over 100us = 2e4/s across containers.
+    busy = _rollup(deltas={
+        ("a", "net", "syns"): 1.5, ("b", "net", "syns"): 0.5,
+    })
+    drafts = rule.evaluate(busy, None)
+    assert len(drafts) == 1
+    assert drafts[0].value == pytest.approx(2e4)
+    assert drafts[0].container == "*"
+
+
+def test_threshold_rule_on_gauge_and_below():
+    rule = ThresholdRule("g", "net", "depth", source="gauge",
+                         threshold=10.0, above=False)
+    assert rule.evaluate(_rollup(gauges={("a", "net", "depth"): 50.0}),
+                         None) == []
+    drafts = rule.evaluate(_rollup(gauges={("a", "net", "depth"): 3.0}),
+                           None)
+    assert drafts and drafts[0].value == 3.0
+    # Absent gauge: no value, no alert.
+    assert rule.evaluate(_rollup(), None) == []
+
+
+def test_threshold_rule_on_quantile_takes_worst_container():
+    rule = ThresholdRule("q", "client", "latency_us", source="p99",
+                         threshold=100.0)
+    rollup = _rollup(latency={
+        ("a", "client", "latency_us"): {"count": 5, "p99": 50.0},
+        ("b", "client", "latency_us"): {"count": 5, "p99": 150.0},
+    })
+    drafts = rule.evaluate(rollup, None)
+    assert drafts and drafts[0].value == 150.0
+
+
+def test_threshold_rule_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        ThresholdRule("x", "a", "b", threshold=1.0, severity="fatal")
+
+
+# ---------------------------------------------------------------------------
+# BurnRateRule
+# ---------------------------------------------------------------------------
+
+
+def test_burn_rate_requires_fast_and_slow_arms():
+    rule = BurnRateRule(
+        "b", bad=("net", "drops"), total=("net", "syns"),
+        objective=0.01, factor=2.0, fast_windows=1, slow_windows=3,
+        min_total=10.0,
+    )
+    # Three clean windows, then a single hot one (5% drops): the fast
+    # arm burns at 5x but the slow arm is diluted to 1.67x -> no alert.
+    for index in range(3):
+        assert rule.evaluate(
+            _rollup(index, deltas={("a", "net", "syns"): 100.0}), None
+        ) == []
+    hot = {("a", "net", "drops"): 5.0, ("a", "net", "syns"): 100.0}
+    assert rule.evaluate(_rollup(3, deltas=hot), None) == []
+    # A second hot window pushes the slow arm to 3.3x: both burn -> page.
+    drafts = rule.evaluate(_rollup(4, deltas=hot), None)
+    assert drafts
+    assert drafts[0].kind == "burn_rate"
+    assert drafts[0].value >= 2.0
+
+
+def test_burn_rate_min_total_suppresses_sparse_windows():
+    rule = BurnRateRule(
+        "b", bad=("net", "drops"), total=("net", "syns"),
+        objective=0.01, min_total=50.0, slow_windows=2,
+    )
+    # 100% drop ratio but only 3 events: below min_total, stays quiet.
+    sparse = {("a", "net", "drops"): 3.0, ("a", "net", "syns"): 3.0}
+    assert rule.evaluate(_rollup(0, deltas=sparse), None) == []
+
+
+def test_burn_rate_from_latency_objective_labels():
+    rule = BurnRateRule(
+        "lat", latency=("client", "latency_us", 50_000.0),
+        objective=0.05, factor=2.0, fast_windows=1, slow_windows=1,
+        min_total=10.0,
+    )
+    summary = {"count": 100, "above_50000": 30.0}
+    rollup = _rollup(latency={("a", "client", "latency_us"): summary})
+    drafts = rule.evaluate(rollup, None)
+    assert drafts
+    # 30% bad vs a 5% objective = 6x burn.
+    assert drafts[0].value == pytest.approx(6.0)
+
+
+def test_burn_rate_constructor_validation():
+    with pytest.raises(ValueError):
+        BurnRateRule("x", objective=0.01)  # neither counters nor latency
+    with pytest.raises(ValueError):
+        BurnRateRule("x", bad=("a", "b"), total=("a", "c"), objective=0.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("x", bad=("a", "b"), total=("a", "c"),
+                     objective=0.01, fast_windows=3, slow_windows=2)
+
+
+# ---------------------------------------------------------------------------
+# TopKRule
+# ---------------------------------------------------------------------------
+
+
+def test_top_k_blames_the_dominant_tenant():
+    rule = TopKRule("noisy", "cpu", "charged_us", k=2, min_total=50.0,
+                    share_threshold=0.6)
+    rollup = _rollup(deltas={
+        ("big", "cpu", "charged_us"): 80.0,
+        ("small", "cpu", "charged_us"): 20.0,
+    })
+    drafts = rule.evaluate(rollup, None)
+    assert drafts
+    assert drafts[0].container == "big"
+    assert drafts[0].value == pytest.approx(0.8)
+    assert "big=80%" in drafts[0].message
+
+
+def test_top_k_skips_machine_lanes_and_balanced_load():
+    rule = TopKRule("noisy", "cpu", "charged_us", min_total=50.0,
+                    share_threshold=0.6)
+    # Machine lanes and sinks are excluded from attribution entirely.
+    machine_only = _rollup(deltas={
+        ("core:0", "cpu", "charged_us"): 500.0,
+        ("<unaccounted>", "cpu", "charged_us"): 500.0,
+    })
+    assert rule.evaluate(machine_only, None) == []
+    balanced = _rollup(deltas={
+        ("a", "cpu", "charged_us"): 50.0,
+        ("b", "cpu", "charged_us"): 50.0,
+    })
+    assert rule.evaluate(balanced, None) == []
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: alert stamping and obs.alert records
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_stamps_alerts_and_publishes_records():
+    rule = ThresholdRule("depth", "net", "depth", source="gauge",
+                         threshold=10.0)
+    bus = TraceBus()
+    seen = []
+    bus.subscribe("obs.alert", lambda record: seen.append(record))
+    registry = MetricsRegistry()
+    pipeline = TimeSeriesPipeline(registry, bus, window_us=WINDOW,
+                                  rules=[rule])
+    gauge = registry.gauge("a", "net", "depth")
+    gauge.set(50.0)
+    pipeline._advance(101.0)
+    gauge.set(60.0)
+    pipeline._advance(201.0)
+    assert [alert.seq for alert in pipeline.alerts] == [0, 1]
+    assert [alert.time_us for alert in pipeline.alerts] == [100.0, 200.0]
+    assert pipeline.rollups[-1].alerts == [pipeline.alerts[-1]]
+    assert len(seen) == 2
+    assert seen[0].data["rule"] == "depth"
+    assert seen[0].data["severity"] == "warn"
+    # Rollup dumps reference alerts by seq.
+    assert pipeline.rollups[-1].to_dict()["alerts"] == [1]
+
+
+def test_default_rules_cover_the_standard_vocabulary():
+    rules = default_rules(WINDOW)
+    names = {rule.name for rule in rules}
+    assert {"syn-backlog", "syn-drop-burn", "latency-slo-burn",
+            "mem-residency", "cpu-noisy-neighbor"} <= names
+
+
+# ---------------------------------------------------------------------------
+# OverloadWatchdog
+# ---------------------------------------------------------------------------
+
+
+def _watched_pipeline(threshold=10.0, recovery_windows=2):
+    rule = ThresholdRule("depth", "net", "depth", source="gauge",
+                         threshold=threshold)
+    bus, registry, pipeline = _pipeline(rules=[rule])
+    watchdog = OverloadWatchdog(pipeline, recovery_windows=recovery_windows)
+    gauge = registry.gauge("a", "net", "depth")
+    return pipeline, watchdog, gauge
+
+
+def test_watchdog_escalates_and_recovers_with_hysteresis():
+    pipeline, watchdog, gauge = _watched_pipeline(recovery_windows=2)
+    gauge.set(50.0)  # warn alert -> <host> goes warn
+    pipeline._advance(101.0)
+    assert watchdog.health() == {"<host>": "warn"}
+    assert watchdog.worst_state() == "warn"
+    gauge.set(0.0)   # clean window 1 of 2: still warn
+    pipeline._advance(201.0)
+    assert watchdog.health() == {"<host>": "warn"}
+    pipeline._advance(301.0)  # clean window 2 of 2: decays to ok
+    assert watchdog.health() == {"<host>": "ok"}
+    states = [(t.previous, t.state) for t in watchdog.transitions]
+    assert states == [("ok", "warn"), ("warn", "ok")]
+    assert watchdog.transitions[-1].time_us == 300.0
+
+
+def test_watchdog_page_saturates_and_alerts_reset_recovery():
+    rule = ThresholdRule("depth", "net", "depth", source="gauge",
+                         threshold=10.0, severity="page")
+    bus, registry, pipeline = _pipeline(rules=[rule])
+    watchdog = OverloadWatchdog(pipeline, recovery_windows=2)
+    gauge = registry.gauge("a", "net", "depth")
+    gauge.set(50.0)
+    pipeline._advance(101.0)
+    assert watchdog.health() == {"<host>": "saturated"}
+    gauge.set(0.0)
+    pipeline._advance(201.0)           # clean 1
+    gauge.set(50.0)
+    pipeline._advance(301.0)           # fresh alert resets the count
+    gauge.set(0.0)
+    pipeline._advance(401.0)           # clean 1 (again)
+    assert watchdog.health() == {"<host>": "saturated"}
+    pipeline._advance(501.0)           # clean 2: one level down only
+    assert watchdog.health() == {"<host>": "warn"}
+    assert watchdog.worst_state() == "warn"
+
+
+def test_watchdog_blames_named_containers():
+    rule = TopKRule("noisy", "cpu", "charged_us", min_total=10.0,
+                    share_threshold=0.6)
+    bus, registry, pipeline = _pipeline(rules=[rule])
+    watchdog = OverloadWatchdog(pipeline)
+    registry.counter("big", "cpu", "charged_us").inc(90)
+    registry.counter("small", "cpu", "charged_us").inc(10)
+    pipeline._advance(101.0)
+    assert watchdog.health() == {"big": "warn"}
+    assert watchdog.transitions[0].reason == "alert noisy"
+
+
+def test_watchdog_rejects_zero_recovery():
+    bus, registry, pipeline = _pipeline()
+    with pytest.raises(ValueError):
+        OverloadWatchdog(pipeline, recovery_windows=0)
