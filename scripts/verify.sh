@@ -25,6 +25,10 @@
 #   0g. monitor determinism: the fig_overload_onset monitored run twice
 #      must export byte-identical dashboards + monitor JSONL, and the
 #      unmodified host must carry a burn-rate alert
+#   0h. cluster byte-determinism: a 5-host cluster run (balancer + 4
+#      backends, global principals, SYN flood) hashed over every
+#      host's trace must be identical across two same-seed runs and
+#      across the heap/wheel event-queue engines
 #   1. tier-1 unit/integration/property tests (the hard gate)
 #   2. the perf-marker scalability smoke vs BENCH_scalability.json
 #   3. a Figure 11 regeneration through the parallel sweep engine
@@ -140,6 +144,66 @@ done
 grep -q '"kind":"burn_rate"' "$TRACE_TMP/mon1/host-000/monitor.jsonl" \
   || { echo "monitor FAILED: no burn-rate alert on the unmodified host"; exit 1; }
 echo "monitor determinism OK (dashboards byte-identical across runs)"
+
+echo "== tier-0h: cluster byte-determinism =="
+python - <<'PYEOF'
+import hashlib
+import itertools
+
+from repro.experiments.fig_cluster_isolation import _start_clients, build_cluster
+
+
+def reset_id_counters():
+    # Entity names in the trace draw on module-level id streams; reset
+    # them so back-to-back runs in this one process start identically.
+    from repro.apps import mailserver, webclient
+    from repro.apps.httpserver import cgi
+    from repro.core import container
+    from repro.kernel import events, process
+    from repro.net import packet, tcp
+
+    for mod, attr in (
+        (container, "_container_ids"), (process, "_pids"),
+        (process, "_tids"), (packet, "_packet_seq"),
+        (tcp, "_conn_ids"), (events, "_event_seq"),
+        (cgi, "_cgi_ids"), (webclient, "_request_ids"),
+        (mailserver, "_message_ids"),
+    ):
+        setattr(mod, attr, itertools.count(1))
+
+
+def digest(seed, queue=None):
+    reset_id_counters()
+    cluster, _balancer, _principals = build_cluster(
+        "bound", 4, seed=seed, queue=queue
+    )
+    records = cluster.sim.trace.record(
+        ["cpu.slice", "lb.forward", "lb.splice", "cluster.window"]
+    )
+    _start_clients(cluster, 4, True, [])
+    cluster.run(seconds=0.1)
+    h = hashlib.sha256()
+    for record in records:
+        data = record.data
+        h.update(
+            (
+                f"{record.time:.6f}|{record.category}|{data.get('host')}"
+                f"|{data.get('kind')}|{data.get('amount_us')}"
+                f"|{data.get('charge')}|{data.get('tenant')}"
+                f"|{data.get('backend')}|{data.get('cpu_us')}\n"
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+first = digest(seed=31)
+if digest(seed=31) != first:
+    raise SystemExit("cluster determinism FAILED: same seed diverged")
+if digest(seed=31, queue="heap") != digest(seed=31, queue="wheel"):
+    raise SystemExit("cluster determinism FAILED: heap and wheel disagree")
+print(f"cluster determinism OK (5-host digest {first[:12]} stable "
+      "across runs and queue engines)")
+PYEOF
 
 echo "== tier-1: pytest =="
 python -m pytest -x -q

@@ -96,6 +96,15 @@ def _run_fig_onset(fast: bool, jobs: int, cache: bool):
     return fig_overload_onset.run(fast=fast, jobs=jobs, cache=cache)
 
 
+def _run_fig_cluster(fast: bool, jobs: int, cache: bool):
+    from repro.experiments import fig_cluster_isolation
+
+    return [
+        fig_cluster_isolation.run(fast=fast, jobs=jobs, cache=cache),
+        fig_cluster_isolation.run_synflood(fast=fast, jobs=jobs, cache=cache),
+    ]
+
+
 def _render_any(result) -> str:
     """Text rendering for any experiment result shape."""
     if hasattr(result, "render"):
@@ -369,6 +378,10 @@ EXPERIMENTS = {
         "Overload onset: burn-rate alerts vs throughput collapse",
         _run_fig_onset,
     ),
+    "fig_cluster_isolation": (
+        "Cluster tenant isolation: global containers vs unbound",
+        _run_fig_cluster,
+    ),
 }
 
 
@@ -381,7 +394,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             *EXPERIMENTS, "all", "list", "bench", "bench-sweep",
-            "bench-engine", "bench-obs",
+            "bench-engine", "bench-obs", "bench-cluster",
             "lint", "analyze", "check", "sanitize", "trace", "report",
             "monitor",
         ],
@@ -476,6 +489,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'bench-sweep':10s} Parallel sweep engine / cache benchmark")
         print(f"{'bench-engine':10s} Event-engine throughput (heap vs wheel)")
         print(f"{'bench-obs':10s} Observability overhead (off/observe/windows)")
+        print(f"{'bench-cluster':10s} Multi-host cluster simulation (2/8/32)")
         return 0
 
     if args.experiment == "lint":
@@ -552,6 +566,20 @@ def main(argv: list[str] | None = None) -> int:
             print(json.dumps(result, indent=2))
         else:
             print(bench_engine.render(result))
+        print(f"[wrote {path}]", file=sys.stderr)
+        return 0
+
+    if args.experiment == "bench-cluster":
+        from repro.experiments import bench_cluster
+
+        result = bench_cluster.run()
+        path = bench_cluster.write_json(result)
+        if args.json:
+            import json
+
+            print(json.dumps(result, indent=2))
+        else:
+            print(bench_cluster.render(result))
         print(f"[wrote {path}]", file=sys.stderr)
         return 0
 

@@ -56,6 +56,11 @@ UNWAIVABLE: dict = {
     # would corrupt every dashboard silently, so both rule families
     # are absolute there.
     "obs/": ("CHG201", "CHG202", "UNIT401", "UNIT402", "UNIT403"),
+    # The fabric and the global principals move microseconds and bytes
+    # between kernels: a units mix-up there mis-prices every cross-host
+    # delay, and an uncharged primitive would leak work no per-host
+    # sanitizer can see, so both rule families are absolute.
+    "cluster/": ("CHG201", "CHG202", "UNIT401", "UNIT402", "UNIT403"),
 }
 
 

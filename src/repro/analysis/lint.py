@@ -95,6 +95,11 @@ FILE_ALLOWLIST: dict[str, dict[str, str]] = {
         "DET101": "bench harness: measures host wall time of the "
         "telemetry pipeline; results go to BENCH_obs.json, not the cache",
     },
+    "experiments/bench_cluster.py": {
+        "DET101": "bench harness: measures host wall time of the "
+        "multi-kernel cluster runs; results go to BENCH_cluster.json, "
+        "not the cache",
+    },
     "kernel/events.py": {
         "DET106": "ProcessEventQueue is an IOEvent priority queue (not "
         "a timer queue) and already pairs every entry with a "
@@ -113,6 +118,11 @@ _DET106_EXEMPT_PREFIXES = ("sim/", "sched/")
 #: would break that silently, so DET101/DET102 are absolute there.
 UNWAIVABLE: dict[str, tuple] = {
     "obs/": ("DET101", "DET102"),
+    # The cluster layer's whole claim is that an N-kernel run replays
+    # byte-for-byte; a wall clock or unseeded RNG in the fabric, the
+    # balancer, or the global principals would break every cluster
+    # digest silently, so the determinism rules are absolute there.
+    "cluster/": ("DET101", "DET102"),
 }
 
 

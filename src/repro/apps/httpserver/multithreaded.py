@@ -36,15 +36,26 @@ class MultiThreadedServer:
         n_threads: int = 16,
         use_containers: bool = False,
         spec: Optional[ListenSpec] = None,
+        specs: Optional[list[ListenSpec]] = None,
+        compute_overrides: Optional[dict[str, float]] = None,
         name: str = "mt-httpd",
     ) -> None:
         if n_threads < 1:
             raise ValueError(f"need at least one thread, got {n_threads}")
+        if spec is not None and specs is not None:
+            raise ValueError("pass either spec or specs, not both")
         self.kernel = kernel
         self.port = port
         self.n_threads = n_threads
         self.use_containers = use_containers
         self.spec = spec if spec is not None else ListenSpec("default")
+        #: Multi-class mode (cluster backends): one listen socket, one
+        #: worker pool of ``n_threads``, and one class container per
+        #: spec, so tenants never share an accept queue or pool.
+        self.specs = list(specs) if specs is not None else None
+        #: Extra application compute per request path, microseconds
+        #: (models expensive dynamic endpoints without a CGI process).
+        self.compute_overrides = dict(compute_overrides or {})
         self.name = name
         self.stats = RequestStats()
         self.process: Optional["Process"] = None
@@ -55,7 +66,10 @@ class MultiThreadedServer:
         return self.process
 
     def main(self):
-        """Set up the listen socket, spawn the pool, become a worker."""
+        """Set up the listen socket(s), spawn the pool(s), become a worker."""
+        if self.specs is not None:
+            yield from self._main_classes()
+            return
         lfd = yield api.Socket()
         yield api.Bind(lfd, self.port, self.spec.addr_filter)
         yield api.Listen(lfd, backlog=self.spec.backlog)
@@ -64,6 +78,56 @@ class MultiThreadedServer:
                 lambda lfd=lfd: self.worker(lfd), name=f"worker-{index}"
             )
         yield from self.worker(lfd)
+
+    def _main_classes(self):
+        """Multi-class setup: per-spec listen socket, container, pool.
+
+        Most-specific address filter wins at SYN demux, so each tenant
+        class lands on its own accept queue and worker pool -- a flood
+        of one class's connections cannot head-of-line-block another's
+        accepts (the accept FIFO itself is priority-blind).
+        """
+        pools: list = []
+        for spec in self.specs:
+            lfd = yield api.Socket()
+            yield api.Bind(lfd, self.port, spec.addr_filter)
+            yield api.Listen(
+                lfd, backlog=spec.backlog, notify_syn_drop=spec.notify_syn_drop
+            )
+            cfd: Optional[int] = None
+            if self.use_containers:
+                cfd = yield api.ContainerCreate(
+                    f"{self.name}:class:{spec.name}",
+                    attrs=timeshare_attrs(
+                        priority=spec.priority, weight=spec.weight
+                    ),
+                )
+                yield api.ContainerBindSocket(lfd, cfd)
+            pools.append((spec, lfd, cfd))
+        for pool_index, (spec, lfd, cfd) in enumerate(pools):
+            first = 1 if pool_index == 0 else 0
+            for index in range(first, self.n_threads):
+                yield api.SpawnThread(
+                    lambda lfd=lfd, cfd=cfd: self.class_worker(lfd, cfd),
+                    name=f"{spec.name}-worker-{index}",
+                )
+        _spec, lfd, cfd = pools[0]
+        yield from self.class_worker(lfd, cfd)
+
+    def class_worker(self, lfd: int, cfd: Optional[int]):
+        """Accept-serve loop for one tenant-class pool thread.
+
+        The thread binds to the class container once; accepted
+        connections inherit the container from the listen socket, so
+        everything this thread and its connections consume is charged
+        to the tenant class.
+        """
+        if cfd is not None:
+            yield api.ContainerBindThread(cfd)
+        while True:
+            fd = yield api.Accept(lfd)  # blocking
+            self.stats.connections_accepted += 1
+            yield from self._serve_connection(fd)
 
     def worker(self, lfd: int):
         """Accept-serve loop for one pool thread."""
@@ -90,6 +154,9 @@ class MultiThreadedServer:
             if message is None or not isinstance(message, HttpRequest):
                 break
             yield api.Compute(self.kernel.costs.app_request_parse)
+            extra_us = self.compute_overrides.get(message.path)
+            if extra_us is not None:
+                yield api.Compute(extra_us)
             try:
                 size = yield api.ReadFile(message.path)
             except KernelError:

@@ -1,0 +1,177 @@
+"""The simulated datacenter fabric connecting cluster hosts.
+
+A fabric is a full mesh of directed links.  Each link models one-way
+propagation latency plus store-and-forward serialization at a fixed
+bandwidth: a segment departs when the link's transmitter frees up
+(``busy_until_us``), pays ``size_bytes / bytes_per_us`` of
+serialization that extends the busy horizon, and arrives one latency
+later.  Back-to-back sends on one link therefore queue behind each
+other deterministically -- the delivery order of same-link traffic is
+the send order, and cross-link ordering is fixed by the event engine's
+stable (time, sequence) tie-break.
+
+The fabric itself consumes no simulated CPU: wire time is latency, not
+work.  CPU costs appear where they belong -- the receiving kernel's
+interrupt/protocol path (:meth:`repro.kernel.kernel.Kernel.net_input`)
+and the sending kernel's transmit path -- so every fabric byte is still
+attributed to a resource principal on some host.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.sim.engine import Simulation
+
+#: Default one-way link propagation latency (intra-datacenter scale).
+DEFAULT_LATENCY_US = 50.0
+
+#: Default link bandwidth: 125 bytes/us == 1 Gbit/s.
+DEFAULT_BYTES_PER_US = 125.0
+
+
+class FabricLink:
+    """One directed link's state: latency, bandwidth, transmit horizon."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "latency_us",
+        "bytes_per_us",
+        "busy_until_us",
+        "packets_sent",
+        "bytes_sent",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        latency_us: float,
+        bytes_per_us: float,
+    ) -> None:
+        if latency_us < 0:
+            raise ValueError(f"negative link latency: {latency_us}")
+        if bytes_per_us <= 0:
+            raise ValueError(f"non-positive link bandwidth: {bytes_per_us}")
+        self.src = src
+        self.dst = dst
+        self.latency_us = latency_us
+        self.bytes_per_us = bytes_per_us
+        #: Time at which the link's transmitter is next free.
+        self.busy_until_us = 0.0
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FabricLink({self.src}->{self.dst}, {self.latency_us}us, "
+            f"{self.bytes_per_us}B/us, {self.packets_sent} pkts)"
+        )
+
+
+class Fabric:
+    """A full mesh of :class:`FabricLink` between named hosts.
+
+    Links are materialised lazily with the fabric-wide defaults; call
+    :meth:`link` first to give a specific (src, dst) pair its own
+    latency or bandwidth.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        latency_us: float = DEFAULT_LATENCY_US,
+        bytes_per_us: float = DEFAULT_BYTES_PER_US,
+    ) -> None:
+        self.sim = sim
+        self.default_latency_us = latency_us
+        self.default_bytes_per_us = bytes_per_us
+        #: Host name -> kernel, in attach order (deterministic).
+        self.kernels: dict[str, "Kernel"] = {}
+        self._links: dict[tuple, FabricLink] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def attach(self, name: str, kernel: "Kernel") -> None:
+        """Register a host kernel under ``name``."""
+        if name in self.kernels:
+            raise ValueError(f"duplicate fabric host name: {name!r}")
+        self.kernels[name] = kernel
+
+    def link(
+        self,
+        src: str,
+        dst: str,
+        latency_us: Optional[float] = None,
+        bytes_per_us: Optional[float] = None,
+    ) -> FabricLink:
+        """Configure (or fetch) the directed link ``src`` -> ``dst``."""
+        key = (src, dst)
+        existing = self._links.get(key)
+        if existing is None:
+            existing = FabricLink(
+                src,
+                dst,
+                self.default_latency_us
+                if latency_us is None
+                else latency_us,
+                self.default_bytes_per_us
+                if bytes_per_us is None
+                else bytes_per_us,
+            )
+            self._links[key] = existing
+        else:
+            if latency_us is not None:
+                existing.latency_us = latency_us
+            if bytes_per_us is not None:
+                existing.bytes_per_us = bytes_per_us
+        return existing
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def delay_us(self, src: str, dst: str, size_bytes: int) -> float:
+        """Reserve transmit time on the link and return the total delay.
+
+        Calling this *commits* the send: the link's busy horizon
+        advances by the segment's serialization time, so a later send on
+        the same link queues behind this one.
+        """
+        link = self.link(src, dst)
+        now_us = self.sim.now
+        start_us = link.busy_until_us if link.busy_until_us > now_us else now_us
+        serialize_us = size_bytes / link.bytes_per_us
+        link.busy_until_us = start_us + serialize_us
+        link.packets_sent += 1
+        link.bytes_sent += size_bytes
+        return (link.busy_until_us - now_us) + link.latency_us
+
+    def send(self, src: str, dst: str, packet: Packet) -> None:
+        """Deliver ``packet`` to host ``dst``'s NIC over the fabric."""
+        kernel = self.kernels[dst]
+        self.sim.after(
+            self.delay_us(src, dst, packet.size_bytes),
+            kernel.net_input,
+            packet,
+        )
+
+    def egress_delay(self, src: str, client: object, size_bytes: int) -> float:
+        """Server->client delay hook for a cluster host's TCP stack.
+
+        Endpoints that live on another fabric host carry a
+        ``fabric_host`` marker (the balancer's backend channels); their
+        segments pay real link delay.  Plain endpoints are external
+        clients and keep the host's flat wire delay.
+        """
+        dst = getattr(client, "fabric_host", None)
+        if dst is None:
+            return self.kernels[src].stack.wire_delay_us
+        return self.delay_us(src, dst, size_bytes)

@@ -80,6 +80,17 @@ class ContainerManager:
         """Every live container, root included."""
         return [c for c in self._by_id.values() if c.alive]
 
+    def find_by_name(self, name: str) -> Optional[ResourceContainer]:
+        """First live container named ``name`` (creation order), or None.
+
+        Container names are not unique in general; the cluster layer's
+        global principals use well-known per-host class names, which are.
+        """
+        for container in self._by_id.values():
+            if container.alive and container.name == name:
+                return container
+        return None
+
     def release(self, container: ResourceContainer) -> None:
         """Drop one descriptor reference (close() semantics)."""
         if container.unref_descriptor():

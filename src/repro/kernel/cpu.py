@@ -4,16 +4,17 @@ Each core runs, in strict precedence order:
 
 1. **Hardware-interrupt jobs** -- per-packet interrupt handling (and, in
    the LRP/RC modes, early demultiplexing).  Never preempted.  All
-   interrupts are delivered to core 0, as on the paper's testbed-era
-   hardware.
+   interrupts are delivered to one configurable core
+   (``KernelConfig.irq_core``, default core 0 as on the paper's
+   testbed-era hardware).
 2. **Software-interrupt jobs** -- full protocol processing in the
-   unmodified (SOFTIRQ) kernel.  Core 0 only; preempted only by hardware
-   interrupts; always beats threads, which is exactly the
+   unmodified (SOFTIRQ) kernel.  IRQ core only; preempted only by
+   hardware interrupts; always beats threads, which is exactly the
    receive-livelock hazard the paper discusses (section 3.2).
 3. **Schedulable entities** -- user threads and kernel network threads,
    chosen by the pluggable scheduler.  Entity slices are preempted by
-   interrupt arrivals (core 0) and (optionally) by wakeups of strictly
-   higher-priority entities.
+   interrupt arrivals (on the IRQ core) and (optionally) by wakeups of
+   strictly higher-priority entities.
 
 All CPU consumption flows through :meth:`_finish_slice`, which charges
 the container captured at slice start, updates the scheduler, and
@@ -115,6 +116,13 @@ class CPU:
         self.sim = kernel.sim
         self.n_cpus = n_cpus
         self.cores = [_Core(i) for i in range(n_cpus)]
+        irq_core = getattr(kernel.config, "irq_core", 0)
+        if not 0 <= irq_core < n_cpus:
+            raise ValueError(
+                f"irq_core {irq_core} out of range for {n_cpus} CPU(s)"
+            )
+        #: Core that services interrupt delivery (KernelConfig.irq_core).
+        self.irq_core = irq_core
         #: Number of cores with no slice in flight.  Maintained at the
         #: two occupancy transitions (slice start, slice end/preempt) so
         #: the wakeup and dispatch hot paths never scan the core list.
@@ -197,12 +205,12 @@ class CPU:
             self._schedule_dispatch()
 
     def _interrupt_pressure(self) -> None:
-        """Interrupt work always lands on core 0."""
-        core0 = self.cores[0]
-        if core0.current is None:
+        """Interrupt work always lands on the configured IRQ core."""
+        irq = self.cores[self.irq_core]
+        if irq.current is None:
             self._schedule_dispatch()
-        elif core0.current.kind == "entity":
-            self._preempt_entity(core0)
+        elif irq.current.kind == "entity":
+            self._preempt_entity(irq)
             self._schedule_dispatch()
         # hard/soft slices run to completion; dispatch follows them.
 
@@ -279,13 +287,13 @@ class CPU:
         self._dispatch_scheduled = False
         sim = self.sim
         now = sim.clock._now
-        # Core 0 services interrupts first.
-        core0 = self.cores[0]
-        while core0.current is None and (self.hard_queue or self.soft_queue):
+        # The IRQ core services interrupts first.
+        irq = self.cores[self.irq_core]
+        while irq.current is None and (self.hard_queue or self.soft_queue):
             if self.hard_queue:
-                self._start_interrupt(core0, "hard", self.hard_queue.popleft())
+                self._start_interrupt(irq, "hard", self.hard_queue.popleft())
             else:
-                self._start_interrupt(core0, "soft", self.soft_queue.popleft())
+                self._start_interrupt(irq, "soft", self.soft_queue.popleft())
         # The picks read window usage for cap enforcement; settle any
         # coalesced charges once up front so they see exact ledgers
         # (nothing inside the fill loop books further charges).
@@ -439,17 +447,39 @@ class CPU:
             accounting.interrupt_cpu_us += amount_us
         trace = self.sim.trace
         if trace.active:
-            trace.publish(
-                self.sim.clock._now,
-                "cpu.slice",
-                kind=run.kind,
-                core=core.index,
-                amount_us=amount_us,
-                charge=run.charge.name if run.charge is not None else None,
-                network=run.charge_network or interrupt,
-                entity=getattr(run.entity, "name", run.job.note if run.job else ""),
-                phase=self._phase_of(run),
-            )
+            host = self.kernel.host_name
+            if host is None:
+                trace.publish(
+                    self.sim.clock._now,
+                    "cpu.slice",
+                    kind=run.kind,
+                    core=core.index,
+                    amount_us=amount_us,
+                    charge=run.charge.name if run.charge is not None else None,
+                    network=run.charge_network or interrupt,
+                    entity=getattr(
+                        run.entity, "name", run.job.note if run.job else ""
+                    ),
+                    phase=self._phase_of(run),
+                )
+            else:
+                # Cluster runs tag every slice with its host so shared-sim
+                # observability can keep per-host lanes apart.  Kept as a
+                # separate publish so single-host traces stay byte-stable.
+                trace.publish(
+                    self.sim.clock._now,
+                    "cpu.slice",
+                    kind=run.kind,
+                    core=core.index,
+                    host=host,
+                    amount_us=amount_us,
+                    charge=run.charge.name if run.charge is not None else None,
+                    network=run.charge_network or interrupt,
+                    entity=getattr(
+                        run.entity, "name", run.job.note if run.job else ""
+                    ),
+                    phase=self._phase_of(run),
+                )
         charge = run.charge
         if charge is not None:
             # Defer the ledger walk: coalesce with any other slice for

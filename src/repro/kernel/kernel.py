@@ -71,6 +71,11 @@ class KernelConfig:
     #: Number of processors.  The paper's testbed (and every experiment)
     #: is a uniprocessor; >1 enables the SMP variant of section 2.
     n_cpus: int = 1
+    #: Core that services interrupt delivery (hardware and softirq).
+    #: Core 0 by default, as on the paper's testbed-era hardware; cluster
+    #: hosts pin it elsewhere to keep the accept path off the cores that
+    #: run workers.
+    irq_core: int = 0
     #: Preempt a running entity when a strictly higher-priority one wakes.
     preemptive: bool = True
     #: Charge a context-switch cost when the CPU changes entity.
@@ -124,6 +129,9 @@ class Kernel:
         self.sim = sim
         self.costs = costs
         self.config = config if config is not None else KernelConfig()
+        #: Set by the cluster layer so trace records and observability
+        #: lanes can distinguish hosts sharing one simulation.
+        self.host_name: Optional[str] = None
         self.containers = ContainerManager()
         if self.config.scheduler_factory is not None:
             self.scheduler = self.config.scheduler_factory(self)

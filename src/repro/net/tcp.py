@@ -184,6 +184,11 @@ class TcpStack:
 
         self.kernel = kernel
         self.wire_delay_us = wire_delay_us
+        #: Optional egress-delay override: callable(client, size_bytes)
+        #: -> one-way delay in microseconds.  The cluster fabric installs
+        #: one so server->client segments pay per-link latency and
+        #: serialization instead of the flat wire delay.
+        self.egress_delay = None
         self.shaper = TransmitShaper()
         self.listeners: list[ListenSocket] = []
         #: Every bound (not necessarily listening) socket; bind()
@@ -284,6 +289,12 @@ class TcpStack:
         elif packet.kind is PacketKind.FIN:
             self._input_fin(packet)
 
+    def _delivery_delay(self, client: ClientEndpoint, size_bytes: int) -> float:
+        """One-way server->client delay for a segment of ``size_bytes``."""
+        if self.egress_delay is not None:
+            return self.egress_delay(client, size_bytes)
+        return self.wire_delay_us
+
     def _input_syn(self, packet: Packet) -> None:
         socket = self.demux_listener(packet.dst_port, packet.src_addr)
         if socket is None:
@@ -322,7 +333,10 @@ class TcpStack:
         client = packet.payload
         if client is not None:
             self.kernel.sim.after(
-                self.wire_delay_us, self._deliver_synack, client, half_open
+                self._delivery_delay(client, 64),
+                self._deliver_synack,
+                client,
+                half_open,
             )
 
     @staticmethod
@@ -357,7 +371,9 @@ class TcpStack:
         socket.accept_queue.append(conn)
         socket.stats_conns_established += 1
         self.kernel.sim.after(
-            self.wire_delay_us, conn.client.on_established, conn
+            self._delivery_delay(conn.client, 64),
+            conn.client.on_established,
+            conn,
         )
         self.kernel.socket_became_ready(socket)
 
@@ -416,7 +432,7 @@ class TcpStack:
             conn.charge_target(), size_bytes, self.kernel.sim.now
         )
         self.kernel.sim.after(
-            self.wire_delay_us + delay,
+            self._delivery_delay(conn.client, size_bytes) + delay,
             conn.client.on_response,
             conn,
             payload,
@@ -430,7 +446,9 @@ class TcpStack:
         previous = conn.state
         conn.state = ConnState.SERVER_CLOSED
         self.kernel.sim.after(
-            self.wire_delay_us, conn.client.on_server_close, conn
+            self._delivery_delay(conn.client, 64),
+            conn.client.on_server_close,
+            conn,
         )
         if conn.eof and previous is ConnState.ESTABLISHED:
             self.release_connection(conn)

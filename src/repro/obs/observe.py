@@ -97,9 +97,10 @@ class RegistryCollector:
 
     def __init__(self, registry: MetricsRegistry, bus: TraceBus) -> None:
         self.registry = registry
-        #: Per-core sim-time at which the last observed slice ended;
-        #: the gap to the next slice's start is booked as idle time.
-        self._core_last_end: dict[int, float] = {}
+        #: Per-core-lane sim-time at which the last observed slice
+        #: ended; the gap to the next slice's start is booked as idle
+        #: time.  Keyed by lane name so cluster hosts don't collide.
+        self._core_last_end: dict[str, float] = {}
         bus.subscribe("cpu.slice", self._on_cpu_slice)
         bus.subscribe("sched", self._on_sched)
         bus.subscribe("net.enqueue", self._on_net_enqueue)
@@ -110,6 +111,7 @@ class RegistryCollector:
         bus.subscribe("client.complete", self._on_client_complete)
         bus.subscribe("disk.request", self._on_disk_request)
         bus.subscribe("fs.cache", self._on_fs_cache)
+        bus.subscribe("cluster.window", self._on_cluster_window)
 
     @staticmethod
     def _principal(name: Optional[str]) -> str:
@@ -131,12 +133,16 @@ class RegistryCollector:
         # after its final slice is unknowable until the run ends and
         # stays unbooked).
         core = data.get("core", 0)
-        lane = f"core:{core}"
+        host = data.get("host")
+        # Cluster runs tag slices with their host; each host gets its
+        # own core lanes so an 8-host run doesn't fold eight core-0s
+        # into one busy counter.  Single-host lanes stay unqualified.
+        lane = f"core:{core}" if host is None else f"{host}:core:{core}"
         start = record.time - data["amount_us"]
-        idle = start - self._core_last_end.get(core, 0.0)
+        idle = start - self._core_last_end.get(lane, 0.0)
         if idle > 0:
             registry.counter(lane, "core", "idle_us").inc(idle)
-        self._core_last_end[core] = record.time
+        self._core_last_end[lane] = record.time
         registry.counter(lane, "core", "busy_us").inc(data["amount_us"])
         registry.counter(lane, "core", "slices").inc()
 
@@ -228,6 +234,18 @@ class RegistryCollector:
         container = self._principal(data.get("container"))
         name = "cache_hits" if data["hit"] else "cache_misses"
         self.registry.counter(container, "fs", name).inc()
+
+    def _on_cluster_window(self, record: TraceRecord) -> None:
+        # Cluster-wide per-tenant rollups, one record per global
+        # container per window (published by ClusterPrincipals).
+        data = record.data
+        tenant = self._principal(data.get("tenant"))
+        registry = self.registry
+        registry.counter(tenant, "cluster", "cpu_us").inc(data["cpu_us"])
+        registry.counter(tenant, "cluster", "windows").inc()
+        registry.gauge(tenant, "cluster", "share").set(data["share"])
+        if data.get("throttled"):
+            registry.counter(tenant, "cluster", "windows_throttled").inc()
 
 
 class Observability:

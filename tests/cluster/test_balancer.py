@@ -1,0 +1,190 @@
+"""Load balancer: routing policies, forwarding, admission control."""
+
+import pytest
+
+from repro.apps.httpserver import MultiThreadedServer
+from repro.apps.webclient import HttpClient
+from repro.cluster import (
+    Cluster,
+    ClusterPrincipals,
+    LeastLoadedPolicy,
+    LoadBalancer,
+    RoundRobinPolicy,
+    UsageWeightedPolicy,
+    backend_specs,
+    tenant_specs,
+)
+from repro.core.attributes import timeshare_attrs
+from repro.kernel.kernel import SystemMode
+from repro.net.packet import ip_addr
+
+TENANTS = ["gold", "bronze"]
+
+
+def make_cluster(n_backends=2, policy=None, principals_by_tenant=None,
+                 use_containers=True, seed=3):
+    mode = SystemMode.RC if use_containers else SystemMode.UNMODIFIED
+    cluster = Cluster(mode=mode, seed=seed)
+    cluster.add_host("lb", n_cpus=2, irq_core=1)
+    names = [f"be-{index:02d}" for index in range(n_backends)]
+    servers = []
+    for name in names:
+        cluster.add_host(name)
+        kernel = cluster.kernel(name)
+        kernel.fs.add_file("/index.html", 1024)
+        kernel.fs.warm("/index.html")
+        server = MultiThreadedServer(
+            kernel, specs=backend_specs(TENANTS), n_threads=4,
+            use_containers=use_containers,
+        )
+        server.install()
+        servers.append(server)
+    balancer = LoadBalancer(
+        cluster, "lb", names,
+        specs=tenant_specs(TENANTS),
+        policy=policy if policy is not None else RoundRobinPolicy(),
+        principals=principals_by_tenant,
+        use_containers=use_containers,
+    )
+    balancer.install()
+    return cluster, balancer, servers
+
+
+def start_client(cluster, tenant, index, **kwargs):
+    subnet = 1 if tenant == "gold" else 2
+    client = HttpClient(
+        cluster.kernel("lb"),
+        ip_addr(10, subnet, 0, 10 + index),
+        f"{tenant}-{index}",
+        think_time_us=500.0,
+        rng=cluster.sim.rng.fork(f"{tenant}-{index}"),
+        **kwargs,
+    )
+    client.start(at_us=2_000.0 + index * 101.0)
+    return client
+
+
+def test_round_robin_rotates_per_tenant():
+    policy = RoundRobinPolicy()
+    backends = ["a", "b", "c"]
+    picks = [policy.choose(None, "gold", backends) for _ in range(4)]
+    assert picks == ["a", "b", "c", "a"]
+    # A second tenant rotates independently.
+    assert policy.choose(None, "bronze", backends) == "a"
+    assert picks[-1] == "a"
+
+
+def test_least_loaded_picks_minimum_inflight():
+    class Stub:
+        inflight = {"a": 3, "b": 1, "c": 2}
+
+    assert LeastLoadedPolicy().choose(Stub(), "gold", ["a", "b", "c"]) == "b"
+    # Ties break to list order.
+    Stub.inflight = {"a": 1, "b": 1}
+    assert LeastLoadedPolicy().choose(Stub(), "gold", ["a", "b"]) == "a"
+
+
+def test_usage_weighted_follows_member_window_usage():
+    cluster, balancer, _servers = make_cluster(
+        n_backends=2, policy=UsageWeightedPolicy("mt-httpd")
+    )
+    cluster.run(until_us=1_000.0)  # let servers create class containers
+    busy = cluster.kernel("be-00").containers.find_by_name(
+        "mt-httpd:class:gold"
+    )
+    assert busy is not None
+    busy.charge_cpu(5_000.0)
+    policy = balancer.policy
+    assert policy.choose(balancer, "gold", balancer.backends) == "be-01"
+    idle = cluster.kernel("be-01").containers.find_by_name(
+        "mt-httpd:class:gold"
+    )
+    idle.charge_cpu(9_000.0)
+    assert policy.choose(balancer, "gold", balancer.backends) == "be-00"
+
+
+def test_end_to_end_forward_and_splice():
+    cluster, balancer, servers = make_cluster(n_backends=2)
+    clients = [start_client(cluster, "gold", i) for i in range(3)]
+    clients += [start_client(cluster, "bronze", i) for i in range(2)]
+    cluster.run(seconds=0.3)
+    assert balancer.stats_forwarded > 0
+    assert balancer.stats_spliced > 0
+    # Every client made progress through the cluster.
+    for client in clients:
+        assert client.stats_completed > 0
+    # Requests were classified per tenant at the balancer...
+    assert set(balancer.forwarded_by_tenant) == {"gold", "bronze"}
+    # ...and ended on per-tenant class containers on the backends.
+    for name in ("be-00", "be-01"):
+        served = cluster.kernel(name).containers.find_by_name(
+            "mt-httpd:class:gold"
+        )
+        assert served is not None and served.usage.cpu_us > 0
+
+
+def test_round_robin_spreads_load_across_backends():
+    cluster, balancer, servers = make_cluster(n_backends=3)
+    for index in range(3):
+        start_client(cluster, "gold", index)
+    cluster.run(seconds=0.2)
+    accepted = [server.stats.connections_accepted for server in servers]
+    assert all(count > 0 for count in accepted)
+
+
+def test_throttled_principal_sheds_at_admission():
+    cluster = Cluster(mode=SystemMode.RC, seed=5)
+    cluster.add_host("lb", n_cpus=2, irq_core=1)
+    cluster.add_host("be-00")
+    kernel = cluster.kernel("be-00")
+    kernel.fs.add_file("/index.html", 1024)
+    MultiThreadedServer(
+        kernel, specs=backend_specs(TENANTS), n_threads=2,
+        use_containers=True,
+    ).install()
+    # A principal with an absurdly small cap over a pre-charged member:
+    # the very first window roll throttles it.
+    principals = ClusterPrincipals(cluster, window_us=5_000.0)
+    bronze = principals.create("bronze", global_cpu_limit=0.001)
+    bronze.add_member("be-00", "pinned:bronze")
+    pinned = kernel.containers.create(
+        "pinned:bronze", attrs=timeshare_attrs()
+    )
+    balancer = LoadBalancer(
+        cluster, "lb", ["be-00"],
+        specs=tenant_specs(TENANTS),
+        principals={"bronze": bronze},
+        use_containers=True,
+    )
+    balancer.install()
+
+    def burn():
+        pinned.charge_cpu(1_000.0)
+        cluster.sim.after(1_000.0, burn)
+
+    cluster.sim.after(1_000.0, burn)
+    client = start_client(cluster, "bronze", 0, timeout_us=100_000.0)
+    cluster.run(seconds=0.4)
+    assert bronze.windows_throttled > 0
+    assert balancer.stats_rejected > 0
+    assert balancer.rejected_by_tenant.get("bronze", 0) > 0
+    # At most the request in flight before the first window roll got
+    # through; everything after the throttle engaged was shed.
+    assert client.stats_completed <= 1
+
+
+def test_unbound_cluster_works_without_containers():
+    cluster, balancer, _servers = make_cluster(
+        n_backends=2, use_containers=False
+    )
+    client = start_client(cluster, "gold", 0)
+    cluster.run(seconds=0.2)
+    assert balancer.stats_spliced > 0
+    assert client.stats_completed > 0
+
+
+def test_balancer_requires_backends():
+    cluster = Cluster(seed=1)
+    cluster.add_host("lb")
+    with pytest.raises(ValueError):
+        LoadBalancer(cluster, "lb", [], specs=tenant_specs(TENANTS))

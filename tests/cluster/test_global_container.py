@@ -1,0 +1,117 @@
+"""GlobalContainer window aggregation, caps, and throttling."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterPrincipals, GlobalContainer
+from repro.core.attributes import timeshare_attrs
+from repro.kernel.kernel import SystemMode
+
+
+def two_host_cluster(seed=7):
+    cluster = Cluster(mode=SystemMode.RC, seed=seed)
+    cluster.add_host("a")
+    cluster.add_host("b")
+    return cluster
+
+
+def member(cluster, host, name):
+    return cluster.kernel(host).containers.create(
+        name, attrs=timeshare_attrs()
+    )
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        GlobalContainer("t", global_cpu_limit=0.0)
+    with pytest.raises(ValueError):
+        GlobalContainer("t", global_cpu_limit=1.5)
+    GlobalContainer("t", global_cpu_limit=1.0)  # boundary is legal
+
+
+def test_roll_aggregates_member_deltas():
+    cluster = two_host_cluster()
+    on_a = member(cluster, "a", "tenant")
+    on_b = member(cluster, "b", "tenant")
+    principal = GlobalContainer("tenant")
+    principal.add_member("a", "tenant")
+    principal.add_member("b", "tenant")
+    kernels = cluster.fabric.kernels
+
+    on_a.charge_cpu(100.0)
+    on_b.charge_cpu(40.0, network=True)
+    principal.roll(kernels)
+    assert principal.ledger.cpu_us == pytest.approx(140.0)
+    assert principal.ledger.cpu_network_us == pytest.approx(40.0)
+    assert principal.window_cpu_us == pytest.approx(140.0)
+
+    # Second window: only the delta is folded in.
+    on_a.charge_cpu(10.0)
+    principal.roll(kernels)
+    assert principal.ledger.cpu_us == pytest.approx(150.0)
+    assert principal.window_cpu_us == pytest.approx(10.0)
+
+    # Quiet window: ledger unchanged, window usage zero.
+    principal.roll(kernels)
+    assert principal.ledger.cpu_us == pytest.approx(150.0)
+    assert principal.window_cpu_us == 0.0
+
+
+def test_vanished_member_moves_snapshot_to_carryover():
+    cluster = two_host_cluster()
+    on_a = member(cluster, "a", "tenant")
+    principal = GlobalContainer("tenant")
+    principal.add_member("a", "tenant")
+    kernels = cluster.fabric.kernels
+
+    on_a.charge_cpu(75.0)
+    principal.roll(kernels)
+    assert principal.ledger.cpu_us == pytest.approx(75.0)
+
+    cluster.kernel("a").containers.release(on_a)
+    assert not on_a.alive
+    principal.roll(kernels)
+    # The ledger keeps the destroyed member's contribution, and the
+    # carryover records it so Σ(live members) + carryover == ledger.
+    assert principal.ledger.cpu_us == pytest.approx(75.0)
+    assert principal.carryover.cpu_us == pytest.approx(75.0)
+
+
+def test_push_caps_mirrors_global_limit_onto_members():
+    cluster = two_host_cluster()
+    on_a = member(cluster, "a", "tenant")
+    on_b = member(cluster, "b", "tenant")
+    principal = GlobalContainer("tenant", global_cpu_limit=0.3)
+    principal.add_member("a", "tenant")
+    principal.add_member("b", "tenant")
+    assert on_a.attrs.cpu_limit is None
+    principal.push_caps(cluster.fabric.kernels)
+    assert on_a.attrs.cpu_limit == pytest.approx(0.3)
+    assert on_b.attrs.cpu_limit == pytest.approx(0.3)
+
+
+def test_principals_tick_sets_throttled_and_traces():
+    cluster = two_host_cluster()
+    records = cluster.sim.trace.record(["cluster.window"])
+    principals = ClusterPrincipals(cluster, window_us=1_000.0)
+    hog = principals.create("hog", global_cpu_limit=0.10)
+    hog.add_member("a", "tenant")
+    on_a = member(cluster, "a", "tenant")
+
+    # Two cores total (one per host): window capacity is 2000 us, the
+    # cap 200 us.  Charge 500 us in the first window, nothing after.
+    on_a.charge_cpu(500.0)
+    cluster.run(until_us=1_500.0)
+    assert hog.throttled
+    assert hog.windows_throttled == 1
+    cluster.run(until_us=2_500.0)
+    assert not hog.throttled  # quiet window clears the gate
+    assert principals.windows_rolled >= 2
+    tenants = [record.data["tenant"] for record in records]
+    assert tenants.count("hog") == principals.windows_rolled
+    assert any(record.data["throttled"] for record in records)
+
+
+def test_principals_window_validation():
+    cluster = two_host_cluster()
+    with pytest.raises(ValueError):
+        ClusterPrincipals(cluster, window_us=0.0)
